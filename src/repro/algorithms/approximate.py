@@ -1,0 +1,144 @@
+"""Approximate consensus: deciding versions of asymptotic consensus algorithms.
+
+Section 9 studies the approximate consensus problem: each agent must
+irrevocably decide once, decisions must be ε-close to each other
+(ε-Agreement) and must lie in the convex hull of the initial values
+(Validity).  The deciding versions of the paper's averaging algorithms simply
+run the asymptotic algorithm and decide on the current output after a
+precomputed number of rounds; the optimal round counts are the decision-time
+lower bounds of Theorems 8–10 (computed in
+:mod:`repro.core.decision_times`).
+
+:class:`DecidingAlgorithm` wraps any :class:`~repro.algorithms.base.Algorithm`
+with such a fixed decision round, and exposes accessors so experiments can
+extract decision values and decision rounds from executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import AlgorithmError
+from repro.execution.execution import Execution
+
+
+@dataclass(frozen=True)
+class DecidingState:
+    """State of a deciding wrapper: the inner state plus the decision (if any)."""
+
+    inner: Any
+    decision: Optional[np.ndarray]
+    decision_round: Optional[int]
+
+
+class DecidingAlgorithm(Algorithm):
+    """Run an asymptotic consensus algorithm and decide at a fixed round.
+
+    Parameters
+    ----------
+    inner:
+        The asymptotic consensus algorithm to run.
+    decision_round:
+        The round at whose end every agent decides on its current output.
+        For the paper's algorithms, choosing the matching Theorem 8–10 bound
+        yields ε-Agreement for the targeted ``Δ`` and ``ε``.
+    """
+
+    def __init__(self, inner: Algorithm, decision_round: int) -> None:
+        if decision_round < 0:
+            raise AlgorithmError(f"decision_round must be non-negative, got {decision_round}")
+        self._inner = inner
+        self._decision_round = decision_round
+
+    @property
+    def inner(self) -> Algorithm:
+        """The wrapped asymptotic consensus algorithm."""
+        return self._inner
+
+    @property
+    def decision_round(self) -> int:
+        """The round at whose end agents decide."""
+        return self._decision_round
+
+    # ------------------------------------------------------------------ #
+    # Algorithm interface
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> DecidingState:
+        inner_state = self._inner.initial_state(agent_id, initial_value, n)
+        decision = None
+        decision_round = None
+        if self._decision_round == 0:
+            decision = np.asarray(self._inner.output(agent_id, inner_state), dtype=float)
+            decision_round = 0
+        return DecidingState(inner=inner_state, decision=decision, decision_round=decision_round)
+
+    def message(self, agent_id: int, state: DecidingState) -> Any:
+        return self._inner.message(agent_id, state.inner)
+
+    def transition(
+        self, agent_id: int, state: DecidingState, received: Mapping[int, Any], round_number: int
+    ) -> DecidingState:
+        new_inner = self._inner.transition(agent_id, state.inner, received, round_number)
+        decision = state.decision
+        decision_round = state.decision_round
+        if decision is None and round_number >= self._decision_round:
+            decision = np.asarray(self._inner.output(agent_id, new_inner), dtype=float)
+            decision_round = round_number
+        return DecidingState(inner=new_inner, decision=decision, decision_round=decision_round)
+
+    def output(self, agent_id: int, state: DecidingState) -> np.ndarray:
+        if state.decision is not None:
+            return state.decision
+        return np.asarray(self._inner.output(agent_id, state.inner), dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Accessors for experiments
+    # ------------------------------------------------------------------ #
+
+    def has_decided(self, state: DecidingState) -> bool:
+        """Whether the agent has already decided in ``state``."""
+        return state.decision is not None
+
+    def decision_of(self, state: DecidingState) -> Optional[np.ndarray]:
+        """The decision value recorded in ``state`` (None if undecided)."""
+        return state.decision
+
+    @property
+    def name(self) -> str:
+        return f"deciding({self._inner.name}@{self._decision_round})"
+
+
+def decisions_of_execution(execution: Execution) -> List[Optional[np.ndarray]]:
+    """Extract per-agent decision values from the final configuration of an execution.
+
+    The execution must have been produced by a :class:`DecidingAlgorithm`.
+    """
+    final = execution.final_configuration
+    decisions: List[Optional[np.ndarray]] = []
+    for state in final.states:
+        if not isinstance(state, DecidingState):
+            raise AlgorithmError(
+                "decisions_of_execution expects an execution of a DecidingAlgorithm"
+            )
+        decisions.append(state.decision)
+    return decisions
+
+
+def epsilon_agreement_holds(execution: Execution, epsilon: float) -> bool:
+    """Whether all pairs of recorded decisions are within ``epsilon`` of each other."""
+    decided = [d for d in decisions_of_execution(execution) if d is not None]
+    for i, a in enumerate(decided):
+        for b in decided[i + 1 :]:
+            if float(np.linalg.norm(a - b)) > epsilon + 1e-12:
+                return False
+    return True
+
+
+def all_agents_decided(execution: Execution) -> bool:
+    """Whether every agent recorded a decision (Termination)."""
+    return all(d is not None for d in decisions_of_execution(execution))

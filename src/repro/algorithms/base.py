@@ -1,0 +1,145 @@
+"""Algorithm interfaces for the round-based dynamic system model.
+
+An algorithm (Section 2) is a deterministic local transition function: in
+every round each agent sends a message to its out-neighbors, receives the
+messages of its in-neighbors (always including itself, because communication
+graphs have self-loops), and updates its state.  The agent's *output* ``y_i``
+is a point of Euclidean d-space extracted from its state.
+
+Two levels of generality are provided:
+
+* :class:`Algorithm` — the fully general interface (full-information
+  algorithms, algorithms with memory, algorithms whose outputs leave the
+  convex hull of received values, deciding algorithms, ...).
+* :class:`ConvexCombinationAlgorithm` — the memoryless averaging algorithms
+  of Section 2.2: the state is just the output value, the message is the
+  output value, and the new output must lie in the convex hull of the values
+  received in the current round.  Subclasses only implement
+  :meth:`ConvexCombinationAlgorithm.combine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.types import as_value
+
+
+class Algorithm(ABC):
+    """A deterministic local algorithm for the round-based dynamic model.
+
+    Subclasses define the agent state (any picklable/copyable object), the
+    message sent each round, the state transition, and how to read the output
+    value ``y_i`` from the state.
+    """
+
+    @abstractmethod
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> Any:
+        """The agent's state before round 1.
+
+        Parameters
+        ----------
+        agent_id:
+            The agent's identifier (``0 .. n-1``).
+        initial_value:
+            The agent's initial value ``y_i(0)`` as a 1-D float array.
+        n:
+            The total number of agents (known to the agents, as in the paper's
+            algorithms that use phases of length ``n - 1``).
+        """
+
+    @abstractmethod
+    def message(self, agent_id: int, state: Any) -> Any:
+        """The message the agent broadcasts this round, given its current state."""
+
+    @abstractmethod
+    def transition(
+        self, agent_id: int, state: Any, received: Mapping[int, Any], round_number: int
+    ) -> Any:
+        """The new state after receiving ``received`` (sender id -> message) in ``round_number``.
+
+        ``received`` always contains the agent's own message (self-loop).
+        """
+
+    @abstractmethod
+    def output(self, agent_id: int, state: Any) -> np.ndarray:
+        """The output value ``y_i`` encoded in ``state`` (1-D float array)."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name used in reports and benchmarks."""
+        return type(self).__name__
+
+    def is_convex_combination(self) -> bool:
+        """Whether the algorithm is a convex-combination (averaging) algorithm."""
+        return isinstance(self, ConvexCombinationAlgorithm)
+
+
+class ConvexCombinationAlgorithm(Algorithm):
+    """Memoryless averaging algorithms (Section 2.2).
+
+    The agent state is its output value; the broadcast message is the output
+    value; and the transition sets the output to a point in the convex hull
+    of the values received this round, computed by :meth:`combine`.
+
+    Setting ``validate=True`` makes every transition assert the convex-hull
+    (Validity) requirement, which is useful in tests.
+    """
+
+    def __init__(self, validate: bool = False) -> None:
+        self._validate = validate
+
+    @abstractmethod
+    def combine(
+        self, agent_id: int, received: Dict[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        """Map the received values (sender id -> value) to the new output value.
+
+        The result must lie in the convex hull of ``received.values()``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Algorithm interface
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> np.ndarray:
+        return as_value(initial_value)
+
+    def message(self, agent_id: int, state: np.ndarray) -> np.ndarray:
+        return state
+
+    def transition(
+        self, agent_id: int, state: np.ndarray, received: Mapping[int, Any], round_number: int
+    ) -> np.ndarray:
+        values = {sender: as_value(value) for sender, value in received.items()}
+        if agent_id not in values:
+            raise AlgorithmError(
+                f"agent {agent_id} did not receive its own value; communication graphs "
+                "must contain self-loops"
+            )
+        new_value = as_value(self.combine(agent_id, values, round_number))
+        if self._validate:
+            self._check_convex(new_value, values)
+        return new_value
+
+    def output(self, agent_id: int, state: np.ndarray) -> np.ndarray:
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_convex(new_value: np.ndarray, values: Dict[int, np.ndarray], tol: float = 1e-9) -> None:
+        points = np.vstack(list(values.values()))
+        lo = points.min(axis=0) - tol
+        hi = points.max(axis=0) + tol
+        if np.any(new_value < lo) or np.any(new_value > hi):
+            raise AlgorithmError(
+                "convex-combination algorithm produced a value outside the bounding box "
+                f"of received values: {new_value} not in [{points.min(axis=0)}, {points.max(axis=0)}]"
+            )

@@ -1,0 +1,121 @@
+"""Exact consensus by flooding, and its induced asymptotic consensus algorithm.
+
+Theorem 4's forward direction turns an exact consensus algorithm into an
+asymptotic one: output the initial value until the decision, then output the
+decision forever.  :class:`FloodingExactConsensus` implements the classical
+flood-and-take-the-minimum algorithm in exactly this "asymptotic" form: its
+output is the agent's initial value until the flooding horizon is reached and
+the (lexicographically) smallest known initial value afterwards.
+
+Flooding solves exact consensus whenever, within the flooding horizon, all
+agents are guaranteed to have heard from the same set of agents — e.g. for a
+constant strongly connected graph with a horizon of at least ``n - 1``
+rounds, or for any network model with a common root present in every graph
+and a sufficiently long horizon.  The helper
+:func:`flooding_horizon_sufficient` checks the constant-graph condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import AlgorithmError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.products import power
+from repro.graphs.properties import is_complete
+from repro.types import as_value
+
+
+@dataclass(frozen=True)
+class FloodingState:
+    """State of the flooding algorithm: everything the agent has heard so far."""
+
+    initial_value: np.ndarray
+    known: Tuple[Tuple[int, Tuple[float, ...]], ...]
+    decided_value: np.ndarray | None
+    rounds_elapsed: int
+
+
+class FloodingExactConsensus(Algorithm):
+    """Flood (agent, initial value) pairs for a fixed horizon, then decide the minimum.
+
+    Parameters
+    ----------
+    horizon:
+        Number of flooding rounds before deciding.  After ``horizon`` rounds
+        the agent irrevocably outputs the smallest initial value it knows
+        (smallest in lexicographic order for ``d > 1``).
+    """
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 1:
+            raise AlgorithmError(f"the flooding horizon must be >= 1, got {horizon}")
+        self._horizon = horizon
+
+    @property
+    def horizon(self) -> int:
+        """The number of flooding rounds before the decision."""
+        return self._horizon
+
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> FloodingState:
+        value = as_value(initial_value)
+        return FloodingState(
+            initial_value=value,
+            known=((agent_id, tuple(value.tolist())),),
+            decided_value=None,
+            rounds_elapsed=0,
+        )
+
+    def message(self, agent_id: int, state: FloodingState) -> Tuple[Tuple[int, Tuple[float, ...]], ...]:
+        return state.known
+
+    def transition(
+        self,
+        agent_id: int,
+        state: FloodingState,
+        received: Mapping[int, Tuple[Tuple[int, Tuple[float, ...]], ...]],
+        round_number: int,
+    ) -> FloodingState:
+        merged: Dict[int, Tuple[float, ...]] = dict(state.known)
+        for entries in received.values():
+            for origin, value in entries:
+                merged[origin] = value
+        known = tuple(sorted(merged.items()))
+        rounds_elapsed = state.rounds_elapsed + 1
+        decided = state.decided_value
+        if decided is None and rounds_elapsed >= self._horizon:
+            smallest = min(value for _origin, value in known)
+            decided = np.array(smallest, dtype=float)
+        return FloodingState(
+            initial_value=state.initial_value,
+            known=known,
+            decided_value=decided,
+            rounds_elapsed=rounds_elapsed,
+        )
+
+    def output(self, agent_id: int, state: FloodingState) -> np.ndarray:
+        if state.decided_value is not None:
+            return state.decided_value
+        return state.initial_value
+
+    def has_decided(self, state: FloodingState) -> bool:
+        """Whether the agent has already decided."""
+        return state.decided_value is not None
+
+    @property
+    def name(self) -> str:
+        return f"flooding-exact(horizon={self._horizon})"
+
+
+def flooding_horizon_sufficient(graph: CommunicationGraph, horizon: int) -> bool:
+    """Whether ``horizon`` rounds of the constant pattern ``graph`` guarantee agreement.
+
+    Flooding over ``horizon`` repetitions of ``graph`` leaves all agents with
+    the same knowledge iff the ``horizon``-fold product of ``graph`` with
+    itself is the complete graph.
+    """
+    return is_complete(power(graph, horizon))

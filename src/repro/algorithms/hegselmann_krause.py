@@ -1,0 +1,60 @@
+"""Hegselmann–Krause bounded-confidence opinion dynamics.
+
+The introduction lists opinion dynamics [Hegselmann & Krause, 2002] among the
+natural systems analyzed with asymptotic-consensus tools.  In the HK model an
+agent only averages the opinions it received that lie within its confidence
+radius; the effective communication graph is therefore *state dependent*, and
+agreement of all agents is not guaranteed (opinions may split into clusters).
+
+The class is a convex-combination algorithm in the sense of Section 2.2 (the
+new opinion is an average of a subset of received values that always contains
+the agent's own), so Validity and the monotonicity of the value range hold; it
+is used by the ``examples/opinion_dynamics.py`` application and by tests that
+exercise the engine with state-dependent behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.exceptions import AlgorithmError
+
+
+class HegselmannKrauseAlgorithm(ConvexCombinationAlgorithm):
+    """Average only the received opinions within the agent's confidence radius.
+
+    Parameters
+    ----------
+    confidence:
+        The confidence radius ``r``; received values farther than ``r`` (in
+        Euclidean norm) from the agent's own value are ignored.
+    """
+
+    def __init__(self, confidence: float, validate: bool = False) -> None:
+        super().__init__(validate=validate)
+        if confidence < 0:
+            raise AlgorithmError(f"confidence radius must be non-negative, got {confidence}")
+        self._confidence = confidence
+
+    @property
+    def confidence(self) -> float:
+        """The confidence radius."""
+        return self._confidence
+
+    def combine(
+        self, agent_id: int, received: Dict[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        own = received[agent_id]
+        trusted = [
+            value
+            for value in received.values()
+            if float(np.linalg.norm(value - own)) <= self._confidence
+        ]
+        return np.vstack(trusted).mean(axis=0)
+
+    @property
+    def name(self) -> str:
+        return f"hegselmann-krause(r={self._confidence:g})"

@@ -1,0 +1,138 @@
+"""The mass-splitting algorithm: a *non*-convex-combination example.
+
+The introduction of the paper motivates why the lower bounds must cover
+algorithms whose outputs can leave the convex hull of received values.  Its
+example: "each agent sends an equal fraction of its current output value to
+all out-neighbors and sets its output to the sum of values received in the
+current round."  The update is ``y(t+1) = Mᵀ y(t)`` where ``M`` is the
+row-stochastic mass-splitting matrix of the fixed communication graph; it is
+not a convex combination algorithm because an agent's new output (a *sum* of
+shares) can lie outside the convex hull of the values of its in-neighbors.
+
+The iteration conserves total mass and converges (for a strongly connected
+graph with self-loops) to ``v_i · Σ_j y_j(0)`` per agent, where ``v`` is the
+Perron vector of ``Mᵀ``.  All agents reach a *common* value — i.e. the
+algorithm solves asymptotic consensus — exactly when ``v`` is uniform, which
+happens iff ``M`` is doubly stochastic (e.g. the complete graph, directed
+cycles, or any graph whose incoming shares sum to 1 at every agent).  The
+class exposes :meth:`MassSplittingAlgorithm.solves_consensus` so callers can
+check this before relying on agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import AlgorithmError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.properties import is_strongly_connected
+from repro.types import as_value
+
+
+class MassSplittingAlgorithm(Algorithm):
+    """Mass splitting on a fixed strongly connected graph (``y(t+1) = Mᵀ y(t)``).
+
+    Parameters
+    ----------
+    graph:
+        The fixed communication graph the system will use every round.  Must
+        be strongly connected (so the iteration matrix is primitive thanks to
+        the self-loops).
+    """
+
+    def __init__(self, graph: CommunicationGraph) -> None:
+        if not is_strongly_connected(graph):
+            raise AlgorithmError(
+                "MassSplittingAlgorithm requires a strongly connected fixed graph"
+            )
+        self._graph = graph
+
+    @property
+    def graph(self) -> CommunicationGraph:
+        """The fixed communication graph the algorithm was built for."""
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # Algorithm interface
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> np.ndarray:
+        if n != self._graph.n:
+            raise AlgorithmError(
+                f"algorithm was built for {self._graph.n} agents but the system has {n}"
+            )
+        return as_value(initial_value)
+
+    def message(self, agent_id: int, state: np.ndarray) -> np.ndarray:
+        out_degree = self._graph.out_degree(agent_id)
+        return state / float(out_degree)
+
+    def transition(
+        self, agent_id: int, state: np.ndarray, received: Mapping[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        expected = self._graph.in_neighbors(agent_id)
+        if set(received) != set(expected):
+            raise AlgorithmError(
+                "MassSplittingAlgorithm must be run with its fixed graph every round: "
+                f"agent {agent_id} expected messages from {sorted(expected)}, got {sorted(received)}"
+            )
+        return np.sum(np.vstack(list(received.values())), axis=0)
+
+    def output(self, agent_id: int, state: np.ndarray) -> np.ndarray:
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Analysis helpers
+    # ------------------------------------------------------------------ #
+
+    def splitting_matrix(self) -> np.ndarray:
+        """The row-stochastic matrix ``M`` with ``M[i, j]`` the share sent by ``i`` to ``j``."""
+        n = self._graph.n
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            share = 1.0 / self._graph.out_degree(i)
+            for j in self._graph.out_neighbors(i):
+                matrix[i, j] = share
+        return matrix
+
+    def is_doubly_stochastic(self, tol: float = 1e-9) -> bool:
+        """Whether the splitting matrix is doubly stochastic (columns also sum to 1)."""
+        matrix = self.splitting_matrix()
+        return bool(np.allclose(matrix.sum(axis=0), 1.0, atol=tol))
+
+    def solves_consensus(self) -> bool:
+        """Whether all agents converge to a *common* limit on this graph.
+
+        True exactly when the splitting matrix is doubly stochastic; the
+        common limit is then the average of the initial values.
+        """
+        return self.is_doubly_stochastic()
+
+    def limit_profile(self, initial_values: np.ndarray) -> np.ndarray:
+        """The per-agent limits ``lim_t y_i(t)`` for the given initial values.
+
+        Computed from the Perron vector ``v`` of ``Mᵀ``: agent ``i`` converges
+        to ``v_i · Σ_j y_j(0)`` (coordinate-wise for d > 1).
+        """
+        values = np.asarray(initial_values, dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        matrix_t = self.splitting_matrix().T
+        # Power iteration for the Perron vector of the primitive column-stochastic matrix.
+        vector = np.full(self._graph.n, 1.0 / self._graph.n)
+        for _ in range(10_000):
+            new_vector = matrix_t @ vector
+            new_vector /= new_vector.sum()
+            if np.allclose(new_vector, vector, atol=1e-14):
+                vector = new_vector
+                break
+            vector = new_vector
+        total = values.sum(axis=0)
+        return np.outer(vector, total)
+
+    @property
+    def name(self) -> str:
+        return "mass-splitting"

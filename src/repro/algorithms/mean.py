@@ -1,0 +1,32 @@
+"""Equal-weight averaging (the classical "agreement algorithm" baseline).
+
+Each round the agent sets its value to the arithmetic mean of all values it
+received.  This is the most common averaging rule in the distributed control
+literature; Cao, Spielman and Morse [7] showed that in a non-split network
+model with ``n`` agents its convergence rate is at least ``1 - 1/n`` — much
+slower than the midpoint algorithm's 1/2 — which is why the paper's upper
+bounds are stated for the midpoint family instead.  It is included here as
+the baseline for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.algorithms.base import ConvexCombinationAlgorithm
+
+
+class MeanAlgorithm(ConvexCombinationAlgorithm):
+    """Set the output to the arithmetic mean of the received values."""
+
+    def combine(
+        self, agent_id: int, received: Dict[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        values = np.vstack(list(received.values()))
+        return values.mean(axis=0)
+
+    @property
+    def name(self) -> str:
+        return "mean"

@@ -1,0 +1,94 @@
+"""General weighted (convex-combination) averaging algorithms.
+
+These cover the "convex combination algorithms where agents update their
+``y_i`` via a weighted average of the received values, where weights only
+depend on the currently received values" of Section 2.2.  Two concrete
+instantiations are provided:
+
+* :class:`SelfWeightedAveraging` — keep a fixed weight on the agent's own
+  value and distribute the rest uniformly over the other received values
+  (covers both the equal-neighbor rule and "sluggish" agents).
+* :class:`CallableWeightAveraging` — arbitrary user-supplied weight function,
+  validated to produce convex weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.exceptions import AlgorithmError
+
+#: A weight function maps (agent_id, received values) to per-sender weights.
+WeightFunction = Callable[[int, Dict[int, np.ndarray]], Dict[int, float]]
+
+
+class SelfWeightedAveraging(ConvexCombinationAlgorithm):
+    """Weighted averaging with a fixed weight on the agent's own value.
+
+    The new value is ``w * y_i + (1 - w) * mean(other received values)``;
+    when no other value is received the value is unchanged.
+
+    Parameters
+    ----------
+    self_weight:
+        The weight ``w`` kept on the agent's own value, in ``[0, 1]``.
+    """
+
+    def __init__(self, self_weight: float = 0.5, validate: bool = False) -> None:
+        super().__init__(validate=validate)
+        if not 0.0 <= self_weight <= 1.0:
+            raise AlgorithmError(f"self_weight must be in [0, 1], got {self_weight}")
+        self._self_weight = self_weight
+
+    def combine(
+        self, agent_id: int, received: Dict[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        own = received[agent_id]
+        others = [value for sender, value in received.items() if sender != agent_id]
+        if not others:
+            return own
+        other_mean = np.vstack(others).mean(axis=0)
+        return self._self_weight * own + (1.0 - self._self_weight) * other_mean
+
+    @property
+    def name(self) -> str:
+        return f"self-weighted({self._self_weight:g})"
+
+
+class CallableWeightAveraging(ConvexCombinationAlgorithm):
+    """Averaging with arbitrary per-round convex weights supplied by a callable.
+
+    The callable receives the agent id and the received values and must return
+    a mapping from sender ids to non-negative weights summing to 1 (weights for
+    senders not present in the mapping default to 0).
+    """
+
+    def __init__(self, weight_function: WeightFunction, label: str = "callable-weights",
+                 validate: bool = False) -> None:
+        super().__init__(validate=validate)
+        self._weight_function = weight_function
+        self._label = label
+
+    def combine(
+        self, agent_id: int, received: Dict[int, np.ndarray], round_number: int
+    ) -> np.ndarray:
+        weights = self._weight_function(agent_id, received)
+        total = float(sum(weights.values()))
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise AlgorithmError(f"weights must sum to 1, got {total}")
+        if any(w < -1e-12 for w in weights.values()):
+            raise AlgorithmError("weights must be non-negative")
+        unknown = set(weights) - set(received)
+        if unknown:
+            raise AlgorithmError(f"weights refer to senders that were not received: {sorted(unknown)}")
+        result = np.zeros_like(received[agent_id], dtype=float)
+        for sender, weight in weights.items():
+            result = result + weight * received[sender]
+        return result
+
+    @property
+    def name(self) -> str:
+        return self._label

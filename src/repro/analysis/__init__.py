@@ -1,0 +1,35 @@
+"""Analysis and reporting: experiment harnesses, Table 1, text reports.
+
+The functions here are shared by the benchmark suite (``benchmarks/``), the
+examples and the EXPERIMENTS.md documentation: each experiment function runs
+a self-contained measurement and returns a plain dictionary of paper values
+versus measured values, which the benchmarks print as tables.
+"""
+
+from repro.analysis.experiments import (
+    experiment_alpha_diameter,
+    experiment_decision_times,
+    experiment_minrelay,
+    experiment_nonsplit,
+    experiment_psi_rooted,
+    experiment_round_based_crashes,
+    experiment_solvability,
+    experiment_two_agent,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.summary import Table1Row, build_table1, format_table1
+
+__all__ = [
+    "experiment_two_agent",
+    "experiment_nonsplit",
+    "experiment_psi_rooted",
+    "experiment_alpha_diameter",
+    "experiment_round_based_crashes",
+    "experiment_minrelay",
+    "experiment_decision_times",
+    "experiment_solvability",
+    "format_table",
+    "Table1Row",
+    "build_table1",
+    "format_table1",
+]

@@ -1,0 +1,58 @@
+"""Plain-text table formatting used by benchmarks and examples.
+
+The library has no plotting dependency; every experiment reports its results
+as fixed-width text tables (the same information the paper presents in
+Table 1 and in the theorem statements).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table."""
+    rendered_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "  ".join(padded).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_comparison(name: str, paper_value: float, measured_value: float, tolerance: float = 5e-2) -> str:
+    """One-line paper-vs-measured comparison with a match marker."""
+    if paper_value == 0:
+        matches = abs(measured_value) <= tolerance
+    else:
+        matches = abs(measured_value - paper_value) <= tolerance * max(abs(paper_value), 1.0)
+    marker = "OK " if matches else "DIFF"
+    return f"[{marker}] {name}: paper={paper_value:.4g} measured={measured_value:.4g}"

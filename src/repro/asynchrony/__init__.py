@@ -1,0 +1,47 @@
+"""Asynchronous message-passing systems with crashes (Section 8).
+
+This package implements the classical static fault model the paper uses to
+demonstrate the "price of rounds": an asynchronous message-passing system of
+``n`` agents performing receive–compute–broadcast steps, with up to ``f``
+crash faults (possibly unclean: the final broadcast of a crashing agent may
+reach only a subset of the agents), and message delays normalized so that the
+longest end-to-end delay is 1.
+
+Contents:
+
+* :mod:`repro.asynchrony.simulator` — the event-driven simulator;
+* :mod:`repro.asynchrony.schedulers` — delay schedulers and crash schedules
+  (including the adversarial ones used in the Theorem 6 experiments);
+* :mod:`repro.asynchrony.round_based` — the asynchronous-round wrapper that
+  turns any synchronous algorithm into one that waits for ``n - f`` round
+  messages (Section 8.1);
+* :mod:`repro.asynchrony.minrelay` — the MinRelay algorithm of Theorem 7,
+  which is not round-based and reaches agreement of all correct agents by
+  time ``f + 1``.
+"""
+
+from repro.asynchrony.minrelay import MinRelayAlgorithm
+from repro.asynchrony.round_based import RoundBasedAsyncAlgorithm
+from repro.asynchrony.schedulers import (
+    AdversarialRoundDelayScheduler,
+    ConstantDelayScheduler,
+    CrashFault,
+    CrashSchedule,
+    RandomDelayScheduler,
+    staggered_crash_schedule,
+)
+from repro.asynchrony.simulator import AsyncExecution, AsynchronousSimulator, AsyncAlgorithm
+
+__all__ = [
+    "AsyncAlgorithm",
+    "AsynchronousSimulator",
+    "AsyncExecution",
+    "MinRelayAlgorithm",
+    "RoundBasedAsyncAlgorithm",
+    "ConstantDelayScheduler",
+    "RandomDelayScheduler",
+    "AdversarialRoundDelayScheduler",
+    "CrashFault",
+    "CrashSchedule",
+    "staggered_crash_schedule",
+]

@@ -1,0 +1,68 @@
+"""The MinRelay algorithm (Theorem 7): asymptotic consensus without rounds.
+
+MinRelay is a non-terminating reliable-broadcast protocol: every agent
+maintains the set ``S_i`` of initial values it knows of and outputs
+``y_i = min(S_i)``.  At time 0 it broadcasts ``S_i = {its own initial
+value}``; whenever it receives a set different from its own it merges it,
+updates its output to the minimum, and broadcasts the merged set.
+
+Theorem 7 shows that in an asynchronous system with up to ``f < n`` crashes
+and maximum message delay 1, all correct agents hold the *same* set — and
+hence the same output — by time ``f + 1``, giving contraction rate 0 and
+demonstrating the gap between round-based and general algorithms.
+
+Values are compared lexicographically so the algorithm also works for
+``d > 1`` (the minimum is then a specific initial value, preserving
+Validity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.asynchrony.simulator import AsyncAlgorithm, Broadcast
+from repro.types import as_value
+
+ValueTuple = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MinRelayState:
+    """State of a MinRelay agent: the set of known initial values."""
+
+    known_values: FrozenSet[ValueTuple]
+
+    def minimum(self) -> ValueTuple:
+        """The lexicographically smallest known value (the agent's output)."""
+        return min(self.known_values)
+
+
+class MinRelayAlgorithm(AsyncAlgorithm):
+    """Relay the set of known initial values; output its minimum."""
+
+    def on_init(self, agent_id: int, initial_value: np.ndarray, n: int, f: int) -> MinRelayState:
+        value = tuple(as_value(initial_value).tolist())
+        return MinRelayState(known_values=frozenset({value}))
+
+    def on_start(self, agent_id: int, state: MinRelayState) -> Tuple[MinRelayState, List[Broadcast]]:
+        return state, [Broadcast(payload=state.known_values)]
+
+    def on_receive(
+        self, agent_id: int, state: MinRelayState, sender: int, payload: FrozenSet[ValueTuple], time: float
+    ) -> Tuple[MinRelayState, List[Broadcast]]:
+        received = frozenset(payload)
+        if received == state.known_values:
+            return state, []
+        merged = state.known_values | received
+        new_state = MinRelayState(known_values=merged)
+        return new_state, [Broadcast(payload=merged)]
+
+    def output(self, agent_id: int, state: MinRelayState) -> np.ndarray:
+        return np.array(state.minimum(), dtype=float)
+
+    @property
+    def name(self) -> str:
+        return "min-relay"

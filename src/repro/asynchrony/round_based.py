@@ -1,0 +1,163 @@
+"""Asynchronous rounds: algorithms that wait for ``n - f`` round messages.
+
+Section 8.1 considers the widely used structure in which each agent, per
+asynchronous round, broadcasts its round message, waits until it holds
+``n - f`` messages of the current round (its own included), applies a state
+transition, and moves to the next round.  :class:`RoundBasedAsyncAlgorithm`
+wraps any synchronous :class:`~repro.algorithms.base.Algorithm` in exactly
+this structure, so the midpoint/mean/amortized-midpoint algorithms can be run
+unchanged in the asynchronous crash model.
+
+The per-round *effective communication graph* (which senders' messages each
+agent used) is recorded in the agent state; by construction every agent's
+in-neighborhood has at least ``n - f`` members, i.e. the realized graphs
+belong to the crash network model ``N_A`` — the observation on which the
+Theorem 6 lower bound rests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.asynchrony.simulator import AsyncAlgorithm, Broadcast
+from repro.exceptions import AsynchronyError
+
+
+@dataclass(frozen=True)
+class RoundBasedState:
+    """State of the asynchronous-round wrapper around a synchronous algorithm."""
+
+    inner: Any
+    current_round: int
+    buffers: Tuple[Tuple[int, Tuple[Tuple[int, Any], ...]], ...]
+    round_in_neighbors: Tuple[Tuple[int, FrozenSet[int]], ...]
+    n: int
+    f: int
+
+    def buffer_dict(self) -> Dict[int, Dict[int, Any]]:
+        """The buffered round messages as a mutable nested dict."""
+        return {rnd: dict(entries) for rnd, entries in self.buffers}
+
+
+def _freeze_buffers(buffers: Dict[int, Dict[int, Any]]) -> Tuple[Tuple[int, Tuple[Tuple[int, Any], ...]], ...]:
+    return tuple(
+        (rnd, tuple(sorted(entries.items(), key=lambda kv: kv[0])))
+        for rnd, entries in sorted(buffers.items())
+    )
+
+
+class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
+    """Run a synchronous algorithm in asynchronous rounds with quorum ``n - f``.
+
+    Parameters
+    ----------
+    inner:
+        The synchronous algorithm executed at each round advancement.
+    """
+
+    def __init__(self, inner: Algorithm) -> None:
+        self._inner = inner
+
+    @property
+    def inner(self) -> Algorithm:
+        """The wrapped synchronous algorithm."""
+        return self._inner
+
+    # ------------------------------------------------------------------ #
+    # AsyncAlgorithm interface
+    # ------------------------------------------------------------------ #
+
+    def on_init(self, agent_id: int, initial_value: np.ndarray, n: int, f: int) -> RoundBasedState:
+        if n - f < 1:
+            raise AsynchronyError(f"the quorum n - f must be at least 1, got n={n}, f={f}")
+        inner_state = self._inner.initial_state(agent_id, initial_value, n)
+        return RoundBasedState(
+            inner=inner_state,
+            current_round=1,
+            buffers=_freeze_buffers({}),
+            round_in_neighbors=(),
+            n=n,
+            f=f,
+        )
+
+    def on_start(self, agent_id: int, state: RoundBasedState) -> Tuple[RoundBasedState, List[Broadcast]]:
+        payload = (state.current_round, self._inner.message(agent_id, state.inner))
+        buffers = state.buffer_dict()
+        buffers.setdefault(state.current_round, {})[agent_id] = payload[1]
+        new_state = replace(state, buffers=_freeze_buffers(buffers))
+        new_state, extra = self._advance_if_possible(agent_id, new_state)
+        return new_state, [Broadcast(payload=payload, round_hint=state.current_round)] + extra
+
+    def on_receive(
+        self, agent_id: int, state: RoundBasedState, sender: int, payload: Any, time: float
+    ) -> Tuple[RoundBasedState, List[Broadcast]]:
+        message_round, message = payload
+        if sender == agent_id:
+            # The agent's own round message was already buffered when it was sent.
+            return state, []
+        if message_round < state.current_round:
+            # Late message for a completed round: round structure ignores it.
+            return state, []
+        buffers = state.buffer_dict()
+        buffers.setdefault(message_round, {})[sender] = message
+        new_state = replace(state, buffers=_freeze_buffers(buffers))
+        return self._advance_if_possible(agent_id, new_state)
+
+    def output(self, agent_id: int, state: RoundBasedState) -> np.ndarray:
+        return np.asarray(self._inner.output(agent_id, state.inner), dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Analysis accessors
+    # ------------------------------------------------------------------ #
+
+    def completed_rounds(self, state: RoundBasedState) -> int:
+        """How many asynchronous rounds the agent has completed."""
+        return state.current_round - 1
+
+    def effective_in_neighbors(self, state: RoundBasedState) -> Dict[int, FrozenSet[int]]:
+        """Per completed round, the senders whose messages the agent used."""
+        return dict(state.round_in_neighbors)
+
+    @property
+    def name(self) -> str:
+        return f"async-rounds({self._inner.name})"
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _advance_if_possible(
+        self, agent_id: int, state: RoundBasedState
+    ) -> Tuple[RoundBasedState, List[Broadcast]]:
+        broadcasts: List[Broadcast] = []
+        quorum = state.n - state.f
+        buffers = state.buffer_dict()
+        inner = state.inner
+        current_round = state.current_round
+        in_neighbors = dict(state.round_in_neighbors)
+
+        while len(buffers.get(current_round, {})) >= quorum:
+            received = dict(buffers[current_round])
+            inner = self._inner.transition(agent_id, inner, received, current_round)
+            in_neighbors[current_round] = frozenset(received)
+            del buffers[current_round]
+            current_round += 1
+            payload_message = self._inner.message(agent_id, inner)
+            buffers.setdefault(current_round, {})[agent_id] = payload_message
+            broadcasts.append(
+                Broadcast(payload=(current_round, payload_message), round_hint=current_round)
+            )
+
+        new_state = RoundBasedState(
+            inner=inner,
+            current_round=current_round,
+            buffers=_freeze_buffers(buffers),
+            round_in_neighbors=tuple(sorted(in_neighbors.items())),
+            n=state.n,
+            f=state.f,
+        )
+        return new_state, broadcasts

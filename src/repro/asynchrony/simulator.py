@@ -1,0 +1,272 @@
+"""Event-driven simulator for asynchronous message-passing systems with crashes.
+
+Agents perform receive–compute–broadcast steps (Section 8): an agent reacts
+to the start of the execution and to each message delivery by updating its
+state and possibly broadcasting.  Message delays are assigned by a
+:class:`~repro.asynchrony.schedulers.DelayScheduler` and normalized so the
+maximum delay is 1; crashes are described by a
+:class:`~repro.asynchrony.schedulers.CrashSchedule` and may be unclean (the
+final broadcast reaches only a subset of the agents).
+
+The simulator records the full output trajectory of every agent so that
+experiments can evaluate agreement times (Theorem 7) and per-round
+contraction (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.asynchrony.schedulers import ConstantDelayScheduler, CrashSchedule, DelayScheduler
+from repro.exceptions import AsynchronyError
+from repro.types import ValuesLike, as_value_matrix, diameter
+
+
+@dataclass
+class Broadcast:
+    """A broadcast action returned by an agent's step.
+
+    Attributes
+    ----------
+    payload:
+        The message content (opaque to the simulator).
+    round_hint:
+        Optional asynchronous-round tag; passed to the delay scheduler so
+        that round-aware adversaries can slow down specific round messages.
+    """
+
+    payload: Any
+    round_hint: Optional[int] = None
+
+
+class AsyncAlgorithm(ABC):
+    """A deterministic reactive agent for the asynchronous model."""
+
+    @abstractmethod
+    def on_init(self, agent_id: int, initial_value: np.ndarray, n: int, f: int) -> Any:
+        """The agent's state at time 0, before any step."""
+
+    @abstractmethod
+    def on_start(self, agent_id: int, state: Any) -> Tuple[Any, List[Broadcast]]:
+        """The agent's initial step at time 0: returns (new state, broadcasts)."""
+
+    @abstractmethod
+    def on_receive(
+        self, agent_id: int, state: Any, sender: int, payload: Any, time: float
+    ) -> Tuple[Any, List[Broadcast]]:
+        """React to a delivered message: returns (new state, broadcasts)."""
+
+    @abstractmethod
+    def output(self, agent_id: int, state: Any) -> np.ndarray:
+        """The agent's current output value ``y_i``."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name."""
+        return type(self).__name__
+
+
+@dataclass
+class OutputSample:
+    """An output value of one agent at one point in simulated time."""
+
+    time: float
+    agent: int
+    value: np.ndarray
+
+
+@dataclass
+class AsyncExecution:
+    """The result of an asynchronous simulation."""
+
+    algorithm_name: str
+    n: int
+    f: int
+    final_time: float
+    final_outputs: np.ndarray
+    samples: List[OutputSample] = field(default_factory=list)
+    crashed_agents: frozenset = frozenset()
+    delivered_messages: int = 0
+
+    def correct_agents(self) -> List[int]:
+        """The agents that never crash."""
+        return [i for i in range(self.n) if i not in self.crashed_agents]
+
+    def outputs_at(self, time: float) -> np.ndarray:
+        """The outputs of all agents at simulated time ``time`` (last value before ``time``)."""
+        outputs = self.final_outputs.copy()
+        latest = np.full(self.n, -np.inf)
+        for sample in self.samples:
+            if sample.time <= time and sample.time >= latest[sample.agent]:
+                outputs[sample.agent] = sample.value
+                latest[sample.agent] = sample.time
+        return outputs
+
+    def correct_diameter_at(self, time: float) -> float:
+        """Diameter of the correct agents' outputs at ``time``."""
+        outputs = self.outputs_at(time)
+        correct = self.correct_agents()
+        return diameter(outputs[correct])
+
+    def agreement_time(self, tolerance: float = 0.0) -> Optional[float]:
+        """The earliest time after which all correct agents' outputs stay within ``tolerance``.
+
+        Returns None if they never do within the simulated horizon.
+        """
+        times = sorted({sample.time for sample in self.samples} | {0.0, self.final_time})
+        agreement_since: Optional[float] = None
+        for t in times:
+            if self.correct_diameter_at(t) <= tolerance + 1e-12:
+                if agreement_since is None:
+                    agreement_since = t
+            else:
+                agreement_since = None
+        return agreement_since
+
+
+class AsynchronousSimulator:
+    """Run an :class:`AsyncAlgorithm` under chosen delays and crashes.
+
+    Parameters
+    ----------
+    algorithm:
+        The reactive agent algorithm.
+    initial_values:
+        One initial value per agent.
+    f:
+        The crash budget (the crash schedule may use at most ``f`` faults).
+    delay_scheduler:
+        Assigns delivery delays; defaults to the worst case (all delays 1).
+    crash_schedule:
+        The crash faults; defaults to no crashes.
+    max_time:
+        Simulation horizon in normalized time units.
+    max_events:
+        Safety cap on the number of processed events.
+    """
+
+    def __init__(
+        self,
+        algorithm: AsyncAlgorithm,
+        initial_values: ValuesLike,
+        f: int,
+        delay_scheduler: Optional[DelayScheduler] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        max_time: float = 50.0,
+        max_events: int = 200_000,
+    ) -> None:
+        values = as_value_matrix(initial_values)
+        self._algorithm = algorithm
+        self._values = values
+        self._n = values.shape[0]
+        self._f = f
+        if f < 0 or f >= self._n:
+            raise AsynchronyError(f"need 0 <= f < n, got f={f}, n={self._n}")
+        self._delays = delay_scheduler or ConstantDelayScheduler()
+        self._crashes = crash_schedule or CrashSchedule()
+        self._crashes.validate(self._n, f)
+        self._max_time = max_time
+        self._max_events = max_events
+
+    def run(self) -> AsyncExecution:
+        """Run the simulation until the horizon or until no events remain."""
+        n = self._n
+        states: List[Any] = [
+            self._algorithm.on_init(i, self._values[i], n, self._f) for i in range(n)
+        ]
+        outputs = np.vstack(
+            [np.asarray(self._algorithm.output(i, states[i]), dtype=float) for i in range(n)]
+        )
+        samples: List[OutputSample] = [
+            OutputSample(time=0.0, agent=i, value=outputs[i].copy()) for i in range(n)
+        ]
+        queue: List[Tuple[float, int, int, int, Any, Optional[int]]] = []
+        counter = itertools.count()
+        delivered = 0
+
+        def schedule_broadcasts(sender: int, time: float, broadcasts: List[Broadcast]) -> None:
+            fault = self._crashes.fault_of(sender)
+            for broadcast in broadcasts:
+                recipients = range(n)
+                if fault is not None and abs(time - fault.time) < 1e-12:
+                    if fault.final_broadcast_recipients is not None:
+                        recipients = sorted(fault.final_broadcast_recipients | {sender})
+                for recipient in recipients:
+                    delay = self._delays.delay(sender, recipient, time, broadcast.round_hint)
+                    if delay <= 0:
+                        raise AsynchronyError("delays must be strictly positive")
+                    heapq.heappush(
+                        queue,
+                        (time + delay, next(counter), recipient, sender, broadcast.payload, broadcast.round_hint),
+                    )
+
+        # Time 0: every not-yet-crashed agent performs its initial step.
+        for i in range(n):
+            fault = self._crashes.fault_of(i)
+            if fault is not None and fault.time < 0:
+                continue
+            if fault is not None and fault.time < 1e-12 and fault.final_broadcast_recipients is None:
+                # Crash before doing anything (clean crash at time 0 with no final broadcast).
+                continue
+            new_state, broadcasts = self._algorithm.on_start(i, states[i])
+            states[i] = new_state
+            self._record_output(samples, outputs, i, 0.0, states[i])
+            schedule_broadcasts(i, 0.0, broadcasts)
+
+        events_processed = 0
+        current_time = 0.0
+        while queue and events_processed < self._max_events:
+            time, _seq, recipient, sender, payload, _round_hint = heapq.heappop(queue)
+            if time > self._max_time:
+                break
+            current_time = time
+            events_processed += 1
+            fault = self._crashes.fault_of(recipient)
+            if fault is not None and time > fault.time:
+                continue  # the recipient has crashed and takes no more steps
+            new_state, broadcasts = self._algorithm.on_receive(
+                recipient, states[recipient], sender, payload, time
+            )
+            states[recipient] = new_state
+            delivered += 1
+            self._record_output(samples, outputs, recipient, time, new_state)
+            schedule_broadcasts(recipient, time, broadcasts)
+
+        if events_processed >= self._max_events:
+            raise AsynchronyError(
+                f"simulation exceeded {self._max_events} events; the algorithm may not quiesce"
+            )
+
+        return AsyncExecution(
+            algorithm_name=self._algorithm.name,
+            n=n,
+            f=self._f,
+            final_time=current_time,
+            final_outputs=outputs.copy(),
+            samples=samples,
+            crashed_agents=self._crashes.crashed_agents,
+            delivered_messages=delivered,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _record_output(
+        self,
+        samples: List[OutputSample],
+        outputs: np.ndarray,
+        agent: int,
+        time: float,
+        state: Any,
+    ) -> None:
+        value = np.asarray(self._algorithm.output(agent, state), dtype=float)
+        if not np.array_equal(value, outputs[agent]):
+            outputs[agent] = value
+            samples.append(OutputSample(time=time, agent=agent, value=value.copy()))

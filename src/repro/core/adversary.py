@@ -1,0 +1,224 @@
+"""Worst-case adversaries (adaptive communication patterns).
+
+The lower-bound proofs construct executions round by round, always picking a
+successor whose valency diameter stays large.  The adversaries here are the
+executable counterparts:
+
+* :class:`GreedyDiameterAdversary` — each round, pick the model graph that
+  maximizes the *output* diameter of the successor configuration (the
+  standard worst case for averaging algorithms; one-step optimal).
+* :class:`LookaheadDiameterAdversary` — the same with ``k``-round lookahead
+  over all graph sequences (exact worst case for short horizons).
+* :class:`TwoAgentAdversary` — restricted to ``{H0, H1, H2}``; realizes the
+  Theorem 1 execution against any two-agent algorithm.
+* :class:`PsiBlockAdversary` — plays ``σ_i`` blocks (``Ψ_i`` repeated
+  ``n - 2`` times) and greedily chooses the block's deaf agent; realizes the
+  Theorem 3 execution.
+
+All adversaries are :class:`~repro.models.patterns.AdversarialPattern`
+instances and can be passed directly to
+:func:`repro.execution.run_execution`.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.execution.engine import run_from_configuration
+from repro.execution.state import Configuration
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.families import psi_graph, two_agent_graphs
+from repro.models.network_model import NetworkModel
+from repro.models.patterns import AdversarialPattern, RoundContext
+from repro.types import diameter
+
+
+def _configuration_from_context(context: RoundContext) -> Configuration:
+    """Rebuild the engine's current configuration from a round context."""
+    return Configuration(
+        states=tuple(context.states),
+        outputs=np.asarray(context.outputs, dtype=float),
+        round_number=context.round_number - 1,
+    )
+
+
+class GreedyDiameterAdversary(AdversarialPattern):
+    """Pick, every round, the model graph that maximizes the successor output diameter.
+
+    Ties are broken by the order of the graphs in the model, which makes the
+    adversary deterministic and executions reproducible.
+    """
+
+    def __init__(self, model: NetworkModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> NetworkModel:
+        """The network model the adversary draws graphs from."""
+        return self._model
+
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        best_graph: Optional[CommunicationGraph] = None
+        best_diameter = -1.0
+        for graph in self._model:
+            outputs = context.simulate_outputs(graph)
+            candidate = diameter(outputs)
+            if candidate > best_diameter + 1e-15:
+                best_diameter = candidate
+                best_graph = graph
+        assert best_graph is not None
+        return best_graph
+
+    def __repr__(self) -> str:
+        return f"GreedyDiameterAdversary({self._model!r})"
+
+
+class LookaheadDiameterAdversary(AdversarialPattern):
+    """Exhaustive ``k``-round lookahead: maximize the output diameter ``k`` rounds ahead.
+
+    The search cost is ``|N|^k`` simulated rounds per decision; keep ``k``
+    small (2–4) and the model small.  Only the first graph of the best
+    sequence is committed each round (receding-horizon control).
+    """
+
+    def __init__(self, model: NetworkModel, lookahead: int = 2) -> None:
+        if lookahead < 1:
+            raise ExecutionError(f"lookahead must be >= 1, got {lookahead}")
+        self._model = model
+        self._lookahead = lookahead
+
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        configuration = _configuration_from_context(context)
+        graphs = list(self._model)
+        best_sequence: Optional[Tuple[CommunicationGraph, ...]] = None
+        best_diameter = -1.0
+        for sequence in iter_product(graphs, repeat=self._lookahead):
+            final, _ = run_from_configuration(context.algorithm, configuration, list(sequence))
+            candidate = final.output_diameter()
+            if candidate > best_diameter + 1e-15:
+                best_diameter = candidate
+                best_sequence = sequence
+        assert best_sequence is not None
+        return best_sequence[0]
+
+    def __repr__(self) -> str:
+        return f"LookaheadDiameterAdversary({self._model!r}, lookahead={self._lookahead})"
+
+
+class TwoAgentAdversary(AdversarialPattern):
+    """The Theorem 1 adversary for two-agent systems over ``{H0, H1, H2}``.
+
+    Each round it evaluates the three possible successor configurations and
+    keeps the one with the largest output diameter — the executable analogue
+    of the proof's "keep the successor whose valency diameter is at least a
+    third of the parent's".
+    """
+
+    def __init__(self) -> None:
+        self._graphs = list(two_agent_graphs())
+
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        if context.outputs.shape[0] != 2:
+            raise ExecutionError("TwoAgentAdversary only applies to systems of 2 agents")
+        best_graph = self._graphs[0]
+        best_diameter = -1.0
+        for graph in self._graphs:
+            candidate = diameter(context.simulate_outputs(graph))
+            if candidate > best_diameter + 1e-15:
+                best_diameter = candidate
+                best_graph = graph
+        return best_graph
+
+    def __repr__(self) -> str:
+        return "TwoAgentAdversary()"
+
+
+class PsiBlockAdversary(AdversarialPattern):
+    """The Theorem 3 adversary: play ``σ_i`` blocks, choosing the block greedily.
+
+    At the start of every block of ``n - 2`` rounds the adversary simulates
+    the three candidate blocks ``σ_0, σ_1, σ_2`` to completion and commits to
+    the one whose end-of-block configuration has the largest output diameter.
+    Within a block it keeps playing the committed ``Ψ`` graph, so the overall
+    communication pattern is a concatenation of ``σ`` blocks — i.e. a member
+    of the property ``P_seq`` of Section 6.2.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 4:
+            raise ExecutionError("PsiBlockAdversary requires n >= 4 agents")
+        self._n = n
+        self._block_length = n - 2
+        self._psi = {i: psi_graph(n, i) for i in (0, 1, 2)}
+        self._current_choice: Optional[int] = None
+        self._chosen_blocks: List[int] = []
+
+    def reset(self) -> None:
+        self._current_choice = None
+        self._chosen_blocks = []
+
+    @property
+    def chosen_blocks(self) -> List[int]:
+        """The deaf-agent index committed for each completed or ongoing block."""
+        return list(self._chosen_blocks)
+
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        position_in_block = (context.round_number - 1) % self._block_length
+        if position_in_block == 0 or self._current_choice is None:
+            self._current_choice = self._pick_block(context)
+            self._chosen_blocks.append(self._current_choice)
+        return self._psi[self._current_choice]
+
+    def _pick_block(self, context: RoundContext) -> int:
+        configuration = _configuration_from_context(context)
+        best_choice = 0
+        best_diameter = -1.0
+        for choice in (0, 1, 2):
+            block = [self._psi[choice]] * self._block_length
+            final, _ = run_from_configuration(context.algorithm, configuration, block)
+            candidate = final.output_diameter()
+            if candidate > best_diameter + 1e-15:
+                best_diameter = candidate
+                best_choice = choice
+        return best_choice
+
+    def __repr__(self) -> str:
+        return f"PsiBlockAdversary(n={self._n})"
+
+
+def worst_constant_suffixes(
+    model: NetworkModel,
+) -> Dict[str, CommunicationGraph]:
+    """Constant suffixes in which some agent is deaf, keyed by a display label.
+
+    These are the suffixes used by Lemma 7 / Lemma 8 to pin an execution's
+    limit to a single agent's current value; they are exposed for use in
+    valency experiments and documentation examples.
+    """
+    suffixes: Dict[str, CommunicationGraph] = {}
+    for graph in model:
+        for agent in graph.deaf_agents():
+            label = f"deaf-agent-{agent}-via-{graph.name or 'graph'}"
+            suffixes.setdefault(label, graph)
+    return suffixes
+
+
+def adversarial_graph_sequence(
+    adversary: AdversarialPattern,
+    algorithm,
+    initial_values: Sequence[float],
+    rounds: int,
+) -> List[CommunicationGraph]:
+    """Convenience helper returning the graph choices an adversary makes.
+
+    Runs ``algorithm`` for ``rounds`` rounds under ``adversary`` and returns
+    the chosen graphs, which benchmarks print alongside the diameters.
+    """
+    from repro.execution.engine import run_execution  # local import avoids cycles
+
+    execution = run_execution(algorithm, initial_values, adversary, rounds)
+    return list(execution.graphs)

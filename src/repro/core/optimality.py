@@ -1,0 +1,88 @@
+"""Tightness reports: measured algorithm performance versus the paper's bounds.
+
+A :class:`TightnessReport` packages, for one (algorithm, model, adversary)
+triple, the theoretical lower bound, the measured worst-case contraction rate
+of the algorithm, and the quoted upper bound — the three quantities whose
+coincidence is what the paper means by a *tight* bound.  The Table 1 and
+Figure 1/2 benchmarks are thin wrappers around :func:`tightness_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algorithms.base import Algorithm
+from repro.core.contraction import measure_contraction_rate
+from repro.core.lower_bounds import LowerBound, contraction_rate_lower_bound
+from repro.models.network_model import NetworkModel
+from repro.models.patterns import CommunicationPattern
+from repro.types import ValuesLike
+
+
+@dataclass
+class TightnessReport:
+    """Comparison of a measured contraction rate against the paper's bounds.
+
+    Attributes
+    ----------
+    model_name / algorithm_name:
+        Identification of the measured combination.
+    lower_bound:
+        The theoretical lower bound (with provenance).
+    measured_rate:
+        The fitted contraction rate of the algorithm under the supplied
+        adversary/pattern.
+    upper_bound:
+        The quoted upper bound for the algorithm (if known).
+    rounds:
+        Number of rounds used for the measurement.
+    """
+
+    model_name: str
+    algorithm_name: str
+    lower_bound: LowerBound
+    measured_rate: float
+    upper_bound: Optional[float]
+    rounds: int
+
+    def lower_bound_respected(self, tolerance: float = 1e-6) -> bool:
+        """Whether the measured rate is at least the lower bound (it must be)."""
+        return self.measured_rate >= self.lower_bound.value - tolerance
+
+    def is_tight(self, tolerance: float = 1e-3) -> bool:
+        """Whether the measured rate matches the lower bound up to ``tolerance``."""
+        return abs(self.measured_rate - self.lower_bound.value) <= tolerance
+
+    def as_row(self) -> str:
+        """A fixed-width text row for benchmark output."""
+        upper = f"{self.upper_bound:.4f}" if self.upper_bound is not None else "  n/a "
+        return (
+            f"{self.model_name:<28} {self.algorithm_name:<26} "
+            f"{self.lower_bound.value:>8.4f} {self.measured_rate:>9.4f} {upper:>8}"
+        )
+
+
+def tightness_report(
+    algorithm: Algorithm,
+    model: NetworkModel,
+    pattern: CommunicationPattern,
+    initial_values: ValuesLike,
+    rounds: int,
+    upper_bound: Optional[float] = None,
+    skip_rounds: int = 0,
+    check_alpha_diameter: bool = True,
+) -> TightnessReport:
+    """Measure ``algorithm`` under ``pattern`` and compare against the model's lower bound."""
+    measurement = measure_contraction_rate(
+        algorithm, model, pattern, initial_values, rounds, skip_rounds=skip_rounds
+    )
+    bound = contraction_rate_lower_bound(model, check_alpha_diameter=check_alpha_diameter)
+    return TightnessReport(
+        model_name=model.name or repr(model),
+        algorithm_name=algorithm.name,
+        lower_bound=bound,
+        measured_rate=measurement.output_rate,
+        upper_bound=upper_bound,
+        rounds=rounds,
+    )

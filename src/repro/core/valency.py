@@ -1,0 +1,174 @@
+"""Valency estimation for asymptotic consensus algorithms.
+
+Section 3 defines the *valency* ``Y*_N(C)`` of a configuration ``C`` as the
+set of limits reachable from ``C`` in the network model ``N``, and
+``δ_N(C) = diam(Y*_N(C))`` as its diameter.  The lower-bound proofs construct
+executions along which ``δ_N(C_t)`` shrinks no faster than the claimed
+contraction rate.
+
+Valencies of arbitrary algorithms cannot be computed exactly (they quantify
+over infinitely many futures), but they can be *under-approximated* by
+sampling futures: every sampled future's limit is a member of the valency, so
+the diameter of the sampled limits is a lower bound on ``δ_N(C)``.  The
+:class:`ValencyEstimator` samples
+
+* the constant suffixes ``G, G, G, ...`` for every ``G`` in the model — these
+  are exactly the suffixes used in the proofs of Lemma 7 and Lemma 8 (run a
+  graph in which some agent is deaf forever); and
+* optionally, all graph sequences up to a bounded depth followed by constant
+  suffixes (exhaustive exploration for small models).
+
+For convex-combination algorithms the diameter of the current outputs is an
+*upper* bound on ``δ_N(C)`` (the limit always lies in the convex hull of the
+current values), so the estimator can also report certified two-sided bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.execution.engine import run_from_configuration
+from repro.execution.state import Configuration
+from repro.graphs.digraph import CommunicationGraph
+from repro.models.network_model import NetworkModel
+from repro.types import diameter
+
+
+@dataclass
+class ValencyEstimate:
+    """Result of a valency estimation at one configuration.
+
+    Attributes
+    ----------
+    limits:
+        ``(k, d)`` array of estimated reachable limits (one per sampled
+        future).
+    lower_diameter:
+        Diameter of the sampled limits — a lower bound on ``δ_N(C)`` up to
+        the convergence error of the suffix runs.
+    upper_diameter:
+        For convex-combination algorithms, the diameter of the current
+        outputs (an upper bound on ``δ_N(C)``); ``None`` otherwise.
+    """
+
+    limits: np.ndarray
+    lower_diameter: float
+    upper_diameter: Optional[float]
+
+
+class ValencyEstimator:
+    """Estimate valencies ``Y*_N(C)`` and their diameters ``δ_N(C)``.
+
+    Parameters
+    ----------
+    algorithm:
+        The asymptotic consensus algorithm under study.
+    model:
+        The network model ``N`` (a finite set of graphs).
+    suffix_rounds:
+        How many rounds each sampled future is run for; the limit is
+        approximated by the centroid of the final outputs, with error at most
+        the final output diameter for convex-combination algorithms.
+    exploration_depth:
+        All graph sequences of this length are explored exhaustively before
+        appending constant suffixes.  Depth 0 (the default) samples only the
+        constant suffixes, which is sufficient for the paper's constructions.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        model: NetworkModel,
+        suffix_rounds: int = 60,
+        exploration_depth: int = 0,
+    ) -> None:
+        if suffix_rounds < 1:
+            raise ValueError(f"suffix_rounds must be >= 1, got {suffix_rounds}")
+        if exploration_depth < 0:
+            raise ValueError(f"exploration_depth must be >= 0, got {exploration_depth}")
+        self._algorithm = algorithm
+        self._model = model
+        self._suffix_rounds = suffix_rounds
+        self._exploration_depth = exploration_depth
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def limit_estimates(self, configuration: Configuration) -> np.ndarray:
+        """Estimated reachable limits from ``configuration`` (one row per sampled future)."""
+        limits: List[np.ndarray] = []
+        for prefix in self._prefixes():
+            start = configuration
+            if prefix:
+                start, _ = run_from_configuration(self._algorithm, configuration, list(prefix))
+            for graph in self._model:
+                limits.append(self._constant_suffix_limit(start, graph))
+        return np.vstack(limits)
+
+    def estimate(self, configuration: Configuration) -> ValencyEstimate:
+        """Full estimate (limits plus certified lower/upper diameter bounds)."""
+        limits = self.limit_estimates(configuration)
+        lower = diameter(limits)
+        upper: Optional[float] = None
+        if self._algorithm.is_convex_combination():
+            upper = configuration.output_diameter()
+        return ValencyEstimate(limits=limits, lower_diameter=lower, upper_diameter=upper)
+
+    def valency_diameter(self, configuration: Configuration) -> float:
+        """Lower estimate of ``δ_N(C)`` (diameter of the sampled reachable limits)."""
+        return float(diameter(self.limit_estimates(configuration)))
+
+    def valencies_intersect(
+        self,
+        config_a: Configuration,
+        config_b: Configuration,
+        tolerance: float = 1e-6,
+    ) -> bool:
+        """Heuristic check that ``Y*_N(A)`` and ``Y*_N(B)`` intersect (Lemma 7 situations).
+
+        The check looks for a *common suffix* leading both configurations to
+        the same limit (up to ``tolerance``), which is precisely how Lemma 7
+        establishes the intersection.
+        """
+        for graph in self._model:
+            limit_a = self._constant_suffix_limit(config_a, graph)
+            limit_b = self._constant_suffix_limit(config_b, graph)
+            if float(np.linalg.norm(limit_a - limit_b)) <= tolerance:
+                return True
+        return False
+
+    def trace(
+        self, configurations: Sequence[Configuration]
+    ) -> List[ValencyEstimate]:
+        """Valency estimates along a sequence of configurations (e.g. an execution)."""
+        return [self.estimate(c) for c in configurations]
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _prefixes(self) -> Iterable[Sequence[CommunicationGraph]]:
+        if self._exploration_depth == 0:
+            yield ()
+            return
+        graphs = list(self._model)
+        for depth in range(self._exploration_depth + 1):
+            if depth == 0:
+                yield ()
+                continue
+            for combo in iter_product(graphs, repeat=depth):
+                yield combo
+
+    def _constant_suffix_limit(
+        self, configuration: Configuration, graph: CommunicationGraph
+    ) -> np.ndarray:
+        final, _ = run_from_configuration(
+            self._algorithm, configuration, [graph] * self._suffix_rounds
+        )
+        return final.outputs.mean(axis=0)

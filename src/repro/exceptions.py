@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a communication graph is malformed or misused.
+
+    Typical causes are missing self-loops, out-of-range agent identifiers, or
+    combining graphs defined on different agent sets.
+    """
+
+
+class ModelError(ReproError):
+    """Raised when a network model is malformed or misused.
+
+    Typical causes are empty models, mixing graphs with different numbers of
+    agents, or querying a model for a family it does not contain.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised when an execution cannot be performed as requested.
+
+    Typical causes are mismatched initial-value shapes, running zero agents,
+    or using a communication pattern that yields graphs of the wrong size.
+    """
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is configured or driven incorrectly.
+
+    Typical causes are invalid weights for averaging algorithms, deciding
+    twice in an approximate-consensus wrapper, or using an algorithm outside
+    the network-model family it supports.
+    """
+
+
+class SolvabilityError(ReproError):
+    """Raised when a solvability analysis cannot be carried out."""
+
+
+class AsynchronyError(ReproError):
+    """Raised by the asynchronous message-passing simulator.
+
+    Typical causes are scheduling messages with non-positive delays,
+    delivering messages to crashed agents, or exceeding the crash budget.
+    """

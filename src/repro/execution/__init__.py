@@ -1,0 +1,29 @@
+"""Round-based execution engine for the dynamic system model.
+
+The engine turns an algorithm, a vector of initial values and a communication
+pattern into an :class:`~repro.execution.execution.Execution` record holding
+the full history of configurations (Section 2): the per-round graphs, per-
+round outputs ``y(t)`` and (optionally) the opaque agent states.
+"""
+
+from repro.execution.engine import apply_graph, run_execution, successor_outputs
+from repro.execution.execution import Execution
+from repro.execution.metrics import (
+    convergence_round,
+    diameter_history,
+    empirical_contraction_rate,
+    is_valid_execution,
+)
+from repro.execution.state import Configuration
+
+__all__ = [
+    "Configuration",
+    "Execution",
+    "apply_graph",
+    "run_execution",
+    "successor_outputs",
+    "diameter_history",
+    "empirical_contraction_rate",
+    "convergence_round",
+    "is_valid_execution",
+]

@@ -1,0 +1,153 @@
+"""The synchronous round engine.
+
+``run_execution`` drives an :class:`~repro.algorithms.base.Algorithm` for a
+given number of rounds against a communication pattern, producing an
+:class:`~repro.execution.execution.Execution` record.  ``apply_graph`` (the
+``G.C`` operation of Section 2) performs a single round and is also used by
+the valency estimator and by adaptive adversaries to evaluate candidate
+successor configurations without committing to them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import ExecutionError
+from repro.execution.execution import Execution
+from repro.execution.state import Configuration
+from repro.graphs.digraph import CommunicationGraph
+from repro.models.patterns import CommunicationPattern, RoundContext
+from repro.types import ValuesLike, as_value_matrix
+
+
+def initial_configuration(
+    algorithm: Algorithm, initial_values: ValuesLike
+) -> Configuration:
+    """Build ``C_0`` for ``algorithm`` from the agents' initial values."""
+    values = as_value_matrix(initial_values)
+    n = values.shape[0]
+    if n < 1:
+        raise ExecutionError("at least one agent is required")
+    states = tuple(algorithm.initial_state(i, values[i], n) for i in range(n))
+    outputs = np.vstack([np.asarray(algorithm.output(i, states[i]), dtype=float) for i in range(n)])
+    return Configuration(states=states, outputs=outputs, round_number=0)
+
+
+def apply_graph(
+    algorithm: Algorithm,
+    configuration: Configuration,
+    graph: CommunicationGraph,
+) -> Configuration:
+    """The successor configuration ``G.C``: one synchronous round with graph ``G``.
+
+    Every agent broadcasts its message, receives the messages of its
+    in-neighbors in ``graph`` (always including its own), and applies the
+    algorithm's transition function.
+    """
+    n = configuration.n
+    if graph.n != n:
+        raise ExecutionError(
+            f"communication graph has {graph.n} agents but the configuration has {n}"
+        )
+    round_number = configuration.round_number + 1
+    messages = [algorithm.message(i, configuration.states[i]) for i in range(n)]
+    new_states: List[Any] = []
+    for j in range(n):
+        received = {i: messages[i] for i in graph.in_neighbors(j)}
+        new_states.append(
+            algorithm.transition(j, configuration.states[j], received, round_number)
+        )
+    outputs = np.vstack(
+        [np.asarray(algorithm.output(j, new_states[j]), dtype=float) for j in range(n)]
+    )
+    return Configuration(states=tuple(new_states), outputs=outputs, round_number=round_number)
+
+
+def successor_outputs(
+    algorithm: Algorithm,
+    configuration: Configuration,
+    graph: CommunicationGraph,
+) -> np.ndarray:
+    """The output matrix of ``G.C`` (convenience wrapper around :func:`apply_graph`)."""
+    return apply_graph(algorithm, configuration, graph).outputs
+
+
+def run_execution(
+    algorithm: Algorithm,
+    initial_values: ValuesLike,
+    pattern: CommunicationPattern,
+    rounds: int,
+    record_every: int = 1,
+) -> Execution:
+    """Run ``algorithm`` for ``rounds`` rounds against ``pattern``.
+
+    Parameters
+    ----------
+    algorithm:
+        The local algorithm to run.
+    initial_values:
+        One initial value per agent (scalars or d-vectors).
+    pattern:
+        The communication pattern; adaptive patterns receive a
+        :class:`~repro.models.patterns.RoundContext` each round.
+    rounds:
+        Number of rounds ``T`` to execute (``T >= 0``).
+    record_every:
+        Keep every ``record_every``-th configuration in addition to the
+        initial and final ones (1 keeps everything).  The graphs list always
+        has one entry per executed round.
+
+    Returns
+    -------
+    Execution
+        The recorded execution prefix.
+    """
+    if rounds < 0:
+        raise ExecutionError(f"rounds must be non-negative, got {rounds}")
+    if record_every < 1:
+        raise ExecutionError(f"record_every must be >= 1, got {record_every}")
+
+    pattern.reset()
+    configuration = initial_configuration(algorithm, initial_values)
+    execution = Execution(algorithm_name=algorithm.name, configurations=[configuration], graphs=[])
+    history: List[CommunicationGraph] = []
+
+    for t in range(1, rounds + 1):
+        context = RoundContext(
+            round_number=t,
+            outputs=configuration.outputs,
+            states=configuration.states,
+            algorithm=algorithm,
+            simulate_outputs=lambda g, _c=configuration: successor_outputs(algorithm, _c, g),
+            history=history,
+        )
+        graph = pattern.graph_at(t, context)
+        configuration = apply_graph(algorithm, configuration, graph)
+        history.append(graph)
+        execution.graphs.append(graph)
+        if t % record_every == 0 or t == rounds:
+            execution.configurations.append(configuration)
+
+    return execution
+
+
+def run_from_configuration(
+    algorithm: Algorithm,
+    configuration: Configuration,
+    graphs: Sequence[CommunicationGraph],
+) -> Tuple[Configuration, List[Configuration]]:
+    """Apply a fixed finite graph sequence starting from ``configuration``.
+
+    Returns the final configuration and the list of all intermediate
+    configurations (excluding the starting one).  Used by the valency
+    estimator to evaluate candidate suffixes.
+    """
+    intermediate: List[Configuration] = []
+    current = configuration
+    for graph in graphs:
+        current = apply_graph(algorithm, current, graph)
+        intermediate.append(current)
+    return current, intermediate

@@ -1,0 +1,160 @@
+"""Execution records.
+
+An execution (Section 2) is the alternating sequence
+``C_0, G_1, C_1, G_2, C_2, ...`` of configurations and communication graphs.
+:class:`Execution` stores a finite prefix of such a sequence together with
+convenience accessors for the output history ``y(0), y(1), ...`` used by the
+contraction-rate and decision-time analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.execution.state import Configuration
+from repro.graphs.digraph import CommunicationGraph
+from repro.types import diameter
+
+
+@dataclass
+class Execution:
+    """A finite prefix of an execution of an algorithm.
+
+    Attributes
+    ----------
+    algorithm_name:
+        Name of the algorithm that produced the execution.
+    configurations:
+        ``T + 1`` configurations ``C_0 .. C_T``.
+    graphs:
+        The ``T`` communication graphs ``G_1 .. G_T`` applied between them.
+    """
+
+    algorithm_name: str
+    configurations: List[Configuration] = field(default_factory=list)
+    graphs: List[CommunicationGraph] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds executed (``T``)."""
+        return len(self.graphs)
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return self.configurations[0].n
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the agents' values."""
+        return self.configurations[0].dimension
+
+    @property
+    def initial_configuration(self) -> Configuration:
+        """``C_0``."""
+        return self.configurations[0]
+
+    @property
+    def final_configuration(self) -> Configuration:
+        """``C_T``."""
+        return self.configurations[-1]
+
+    def configuration(self, round_number: int) -> Configuration:
+        """``C_t`` for ``0 <= t <= T``."""
+        return self.configurations[round_number]
+
+    def outputs(self, round_number: Optional[int] = None) -> np.ndarray:
+        """The output matrix ``y(t)`` (default: the final round)."""
+        if round_number is None:
+            round_number = self.rounds
+        return self.configurations[round_number].outputs
+
+    def output_history(self) -> np.ndarray:
+        """Array of shape ``(T + 1, n, d)`` with all output matrices."""
+        return np.stack([c.outputs for c in self.configurations])
+
+    def value_trajectory(self, agent_id: int) -> np.ndarray:
+        """Array of shape ``(T + 1, d)``: agent ``agent_id``'s outputs over time."""
+        return np.stack([c.outputs[agent_id] for c in self.configurations])
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def diameters(self) -> np.ndarray:
+        """``Δ(y(t))`` for every ``t`` (length ``T + 1``)."""
+        return np.array([c.output_diameter() for c in self.configurations])
+
+    def initial_diameter(self) -> float:
+        """``Δ(y(0))``."""
+        return self.configurations[0].output_diameter()
+
+    def final_diameter(self) -> float:
+        """``Δ(y(T))``."""
+        return self.configurations[-1].output_diameter()
+
+    def estimated_limit(self) -> np.ndarray:
+        """An estimate of the common limit ``y*``: the centroid of the final outputs.
+
+        Meaningful once the final diameter is small; the estimation error is
+        at most the final diameter.
+        """
+        return self.configurations[-1].outputs.mean(axis=0)
+
+    def validity_holds(self, tol: float = 1e-9) -> bool:
+        """Whether every output ever produced lies in the bounding box of the initial values.
+
+        This is a necessary condition of the Validity clause (and equivalent
+        to it in dimension 1, coordinate-wise).
+        """
+        initial = self.configurations[0].outputs
+        lo = initial.min(axis=0) - tol
+        hi = initial.max(axis=0) + tol
+        for config in self.configurations:
+            if np.any(config.outputs < lo) or np.any(config.outputs > hi):
+                return False
+        return True
+
+    def graph_names(self) -> List[str]:
+        """Display names of the applied graphs (for reports)."""
+        return [g.name or f"G_{t + 1}" for t, g in enumerate(self.graphs)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Execution({self.algorithm_name}, rounds={self.rounds}, n={self.n}, "
+            f"diam {self.initial_diameter():.4g} -> {self.final_diameter():.4g})"
+        )
+
+
+def merge_executions(prefix: Execution, suffix: Execution) -> Execution:
+    """Concatenate two executions where ``suffix`` starts at ``prefix``'s final configuration.
+
+    Used by the valency estimator to extend adversarial prefixes with
+    convergence suffixes.
+    """
+    if prefix.configurations and suffix.configurations:
+        last = prefix.final_configuration.outputs
+        first = suffix.initial_configuration.outputs
+        if not np.allclose(last, first):
+            raise ValueError("suffix execution does not start at the prefix's final configuration")
+    return Execution(
+        algorithm_name=prefix.algorithm_name,
+        configurations=list(prefix.configurations) + list(suffix.configurations[1:]),
+        graphs=list(prefix.graphs) + list(suffix.graphs),
+    )
+
+
+def diameters_of(executions: Sequence[Execution], round_number: int) -> float:
+    """Diameter of the union of round-``round_number`` outputs across executions.
+
+    Helper for valency-style analyses that compare sibling executions.
+    """
+    points = np.vstack([e.outputs(round_number) for e in executions])
+    return diameter(points)

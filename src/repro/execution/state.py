@@ -1,0 +1,95 @@
+"""Configurations: collections of per-agent states plus their outputs.
+
+A *configuration* (Section 2) is a collection of ``n`` agent states, one per
+agent.  The engine additionally materializes the output matrix ``y`` (shape
+``(n, d)``) because almost every analysis in the library (diameters,
+valencies, contraction rates, validity checks) operates on the outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.types import diameter
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable snapshot of all agent states and their outputs.
+
+    Attributes
+    ----------
+    states:
+        Tuple of the ``n`` opaque agent states.
+    outputs:
+        ``(n, d)`` float array with row ``i`` equal to ``y_i``.
+    round_number:
+        The round after which this configuration holds (0 for the initial
+        configuration).
+    """
+
+    states: Tuple[Any, ...]
+    outputs: np.ndarray
+    round_number: int
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return len(self.states)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``d`` of the agents' values."""
+        return int(self.outputs.shape[1])
+
+    def output_of(self, agent_id: int) -> np.ndarray:
+        """The output value ``y_i`` of agent ``agent_id``."""
+        return self.outputs[agent_id]
+
+    def output_diameter(self) -> float:
+        """``Δ(y(t))``: the diameter of the set of output values."""
+        return diameter(self.outputs)
+
+    def indistinguishable_for(self, other: "Configuration", agent_id: int) -> bool:
+        """The relation ``C ∼_i C'``: agent ``agent_id`` has the same state in both.
+
+        States are compared with ``==``; numpy-array states are compared
+        element-wise.
+        """
+        mine = self.states[agent_id]
+        theirs = other.states[agent_id]
+        return _states_equal(mine, theirs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Configuration(round={self.round_number}, n={self.n}, "
+            f"diam={self.output_diameter():.6g})"
+        )
+
+
+def _states_equal(state_a: Any, state_b: Any) -> bool:
+    """Structural equality of agent states, handling numpy arrays and containers."""
+    if isinstance(state_a, np.ndarray) or isinstance(state_b, np.ndarray):
+        return bool(np.array_equal(np.asarray(state_a), np.asarray(state_b)))
+    if isinstance(state_a, dict) and isinstance(state_b, dict):
+        if state_a.keys() != state_b.keys():
+            return False
+        return all(_states_equal(state_a[k], state_b[k]) for k in state_a)
+    if isinstance(state_a, (list, tuple)) and isinstance(state_b, (list, tuple)):
+        if len(state_a) != len(state_b) or type(state_a) is not type(state_b):
+            return False
+        return all(_states_equal(a, b) for a, b in zip(state_a, state_b))
+    if hasattr(state_a, "__dataclass_fields__") and hasattr(state_b, "__dataclass_fields__"):
+        if type(state_a) is not type(state_b):
+            return False
+        return all(
+            _states_equal(getattr(state_a, f), getattr(state_b, f))
+            for f in state_a.__dataclass_fields__
+        )
+    result = state_a == state_b
+    if isinstance(result, np.ndarray):
+        return bool(result.all())
+    return bool(result)

@@ -1,0 +1,271 @@
+"""The specific communication-graph families used in the paper.
+
+* :func:`two_agent_graphs` — the three rooted graphs ``H0, H1, H2`` for
+  ``n = 2`` (Figure 1, Theorem 1).
+* :func:`deaf_variant` / :func:`deaf_family` — the graphs ``F_i`` obtained by
+  making agent ``i`` deaf in a base graph ``G`` (Section 5, Theorem 2).
+* :func:`psi_graph` / :func:`psi_family` — the rooted graphs ``Ψ_i``
+  (Figure 2, Theorem 3).
+* :func:`crash_tolerant_graphs` — the graphs of the asynchronous-with-crashes
+  network model ``N_A`` in which every agent has at least ``n - f``
+  in-neighbors (Section 8.1).
+* standard graphs (complete, cycle, path, star) used as base graphs and in
+  examples and tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import CommunicationGraph
+
+
+# --------------------------------------------------------------------------- #
+# Standard base graphs
+# --------------------------------------------------------------------------- #
+
+def complete_graph(n: int) -> CommunicationGraph:
+    """The complete digraph ``K_n`` (every agent hears every agent)."""
+    edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+    return CommunicationGraph(n, edges=edges, name=f"K_{n}")
+
+
+def cycle_graph(n: int) -> CommunicationGraph:
+    """The directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (plus self-loops)."""
+    if n < 2:
+        raise GraphError("a directed cycle needs at least two agents")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return CommunicationGraph(n, edges=edges, name=f"C_{n}")
+
+
+def directed_path_graph(n: int) -> CommunicationGraph:
+    """The directed path ``0 -> 1 -> ... -> n-1`` (plus self-loops)."""
+    if n < 1:
+        raise GraphError("a path needs at least one agent")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return CommunicationGraph(n, edges=edges, name=f"P_{n}")
+
+
+def directed_star_graph(n: int, center: int = 0) -> CommunicationGraph:
+    """The out-star: the ``center`` agent sends to everyone else."""
+    if not 0 <= center < n:
+        raise GraphError(f"center {center} out of range for n={n}")
+    edges = [(center, j) for j in range(n) if j != center]
+    return CommunicationGraph(n, edges=edges, name=f"Star_{n}({center})")
+
+
+def from_in_neighborhoods(
+    in_neighborhoods: Sequence[Sequence[int]], name: Optional[str] = None
+) -> CommunicationGraph:
+    """Build a graph from per-agent in-neighborhoods.
+
+    ``in_neighborhoods[j]`` lists the agents that ``j`` receives from; ``j``
+    itself is added automatically (self-loop).
+    """
+    n = len(in_neighborhoods)
+    edges: List[Tuple[int, int]] = []
+    for j, in_set in enumerate(in_neighborhoods):
+        for i in in_set:
+            edges.append((i, j))
+    return CommunicationGraph(n, edges=edges, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1: the two-agent graphs H0, H1, H2
+# --------------------------------------------------------------------------- #
+
+def two_agent_graphs() -> Tuple[CommunicationGraph, CommunicationGraph, CommunicationGraph]:
+    """The three rooted (and non-split) communication graphs for ``n = 2``.
+
+    Following Figure 1 (with the paper's agents 1, 2 renamed 0, 1):
+
+    * ``H0`` — all messages are received (the complete graph ``K_2``).
+    * ``H1`` — agent 1 receives agent 0's message but not vice versa, so
+      agent 0 is deaf in ``H1``.
+    * ``H2`` — agent 0 receives agent 1's message but not vice versa, so
+      agent 1 is deaf in ``H2``.
+    """
+    h0 = CommunicationGraph(2, edges=[(0, 1), (1, 0)], name="H0")
+    h1 = CommunicationGraph(2, edges=[(0, 1)], name="H1")
+    h2 = CommunicationGraph(2, edges=[(1, 0)], name="H2")
+    return h0, h1, h2
+
+
+# --------------------------------------------------------------------------- #
+# Section 5: deaf variants
+# --------------------------------------------------------------------------- #
+
+def deaf_variant(graph: CommunicationGraph, agent: int) -> CommunicationGraph:
+    """The graph ``F_i`` obtained from ``graph`` by making ``agent`` deaf.
+
+    All incoming edges of ``agent`` except its self-loop are removed;
+    everything else is unchanged (Section 5).
+    """
+    return graph.make_deaf(agent)
+
+
+def deaf_family(graph: CommunicationGraph) -> List[CommunicationGraph]:
+    """The network-model family ``deaf(G) = {F_0, ..., F_{n-1}}`` of Section 5.
+
+    ``F_i`` is ``graph`` with agent ``i`` made deaf.  Theorem 2 shows that any
+    network model containing ``deaf(G)`` for some graph ``G`` forces a
+    contraction rate of at least 1/2 for ``n >= 3`` agents.
+    """
+    return [deaf_variant(graph, i) for i in range(graph.n)]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 / Section 6: the Ψ graphs
+# --------------------------------------------------------------------------- #
+
+def psi_graph(n: int, deaf_special: int) -> CommunicationGraph:
+    """The rooted graph ``Ψ_i`` of Section 6 (Figure 2), for ``n >= 4`` agents.
+
+    The construction (translated to 0-based agents; the paper's agents
+    ``1, 2, 3`` are ``0, 1, 2`` here and its chain ``4 .. n`` is ``3 .. n-1``):
+
+    * chain agents ``3 .. n-2`` form a path with edges ``j -> j+1``;
+    * every special agent in ``{0, 1, 2}`` has agent ``3`` as an out-neighbor;
+    * the last chain agent ``n-1`` sends to the two special agents different
+      from ``deaf_special``;
+    * ``deaf_special`` receives nothing (other than from itself): it is deaf.
+
+    ``Ψ_i`` is rooted with the deaf special agent as a root: its value can
+    flow along the chain to every other agent.
+
+    Parameters
+    ----------
+    n:
+        Total number of agents, at least 4.
+    deaf_special:
+        Which of the three special agents (0, 1 or 2) is deaf in the graph.
+    """
+    if n < 4:
+        raise GraphError(f"Psi graphs require n >= 4 agents, got n={n}")
+    if deaf_special not in (0, 1, 2):
+        raise GraphError(f"deaf_special must be one of 0, 1, 2; got {deaf_special}")
+    edges: List[Tuple[int, int]] = []
+    # Path among the chain agents 3 .. n-1 (edges j -> j+1).
+    for j in range(3, n - 1):
+        edges.append((j, j + 1))
+    # All three special agents send to the first chain agent.
+    for a in (0, 1, 2):
+        edges.append((a, 3))
+    # The last chain agent sends to the two non-deaf special agents.
+    for a in (0, 1, 2):
+        if a != deaf_special:
+            edges.append((n - 1, a))
+    return CommunicationGraph(n, edges=edges, name=f"Psi_{deaf_special}(n={n})")
+
+
+def psi_family(n: int) -> List[CommunicationGraph]:
+    """The three graphs ``Ψ_0, Ψ_1, Ψ_2`` used in the Theorem 3 lower bound."""
+    return [psi_graph(n, i) for i in (0, 1, 2)]
+
+
+def sigma_sequence(n: int, deaf_special: int) -> List[CommunicationGraph]:
+    """The block ``σ_i``: the graph ``Ψ_i`` repeated ``n - 2`` times (Section 6)."""
+    return [psi_graph(n, deaf_special)] * (n - 2)
+
+
+# --------------------------------------------------------------------------- #
+# Section 8.1: asynchronous rounds with crashes
+# --------------------------------------------------------------------------- #
+
+def crash_tolerant_graphs(
+    n: int, f: int, limit: Optional[int] = None
+) -> Iterator[CommunicationGraph]:
+    """Enumerate the graphs of the crash network model ``N_A`` of Section 8.1.
+
+    ``N_A`` contains every communication graph on ``n`` agents in which every
+    agent has at least ``n - f`` in-neighbors — the graphs realizable when
+    agents operating in asynchronous rounds wait for ``n - f`` round messages.
+
+    The family grows extremely quickly with ``n``; pass ``limit`` to stop the
+    enumeration early (useful in tests), or use
+    :func:`crash_round_graph` to build individual members.
+    """
+    if not 0 <= f < n:
+        raise GraphError(f"need 0 <= f < n, got n={n}, f={f}")
+    per_agent_choices: List[List[frozenset]] = []
+    for j in range(n):
+        others = [i for i in range(n) if i != j]
+        choices = []
+        # j always hears itself; it additionally hears at least n - f - 1 others.
+        for extra in range(n - f - 1, n):
+            for subset in combinations(others, extra):
+                choices.append(frozenset(subset) | {j})
+        per_agent_choices.append(choices)
+
+    count = 0
+
+    def recurse(j: int, chosen: List[frozenset]) -> Iterator[CommunicationGraph]:
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if j == n:
+            count += 1
+            yield from_in_neighborhoods([sorted(s) for s in chosen])
+            return
+        for choice in per_agent_choices[j]:
+            if limit is not None and count >= limit:
+                return
+            yield from recurse(j + 1, chosen + [choice])
+
+    yield from recurse(0, [])
+
+
+def crash_round_graph(n: int, f: int, missed: Dict[int, Sequence[int]]) -> CommunicationGraph:
+    """A single member of ``N_A``: agent ``j`` misses the messages listed in ``missed[j]``.
+
+    Each agent may miss at most ``f`` messages (and never its own).
+    """
+    if not 0 <= f < n:
+        raise GraphError(f"need 0 <= f < n, got n={n}, f={f}")
+    in_sets: List[List[int]] = []
+    for j in range(n):
+        missing = set(missed.get(j, ()))
+        if j in missing:
+            raise GraphError(f"agent {j} cannot miss its own message")
+        if len(missing) > f:
+            raise GraphError(
+                f"agent {j} misses {len(missing)} messages, but at most f={f} are allowed"
+            )
+        in_sets.append([i for i in range(n) if i not in missing])
+    return from_in_neighborhoods(in_sets, name="N_A-graph")
+
+
+def lemma24_chain(
+    graph_g: CommunicationGraph, graph_h: CommunicationGraph, f: int
+) -> List[Tuple[CommunicationGraph, CommunicationGraph]]:
+    """The α-chain of Lemma 24 connecting two graphs of ``N_A``.
+
+    Returns the list of ``(H_r, K_r)`` pairs, ``r = 1 .. ⌈n/f⌉``, where the
+    ``H_r`` interpolate between ``G`` and ``H`` by switching in-neighborhoods
+    over blocks of ``f`` agents, and ``K_r`` is the graph in which the agents
+    of block ``r`` hear only themselves while everyone else hears everyone.
+    The chain witnesses that the α-diameter of ``N_A`` is at most ``⌈n/f⌉``.
+    """
+    graph_g._check_same_size(graph_h)
+    n = graph_g.n
+    if not 0 < f < n:
+        raise GraphError(f"need 0 < f < n, got n={n}, f={f}")
+    q = -(-n // f)  # ceil(n / f)
+    chain: List[Tuple[CommunicationGraph, CommunicationGraph]] = []
+    for r in range(1, q + 1):
+        block = set(range((r - 1) * f, min(r * f, n)))
+        in_sets_h: List[List[int]] = []
+        in_sets_k: List[List[int]] = []
+        for j in range(n):
+            # H_r: the first r*f agents already use H's in-neighborhoods.
+            source = graph_h if j < r * f else graph_g
+            in_sets_h.append(sorted(source.in_neighbors(j)))
+            # K_r: nobody hears the agents of the current block (except the
+            # mandatory self-loops), so R(K_r) = [n] \ block.
+            in_sets_k.append(sorted((set(range(n)) - block) | {j}))
+        h_r = from_in_neighborhoods(in_sets_h, name=f"H_{r}")
+        k_r = from_in_neighborhoods(in_sets_k, name=f"K_{r}")
+        chain.append((h_r, k_r))
+    return chain

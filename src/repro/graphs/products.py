@@ -1,0 +1,76 @@
+"""Products of communication graphs.
+
+The product ``G ∘ H`` (Section 2) has an edge ``i -> j`` whenever there is a
+``k`` with ``(i, k)`` in ``G`` and ``(k, j)`` in ``H``; it describes the
+two-round "heard-of" relation when ``G`` is the round-``t`` graph and ``H``
+the round-``t+1`` graph.  Because all graphs contain self-loops, the product
+of two graphs contains both factors' edge sets.
+
+A key structural fact used by the amortized midpoint algorithm (Section 1,
+property (ii)) is that the product of any ``n-1`` rooted graphs on ``n``
+nodes is non-split; :func:`product_is_nonsplit_after` exposes the minimal
+prefix length for a given sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.properties import is_nonsplit
+
+
+def product(first: CommunicationGraph, second: CommunicationGraph) -> CommunicationGraph:
+    """The graph product ``first ∘ second``.
+
+    Edge ``i -> j`` exists iff some ``k`` satisfies ``(i, k)`` in ``first``
+    and ``(k, j)`` in ``second``.  With the convention ``adj[i, j]`` = edge
+    ``i -> j`` this is the boolean matrix product of the adjacency matrices.
+    """
+    first._check_same_size(second)
+    adj = first.adjacency @ second.adjacency
+    name = None
+    if first.name and second.name:
+        name = f"{first.name}∘{second.name}"
+    return CommunicationGraph(first.n, adjacency=adj, name=name)
+
+
+def product_sequence(graphs: Sequence[CommunicationGraph]) -> CommunicationGraph:
+    """Left-to-right product ``G_1 ∘ G_2 ∘ ... ∘ G_k`` of a non-empty sequence.
+
+    The result's edge ``i -> j`` means that agent ``j``'s state after the last
+    round may depend on agent ``i``'s state before the first round (a
+    "heard-of" chain exists).
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise GraphError("product_sequence needs at least one graph")
+    result = graphs[0]
+    for g in graphs[1:]:
+        result = product(result, g)
+    return result
+
+
+def power(graph: CommunicationGraph, exponent: int) -> CommunicationGraph:
+    """The ``exponent``-fold product of ``graph`` with itself (``exponent >= 1``)."""
+    if exponent < 1:
+        raise GraphError(f"power exponent must be >= 1, got {exponent}")
+    return product_sequence([graph] * exponent)
+
+
+def product_is_nonsplit_after(graphs: Iterable[CommunicationGraph]) -> Optional[int]:
+    """Length of the shortest prefix whose product is non-split, or None.
+
+    By [Charron-Bost et al., ICALP'15], any product of ``n - 1`` rooted graphs
+    with ``n`` nodes is non-split, so for sequences of rooted graphs the
+    returned value is at most ``n - 1`` whenever the sequence is that long.
+    """
+    prefix: List[CommunicationGraph] = []
+    running: Optional[CommunicationGraph] = None
+    for g in graphs:
+        prefix.append(g)
+        running = g if running is None else product(running, g)
+        if is_nonsplit(running):
+            return len(prefix)
+    return None

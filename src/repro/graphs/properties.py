@@ -1,0 +1,111 @@
+"""Structural properties of communication graphs.
+
+The paper's solvability and lower-bound results are phrased in terms of a few
+structural predicates on communication graphs:
+
+* ``roots(G)`` — the set ``R(G)`` of agents with a directed path to every
+  other agent (Section 7).
+* ``is_rooted(G)`` — ``G`` contains a rooted spanning tree, i.e.
+  ``R(G) != {}`` (the solvability characterization of asymptotic consensus,
+  Theorem 1 of [Charron-Bost et al., ICALP'15] quoted as Theorem 1/Section 2.2).
+* ``is_nonsplit(G)`` — any two agents have a common in-neighbor (Section 1,
+  Section 5).
+
+All functions accept a :class:`~repro.graphs.digraph.CommunicationGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.graphs.digraph import CommunicationGraph
+
+
+def reachability_matrix(graph: CommunicationGraph) -> np.ndarray:
+    """Boolean matrix ``R`` with ``R[i, j]`` true iff there is a directed path i -> j.
+
+    Self-loops make every node reachable from itself.  Computed by repeated
+    boolean squaring of ``I + A``, which needs ``O(log n)`` boolean matrix
+    products.
+    """
+    closure = graph.adjacency.copy()
+    n = graph.n
+    # Repeated squaring: after k squarings, paths of length up to 2^k are covered.
+    steps = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    for _ in range(steps):
+        closure = closure | (closure @ closure)
+    return closure
+
+
+def reachable_set(graph: CommunicationGraph, source: int) -> FrozenSet[int]:
+    """Agents reachable from ``source`` by a directed path (including ``source``)."""
+    closure = reachability_matrix(graph)
+    return frozenset(np.nonzero(closure[source, :])[0].tolist())
+
+
+def roots(graph: CommunicationGraph) -> FrozenSet[int]:
+    """The set ``R(G)`` of roots of ``G``.
+
+    A *root* is an agent that has a directed path to every other agent.  The
+    paper (Section 7) uses ``R(G)`` both to define the α relation and to
+    state source-incompatibility.
+    """
+    closure = reachability_matrix(graph)
+    all_reached = closure.all(axis=1)
+    return frozenset(np.nonzero(all_reached)[0].tolist())
+
+
+def is_rooted(graph: CommunicationGraph) -> bool:
+    """True iff ``G`` contains a rooted spanning tree (``R(G)`` is non-empty).
+
+    Rooted network models are exactly the models in which asymptotic
+    consensus is solvable (Section 2.2).
+    """
+    return len(roots(graph)) > 0
+
+
+def is_strongly_connected(graph: CommunicationGraph) -> bool:
+    """True iff every agent can reach every other agent."""
+    return bool(reachability_matrix(graph).all())
+
+
+def is_nonsplit(graph: CommunicationGraph) -> bool:
+    """True iff any two agents have a common in-neighbor.
+
+    Non-split graphs are the communication graphs arising in benign classical
+    failure models (synchronous crashes, asynchronous minority crashes, send
+    omissions) and admit the midpoint algorithm with contraction rate 1/2.
+    """
+    adj = graph.adjacency
+    n = graph.n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not bool(np.any(adj[:, i] & adj[:, j])):
+                return False
+    return True
+
+
+def is_complete(graph: CommunicationGraph) -> bool:
+    """True iff the graph is the complete digraph ``K_n`` (all edges present)."""
+    return bool(graph.adjacency.all())
+
+
+def common_in_neighbors(graph: CommunicationGraph, i: int, j: int) -> FrozenSet[int]:
+    """The set of common in-neighbors of agents ``i`` and ``j``."""
+    return graph.in_neighbors(i) & graph.in_neighbors(j)
+
+
+def has_rooted_spanning_tree(graph: CommunicationGraph) -> bool:
+    """Alias of :func:`is_rooted`, matching the phrasing of the solvability theorem."""
+    return is_rooted(graph)
+
+
+def nonsplit_implies_rooted_witness(graph: CommunicationGraph) -> bool:
+    """Check the textbook fact that every non-split graph is rooted.
+
+    Returns True when the implication holds for ``graph`` (i.e. the graph is
+    either split or rooted).  Exposed mainly for property-based tests.
+    """
+    return (not is_nonsplit(graph)) or is_rooted(graph)

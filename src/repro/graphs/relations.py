@@ -1,0 +1,277 @@
+"""The α and β relations of Coulouma, Godard and Peters, and the α-diameter.
+
+Section 7 of the paper imports the machinery of [Coulouma et al., TCS 2015]:
+
+* ``G α_{N,K} H`` holds when the agents in ``R(K)`` (the roots of ``K``)
+  cannot distinguish a round with graph ``G`` from a round with graph ``H``.
+  Definition 15 states the condition as equality of the *union*
+  ``In_{R(K)}(G) = In_{R(K)}(H)``; the proofs (Lemma 20 and Lemma 24) use the
+  stronger per-root condition ``In_i(G) = In_i(H)`` for every root ``i`` of
+  ``K``.  This module implements the per-root condition as
+  :func:`alpha_related` (the form the lower bounds need) and also exposes the
+  union form as :func:`alpha_related_union`.
+
+* ``α*_N`` is the transitive closure of the union over ``K`` of ``α_{N,K}``.
+
+* ``β_N`` is the coarsest equivalence relation included in ``α*_N`` that
+  satisfies the closure property of Definition 16.  It is computed here by
+  partition refinement: starting from the α*-classes, each class is repeatedly
+  split into the connected components of the α relation *restricted to
+  witnesses K inside the class*, until a fixpoint is reached.
+
+* The **α-diameter** (Definition 22) of ``N`` is the smallest ``D >= 1`` such
+  that any two graphs of ``N`` are connected by an α-chain of length at most
+  ``D``; it drives the general lower bound 1/(D+1) of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ModelError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.properties import roots
+
+
+def _check_model(graphs: Sequence[CommunicationGraph]) -> List[CommunicationGraph]:
+    graphs = list(graphs)
+    if not graphs:
+        raise ModelError("a network model must contain at least one graph")
+    n = graphs[0].n
+    for g in graphs:
+        if g.n != n:
+            raise ModelError("all graphs of a network model must have the same number of agents")
+    return graphs
+
+
+def alpha_related(
+    graph_g: CommunicationGraph,
+    graph_h: CommunicationGraph,
+    witness: CommunicationGraph,
+) -> bool:
+    """Per-root α relation: ``In_i(G) = In_i(H)`` for every root ``i`` of ``witness``.
+
+    This is the condition actually used in the indistinguishability arguments
+    (Lemma 20): if it holds, the roots of ``witness`` cannot tell a ``G``
+    round from an ``H`` round, and running ``witness`` forever afterwards
+    forces the two executions to the same limit.
+    """
+    graph_g._check_same_size(graph_h)
+    graph_g._check_same_size(witness)
+    witness_roots = roots(witness)
+    if not witness_roots:
+        return False
+    return all(graph_g.in_neighbors(i) == graph_h.in_neighbors(i) for i in witness_roots)
+
+
+def alpha_related_union(
+    graph_g: CommunicationGraph,
+    graph_h: CommunicationGraph,
+    witness: CommunicationGraph,
+) -> bool:
+    """Union-form α relation of Definition 15: ``In_{R(K)}(G) = In_{R(K)}(H)``."""
+    graph_g._check_same_size(graph_h)
+    graph_g._check_same_size(witness)
+    witness_roots = roots(witness)
+    if not witness_roots:
+        return False
+    union_g: Set[int] = set()
+    union_h: Set[int] = set()
+    for i in witness_roots:
+        union_g |= graph_g.in_neighbors(i)
+        union_h |= graph_h.in_neighbors(i)
+    return union_g == union_h
+
+
+def alpha_step_graph(
+    graphs: Sequence[CommunicationGraph],
+    witnesses: Optional[Sequence[CommunicationGraph]] = None,
+    use_union_form: bool = False,
+) -> Dict[CommunicationGraph, Set[CommunicationGraph]]:
+    """The one-step α relation on ``graphs`` as an adjacency mapping.
+
+    ``result[G]`` contains every ``H`` such that ``G α_{N,K} H`` for some
+    witness ``K`` (witnesses default to ``graphs`` themselves, i.e. the
+    network model).  The relation is symmetric, and reflexive on every graph
+    for which some witness exists.
+    """
+    graphs = _check_model(graphs)
+    witnesses = list(witnesses) if witnesses is not None else graphs
+    related = alpha_related_union if use_union_form else alpha_related
+    adjacency: Dict[CommunicationGraph, Set[CommunicationGraph]] = {g: set() for g in graphs}
+    for idx_g, g in enumerate(graphs):
+        for h in graphs[idx_g:]:
+            if any(related(g, h, k) for k in witnesses):
+                adjacency[g].add(h)
+                adjacency[h].add(g)
+    return adjacency
+
+
+def alpha_star_related(
+    graphs: Sequence[CommunicationGraph],
+    graph_g: CommunicationGraph,
+    graph_h: CommunicationGraph,
+    use_union_form: bool = False,
+) -> bool:
+    """Whether ``G α*_N H`` (transitive closure of the one-step α relation)."""
+    classes = alpha_classes(graphs, use_union_form=use_union_form)
+    for cls in classes:
+        if graph_g in cls and graph_h in cls:
+            return True
+    return False
+
+
+def alpha_classes(
+    graphs: Sequence[CommunicationGraph], use_union_form: bool = False
+) -> List[FrozenSet[CommunicationGraph]]:
+    """The equivalence classes of ``α*_N`` (connected components of the α step graph)."""
+    graphs = _check_model(graphs)
+    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form)
+    return _connected_components(graphs, adjacency)
+
+
+def beta_classes(
+    graphs: Sequence[CommunicationGraph], use_union_form: bool = False
+) -> List[FrozenSet[CommunicationGraph]]:
+    """The β_N-classes of Definition 16, via partition refinement.
+
+    Starting from the α*-classes, each class ``Q`` is split into the connected
+    components of the α relation restricted to witnesses ``K ∈ Q``; this is
+    iterated until no class splits.  At the fixpoint every class satisfies the
+    closure property (any two members are α-chain connected through members
+    and witnesses of the same class), and since splits only happen when the
+    closure property fails, the fixpoint is the coarsest such refinement.
+    """
+    graphs = _check_model(graphs)
+    partition: List[List[CommunicationGraph]] = [
+        list(cls) for cls in alpha_classes(graphs, use_union_form=use_union_form)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        refined: List[List[CommunicationGraph]] = []
+        for cls in partition:
+            adjacency = alpha_step_graph(cls, witnesses=cls, use_union_form=use_union_form)
+            components = _connected_components(cls, adjacency)
+            if len(components) > 1:
+                changed = True
+            refined.extend([list(c) for c in components])
+        partition = refined
+    return [frozenset(cls) for cls in partition]
+
+
+def is_source_incompatible(graphs: Sequence[CommunicationGraph]) -> bool:
+    """Definition 18: no agent is a root of *every* graph of the model."""
+    graphs = _check_model(graphs)
+    common = roots(graphs[0])
+    for g in graphs[1:]:
+        common = common & roots(g)
+        if not common:
+            return True
+    return len(common) == 0
+
+
+def alpha_diameter(
+    graphs: Sequence[CommunicationGraph],
+    use_union_form: bool = False,
+) -> float:
+    """The α-diameter ``D`` of a network model (Definition 22).
+
+    ``D`` is the smallest integer such that any two graphs of the model are
+    connected by a chain of at most ``D`` α-steps (each step witnessed by some
+    graph of the model).  Returns ``float('inf')`` when the α step graph is
+    disconnected.  Models with a single graph have diameter 1 when the graph
+    is α-related to itself (which holds whenever the model has a rooted
+    witness) — matching the paper's convention ``D >= 1``.
+    """
+    graphs = _check_model(graphs)
+    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form)
+    diameter = 1  # Definition 22 requires D >= 1.
+    for source in graphs:
+        distances = _bfs_distances(source, graphs, adjacency)
+        for target in graphs:
+            dist = distances.get(target)
+            if dist is None:
+                return float("inf")
+            diameter = max(diameter, dist)
+    return float(diameter)
+
+
+def alpha_chain(
+    graphs: Sequence[CommunicationGraph],
+    graph_g: CommunicationGraph,
+    graph_h: CommunicationGraph,
+    use_union_form: bool = False,
+) -> Optional[List[CommunicationGraph]]:
+    """A shortest α-chain ``G = H_0, ..., H_q = H`` within the model, or None.
+
+    The chain witnesses ``G α*_N H`` and its length (number of steps ``q``) is
+    at most the α-diameter of the model.
+    """
+    graphs = _check_model(graphs)
+    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form)
+    if graph_g == graph_h:
+        return [graph_g]
+    predecessors: Dict[CommunicationGraph, CommunicationGraph] = {}
+    queue = deque([graph_g])
+    seen = {graph_g}
+    while queue:
+        current = queue.popleft()
+        for neighbor in adjacency.get(current, ()):  # pragma: no branch
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            predecessors[neighbor] = current
+            if neighbor == graph_h:
+                chain = [neighbor]
+                while chain[-1] != graph_g:
+                    chain.append(predecessors[chain[-1]])
+                return list(reversed(chain))
+            queue.append(neighbor)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Internal helpers
+# --------------------------------------------------------------------------- #
+
+def _connected_components(
+    graphs: Sequence[CommunicationGraph],
+    adjacency: Dict[CommunicationGraph, Set[CommunicationGraph]],
+) -> List[FrozenSet[CommunicationGraph]]:
+    remaining = list(graphs)
+    seen: Set[CommunicationGraph] = set()
+    components: List[FrozenSet[CommunicationGraph]] = []
+    for start in remaining:
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency.get(current, ()):  # pragma: no branch
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(frozenset(component))
+    return components
+
+
+def _bfs_distances(
+    source: CommunicationGraph,
+    graphs: Sequence[CommunicationGraph],
+    adjacency: Dict[CommunicationGraph, Set[CommunicationGraph]],
+) -> Dict[CommunicationGraph, int]:
+    distances: Dict[CommunicationGraph, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in adjacency.get(current, ()):  # pragma: no branch
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                queue.append(neighbor)
+    del graphs  # only needed for the signature symmetry with callers
+    return distances

@@ -1,0 +1,47 @@
+"""Network models and communication patterns.
+
+A *network model* (Section 2) is a non-empty set of communication graphs; the
+adversary picks one graph per round, forming a *communication pattern*.  This
+package provides the :class:`~repro.models.network_model.NetworkModel`
+container with cached structural analyses, the standard model families used
+throughout the paper (two-agent model, deaf models, Ψ models, the
+asynchronous-crash model ``N_A``), and pattern objects (constant, periodic,
+random, sequence-based, and the ``σ_i``-block property ``P_seq`` of
+Section 6.1).
+"""
+
+from repro.models.network_model import NetworkModel
+from repro.models.patterns import (
+    AdversarialPattern,
+    CommunicationPattern,
+    ConstantPattern,
+    PeriodicPattern,
+    RandomPattern,
+    SequencePattern,
+    SigmaBlockPattern,
+)
+from repro.models.standard import (
+    all_nonsplit_model,
+    all_rooted_model,
+    crash_model,
+    deaf_model,
+    psi_model,
+    two_agent_model,
+)
+
+__all__ = [
+    "NetworkModel",
+    "CommunicationPattern",
+    "ConstantPattern",
+    "PeriodicPattern",
+    "RandomPattern",
+    "SequencePattern",
+    "SigmaBlockPattern",
+    "AdversarialPattern",
+    "all_nonsplit_model",
+    "all_rooted_model",
+    "crash_model",
+    "deaf_model",
+    "psi_model",
+    "two_agent_model",
+]

@@ -1,0 +1,212 @@
+"""Communication patterns: infinite sequences of communication graphs.
+
+In the system model of Section 2 the adversary chooses, for each round, one
+graph from the network model; the resulting infinite sequence is the
+*communication pattern* of the execution.  Section 6.1 generalizes this to
+arbitrary *properties* — sets of allowed patterns — which the
+:class:`SigmaBlockPattern` (concatenations of ``σ_i`` blocks) realizes.
+
+A pattern is an object with a :meth:`CommunicationPattern.graph_at` method;
+adaptive (adversarial) patterns additionally receive a
+:class:`RoundContext` describing the current configuration and a simulator
+for candidate successor configurations, which is how the worst-case
+adversaries of the lower-bound proofs are implemented
+(:mod:`repro.core.adversary`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.families import psi_graph
+
+
+@dataclass
+class RoundContext:
+    """Information handed to adaptive patterns when they pick the next graph.
+
+    Attributes
+    ----------
+    round_number:
+        The 1-based round about to be executed.
+    outputs:
+        The ``(n, d)`` matrix of current agent outputs ``y(t-1)``.
+    states:
+        The current per-agent algorithm states (opaque to the pattern).
+    algorithm:
+        The running algorithm instance.
+    simulate_outputs:
+        Callable mapping a candidate communication graph to the ``(n, d)``
+        output matrix the algorithm would produce if that graph were applied
+        this round.  The call has no side effects on the running execution.
+    history:
+        The list of graphs applied in earlier rounds.
+    """
+
+    round_number: int
+    outputs: np.ndarray
+    states: Sequence[Any]
+    algorithm: Any
+    simulate_outputs: Callable[[CommunicationGraph], np.ndarray]
+    history: List[CommunicationGraph] = field(default_factory=list)
+
+
+class CommunicationPattern(ABC):
+    """Abstract base class of communication patterns."""
+
+    @abstractmethod
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        """Return the communication graph of round ``round_number`` (1-based).
+
+        Oblivious patterns ignore ``context``; adaptive patterns may use it.
+        """
+
+    def reset(self) -> None:
+        """Reset any internal state before a fresh execution (default: no-op)."""
+
+
+class ConstantPattern(CommunicationPattern):
+    """The pattern that applies the same graph every round."""
+
+    def __init__(self, graph: CommunicationGraph) -> None:
+        self._graph = graph
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        return self._graph
+
+    def __repr__(self) -> str:
+        return f"ConstantPattern({self._graph!r})"
+
+
+class PeriodicPattern(CommunicationPattern):
+    """The pattern that cycles through a finite list of graphs forever."""
+
+    def __init__(self, graphs: Sequence[CommunicationGraph]) -> None:
+        graphs = list(graphs)
+        if not graphs:
+            raise ExecutionError("a periodic pattern needs at least one graph")
+        self._graphs = graphs
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        if round_number < 1:
+            raise ExecutionError(f"rounds are 1-based, got {round_number}")
+        return self._graphs[(round_number - 1) % len(self._graphs)]
+
+    def __repr__(self) -> str:
+        return f"PeriodicPattern({len(self._graphs)} graphs)"
+
+
+class SequencePattern(CommunicationPattern):
+    """A finite prefix of graphs, then a suffix pattern (default: repeat the last graph)."""
+
+    def __init__(
+        self,
+        prefix: Sequence[CommunicationGraph],
+        suffix: Optional[CommunicationPattern] = None,
+    ) -> None:
+        prefix = list(prefix)
+        if not prefix and suffix is None:
+            raise ExecutionError("a sequence pattern needs a prefix or a suffix")
+        self._prefix = prefix
+        self._suffix = suffix or ConstantPattern(prefix[-1])
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        if round_number < 1:
+            raise ExecutionError(f"rounds are 1-based, got {round_number}")
+        if round_number <= len(self._prefix):
+            return self._prefix[round_number - 1]
+        return self._suffix.graph_at(round_number - len(self._prefix), context)
+
+    def __repr__(self) -> str:
+        return f"SequencePattern(prefix={len(self._prefix)}, suffix={self._suffix!r})"
+
+
+class RandomPattern(CommunicationPattern):
+    """A pattern that samples a graph uniformly from a collection each round.
+
+    The sampling is a deterministic function of the round number and the seed,
+    so the same pattern object can be replayed across executions.
+    """
+
+    def __init__(self, graphs: Sequence[CommunicationGraph], seed: int = 0) -> None:
+        graphs = list(graphs)
+        if not graphs:
+            raise ExecutionError("a random pattern needs at least one graph")
+        self._graphs = graphs
+        self._seed = seed
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        if round_number < 1:
+            raise ExecutionError(f"rounds are 1-based, got {round_number}")
+        rng = np.random.default_rng((self._seed, round_number))
+        return self._graphs[int(rng.integers(len(self._graphs)))]
+
+    def __repr__(self) -> str:
+        return f"RandomPattern({len(self._graphs)} graphs, seed={self._seed})"
+
+
+class SigmaBlockPattern(CommunicationPattern):
+    """Concatenation of ``σ_i`` blocks: each block repeats ``Ψ_i`` for ``n - 2`` rounds.
+
+    This realizes the property ``P_seq`` of Section 6.2.  The block choices
+    may be given explicitly (``choices``) or sampled pseudo-randomly by block
+    index; once the explicit choices are exhausted the last choice repeats.
+    """
+
+    def __init__(self, n: int, choices: Optional[Sequence[int]] = None, seed: int = 0) -> None:
+        if n < 4:
+            raise ExecutionError("sigma-block patterns need n >= 4 agents")
+        self._n = n
+        self._block_length = n - 2
+        self._choices = list(choices) if choices is not None else None
+        self._seed = seed
+        self._psi = {i: psi_graph(n, i) for i in (0, 1, 2)}
+
+    @property
+    def block_length(self) -> int:
+        """Number of rounds per ``σ`` block (``n - 2``)."""
+        return self._block_length
+
+    def choice_for_block(self, block_index: int) -> int:
+        """The special agent made deaf during block ``block_index`` (0-based)."""
+        if self._choices is not None:
+            if block_index < len(self._choices):
+                return self._choices[block_index]
+            return self._choices[-1]
+        rng = np.random.default_rng((self._seed, block_index))
+        return int(rng.integers(3))
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        if round_number < 1:
+            raise ExecutionError(f"rounds are 1-based, got {round_number}")
+        block_index = (round_number - 1) // self._block_length
+        return self._psi[self.choice_for_block(block_index)]
+
+    def __repr__(self) -> str:
+        return f"SigmaBlockPattern(n={self._n}, block_length={self._block_length})"
+
+
+class AdversarialPattern(CommunicationPattern):
+    """Base class of adaptive patterns that need the :class:`RoundContext`.
+
+    Subclasses implement :meth:`choose`; :meth:`graph_at` enforces that a
+    context is available (adaptive patterns cannot be evaluated obliviously).
+    """
+
+    def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
+        if context is None:
+            raise ExecutionError(
+                f"{type(self).__name__} is adaptive and needs a RoundContext; "
+                "run it through repro.execution.run_execution"
+            )
+        return self.choose(context)
+
+    @abstractmethod
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        """Pick the communication graph for the round described by ``context``."""

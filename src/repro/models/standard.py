@@ -1,0 +1,110 @@
+"""Standard network models used throughout the paper and its Table 1.
+
+* :func:`two_agent_model` — ``{H0, H1, H2}``, the model of Theorem 1.
+* :func:`deaf_model` — ``deaf(G)`` (default ``G = K_n``), the model of
+  Theorem 2; ``deaf(K_n)`` is a sub-model of the all-non-split model.
+* :func:`psi_model` — ``{Ψ_0, Ψ_1, Ψ_2}``, the rooted model of Theorem 3.
+* :func:`all_rooted_model` / :func:`all_nonsplit_model` — exhaustive
+  enumerations for small ``n`` (the "weakest model in which asymptotic
+  consensus is solvable" and the benign-failure model, respectively).
+* :func:`crash_model` — the asynchronous-with-crashes round model ``N_A`` of
+  Section 8.1 (all graphs with in-degrees at least ``n - f``).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.families import (
+    complete_graph,
+    crash_tolerant_graphs,
+    deaf_family,
+    psi_family,
+    two_agent_graphs,
+)
+from repro.graphs.properties import is_nonsplit, is_rooted
+from repro.models.network_model import NetworkModel
+
+#: Enumerating all digraphs on ``n`` nodes costs ``2^(n(n-1))`` graphs; keep
+#: exhaustive model constructions to sizes where that is comfortably feasible.
+_MAX_EXHAUSTIVE_N = 4
+
+
+def two_agent_model() -> NetworkModel:
+    """The model ``{H0, H1, H2}`` of all rooted two-agent graphs (Figure 1)."""
+    return NetworkModel(two_agent_graphs(), name="{H0,H1,H2}")
+
+
+def deaf_model(base: Optional[CommunicationGraph] = None, n: Optional[int] = None) -> NetworkModel:
+    """The model ``deaf(G)`` of Section 5 (default base graph ``G = K_n``).
+
+    Exactly one of ``base`` and ``n`` must be given; with ``n`` the base graph
+    is the complete digraph ``K_n``.
+    """
+    if (base is None) == (n is None):
+        raise ModelError("pass exactly one of 'base' or 'n'")
+    if base is None:
+        base = complete_graph(int(n))
+    label = base.name or "G"
+    return NetworkModel(deaf_family(base), name=f"deaf({label})")
+
+
+def psi_model(n: int) -> NetworkModel:
+    """The rooted model ``{Ψ_0, Ψ_1, Ψ_2}`` of Section 6 (Figure 2), ``n >= 4``."""
+    return NetworkModel(psi_family(n), name=f"Psi(n={n})")
+
+
+def _all_graphs(n: int):
+    """Yield every communication graph on ``n`` agents (self-loops implicit)."""
+    off_diagonal = [(i, j) for i in range(n) for j in range(n) if i != j]
+    for bits in iter_product((False, True), repeat=len(off_diagonal)):
+        adj = np.zeros((n, n), dtype=bool)
+        for (i, j), present in zip(off_diagonal, bits):
+            adj[i, j] = present
+        yield CommunicationGraph(n, adjacency=adj)
+
+
+def all_rooted_model(n: int) -> NetworkModel:
+    """The model of *all* rooted graphs on ``n`` agents (exhaustive; ``n <= 4``).
+
+    This is the weakest (largest) network model in which asymptotic and
+    approximate consensus are solvable.  For larger ``n`` the enumeration is
+    intractable; use :func:`psi_model` (a sub-model sufficient for the
+    Theorem 3 lower bound) instead.
+    """
+    if n > _MAX_EXHAUSTIVE_N:
+        raise ModelError(
+            f"enumerating all rooted graphs is only supported for n <= {_MAX_EXHAUSTIVE_N}; "
+            "use psi_model(n) for the lower-bound sub-model"
+        )
+    graphs = [g for g in _all_graphs(n) if is_rooted(g)]
+    return NetworkModel(graphs, name=f"all-rooted(n={n})")
+
+
+def all_nonsplit_model(n: int) -> NetworkModel:
+    """The model of *all* non-split graphs on ``n`` agents (exhaustive; ``n <= 4``)."""
+    if n > _MAX_EXHAUSTIVE_N:
+        raise ModelError(
+            f"enumerating all non-split graphs is only supported for n <= {_MAX_EXHAUSTIVE_N}; "
+            "use deaf_model(n=n) for the lower-bound sub-model"
+        )
+    graphs = [g for g in _all_graphs(n) if is_nonsplit(g)]
+    return NetworkModel(graphs, name=f"all-nonsplit(n={n})")
+
+
+def crash_model(n: int, f: int, limit: Optional[int] = None) -> NetworkModel:
+    """The asynchronous-round crash model ``N_A`` of Section 8.1.
+
+    Contains every graph in which each agent has at least ``n - f``
+    in-neighbors.  The family is exponentially large; ``limit`` truncates the
+    enumeration (the truncated model is then a *sub-model* of ``N_A``, which
+    by Lemma 3 can only lower measured contraction rates).
+    """
+    graphs = list(crash_tolerant_graphs(n, f, limit=limit))
+    suffix = "" if limit is None else f", first {len(graphs)}"
+    return NetworkModel(graphs, name=f"N_A(n={n}, f={f}{suffix})")

@@ -1,0 +1,132 @@
+"""Shared type aliases and small helpers used across the library.
+
+The library follows the paper's conventions:
+
+* Agents are identified by integers ``0 .. n-1`` (the paper uses ``1 .. n``).
+* Values live in Euclidean ``d``-space and are represented as 1-D numpy
+  arrays of length ``d``; scalars are accepted anywhere a value is expected
+  and are promoted to shape ``(1,)`` arrays.
+* A *configuration* of outputs is an ``(n, d)`` numpy array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+#: An agent identifier (0-based).
+AgentId = int
+
+#: A round number (1-based for rounds that perform communication, as in the
+#: paper; round 0 denotes the initial configuration).
+Round = int
+
+#: Anything accepted as a single agent value.
+ValueLike = Union[float, int, Sequence[float], np.ndarray]
+
+#: Anything accepted as a vector of initial values (one entry per agent).
+ValuesLike = Union[Sequence[ValueLike], np.ndarray]
+
+
+def as_value(value: ValueLike) -> np.ndarray:
+    """Promote ``value`` to a 1-D float array (a point of Euclidean d-space).
+
+    >>> as_value(3)
+    array([3.])
+    >>> as_value([1.0, 2.0])
+    array([1., 2.])
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"agent values must be scalars or 1-D vectors, got shape {arr.shape}")
+    return arr
+
+
+def as_value_matrix(values: ValuesLike) -> np.ndarray:
+    """Promote a per-agent collection of values to an ``(n, d)`` float matrix.
+
+    Scalar entries are promoted to dimension ``d = 1``.  All entries must have
+    the same dimension.
+
+    >>> as_value_matrix([0.0, 1.0, 2.0]).shape
+    (3, 1)
+    >>> as_value_matrix([[0.0, 1.0], [2.0, 3.0]]).shape
+    (2, 2)
+    """
+    if isinstance(values, np.ndarray) and values.ndim == 2:
+        return values.astype(float, copy=True)
+    rows = [as_value(v) for v in values]
+    if not rows:
+        raise ValueError("at least one agent value is required")
+    dim = rows[0].shape[0]
+    for i, row in enumerate(rows):
+        if row.shape[0] != dim:
+            raise ValueError(
+                f"inconsistent value dimensions: agent 0 has d={dim}, agent {i} has d={row.shape[0]}"
+            )
+    return np.vstack(rows)
+
+
+def diameter(points: Iterable[np.ndarray] | np.ndarray) -> float:
+    """Euclidean diameter of a finite point set (``diam`` in the paper).
+
+    ``points`` may be an ``(m, d)`` array or an iterable of 1-D arrays.  The
+    diameter of the empty set and of a singleton is 0.
+
+    >>> diameter(np.array([[0.0], [3.0], [1.0]]))
+    3.0
+    """
+    pts = np.asarray(list(points) if not isinstance(points, np.ndarray) else points, dtype=float)
+    if pts.size == 0:
+        return 0.0
+    if pts.ndim == 1:
+        pts = pts.reshape(-1, 1)
+    if pts.shape[0] < 2:
+        return 0.0
+    # Pairwise distances; m is small (m = n agents) so the O(m^2) cost is fine.
+    diffs = pts[:, None, :] - pts[None, :, :]
+    dists = np.sqrt(np.sum(diffs * diffs, axis=-1))
+    return float(dists.max())
+
+
+def in_convex_hull(point: np.ndarray, points: np.ndarray, tol: float = 1e-9) -> bool:
+    """Return True if ``point`` lies in the convex hull of the rows of ``points``.
+
+    For dimension 1 this is an interval check.  For higher dimensions we solve
+    the small linear program with a non-negative least-squares formulation,
+    which is adequate for the small point sets (n agents) used in this
+    library.
+    """
+    pts = np.asarray(points, dtype=float)
+    p = as_value(point)
+    if pts.ndim == 1:
+        pts = pts.reshape(-1, 1)
+    if pts.shape[1] != p.shape[0]:
+        raise ValueError("dimension mismatch between point and hull points")
+    if pts.shape[1] == 1:
+        lo, hi = pts.min(), pts.max()
+        return bool(lo - tol <= p[0] <= hi + tol)
+    # General dimension: find convex weights w >= 0, sum w = 1, pts.T @ w = p.
+    # Use a tiny projected-gradient solve; the problem size is n x d with n
+    # small, so this is robust enough for test/benchmark purposes.
+    m = pts.shape[0]
+    weights = np.full(m, 1.0 / m)
+    target = p
+    a_mat = pts.T  # (d, m)
+    for _ in range(5000):
+        residual = a_mat @ weights - target
+        grad = a_mat.T @ residual
+        weights -= 0.1 * grad
+        weights = np.clip(weights, 0.0, None)
+        total = weights.sum()
+        if total <= 0:
+            weights = np.full(m, 1.0 / m)
+        else:
+            weights /= total
+        if np.linalg.norm(residual) <= tol:
+            return True
+    residual = a_mat @ weights - target
+    return bool(np.linalg.norm(residual) <= 1e-6)

@@ -1,0 +1,200 @@
+"""Benchmark harness: per-agent path vs vectorized fast path vs batched ensembles.
+
+Times the synchronous engine's two execution paths on an ``(n, rounds)``
+grid, the batched ensemble runner against an equivalent loop of single
+executions on a ``(B, n, rounds)`` grid, and the asynchronous
+``agreement_time`` sweep, then writes the results to ``BENCH_engine.json``
+so the performance trajectory is tracked from PR to PR.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full grid
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # tiny CI grid
+    PYTHONPATH=src python benchmarks/run_bench.py --out path/to.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import MeanAlgorithm, MidpointAlgorithm
+from repro.asynchrony import AsynchronousSimulator, RoundBasedAsyncAlgorithm
+from repro.execution import run_execution, run_pattern_ensemble
+from repro.graphs.families import complete_graph, cycle_graph, directed_star_graph
+from repro.models.patterns import PeriodicPattern
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Wall-clock seconds of the fastest of ``repeats`` invocations."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pattern(n: int) -> PeriodicPattern:
+    return PeriodicPattern([complete_graph(n), cycle_graph(n), directed_star_graph(n)])
+
+
+def _initial_values(n: int, d: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=(n, d))
+
+
+def bench_engine(grid, d: int, repeats: int) -> list:
+    """Old (per-agent) vs new (vectorized) ``run_execution`` timings."""
+    results = []
+    for algorithm_factory in (MidpointAlgorithm, MeanAlgorithm):
+        for n, rounds in grid:
+            algorithm = algorithm_factory()
+            values = _initial_values(n, d)
+            pattern = _pattern(n)
+            old_s = _best_of(
+                lambda: run_execution(algorithm, values, pattern, rounds, use_fast_path=False),
+                repeats,
+            )
+            new_s = _best_of(
+                lambda: run_execution(algorithm, values, pattern, rounds, use_fast_path=True),
+                repeats,
+            )
+            entry = {
+                "benchmark": "run_execution",
+                "algorithm": algorithm.name,
+                "n": n,
+                "rounds": rounds,
+                "d": d,
+                "old_s": old_s,
+                "new_s": new_s,
+                "speedup": old_s / new_s if new_s > 0 else float("inf"),
+            }
+            results.append(entry)
+            print(
+                f"run_execution {algorithm.name:10s} n={n:4d} rounds={rounds:4d} d={d} "
+                f"old={old_s * 1e3:9.2f}ms new={new_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+            )
+    return results
+
+
+def bench_ensemble(grid, d: int, repeats: int) -> list:
+    """Batched ensemble vs an equivalent loop of fast-path single executions."""
+    results = []
+    algorithm = MidpointAlgorithm()
+    for batch_size, n, rounds in grid:
+        values = np.stack([_initial_values(n, d, seed=b) for b in range(batch_size)])
+        pattern = _pattern(n)
+        loop_s = _best_of(
+            lambda: [
+                run_execution(algorithm, values[b], pattern, rounds, record_every=rounds or 1)
+                for b in range(batch_size)
+            ],
+            repeats,
+        )
+        batch_s = _best_of(
+            lambda: run_pattern_ensemble(
+                algorithm, values, pattern, rounds, record_every=rounds or 1
+            ),
+            repeats,
+        )
+        entry = {
+            "benchmark": "ensemble",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "rounds": rounds,
+            "d": d,
+            "loop_s": loop_s,
+            "batched_s": batch_s,
+            "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"ensemble      {algorithm.name:10s} B={batch_size:4d} n={n:4d} rounds={rounds:4d} "
+            f"loop={loop_s * 1e3:9.2f}ms batched={batch_s * 1e3:9.2f}ms "
+            f"speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
+def bench_async(grid, repeats: int) -> list:
+    """End-to-end async simulation + single-sweep agreement_time timings."""
+    results = []
+    for n, f, max_time in grid:
+        values = _initial_values(n, 1).ravel()
+
+        def run_once():
+            simulator = AsynchronousSimulator(
+                RoundBasedAsyncAlgorithm(MidpointAlgorithm()), values, f=f, max_time=max_time
+            )
+            execution = simulator.run()
+            execution.agreement_time(1e-9)
+            return execution
+
+        total_s = _best_of(run_once, repeats)
+        execution = run_once()
+        entry = {
+            "benchmark": "async_round_based",
+            "n": n,
+            "f": f,
+            "max_time": max_time,
+            "total_s": total_s,
+            "samples": len(execution.samples),
+            "delivered_messages": execution.delivered_messages,
+        }
+        results.append(entry)
+        print(
+            f"async         midpoint   n={n:4d} f={f} horizon={max_time:5.1f} "
+            f"sim+agreement={total_s * 1e3:9.2f}ms samples={entry['samples']}"
+        )
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny grid for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
+    args = parser.parse_args()
+
+    if args.smoke:
+        engine_grid = [(8, 10)]
+        ensemble_grid = [(8, 8, 10)]
+        async_grid = [(4, 1, 6.0)]
+        repeats = 1
+    else:
+        engine_grid = [(16, 100), (64, 100), (64, 500), (256, 100)]
+        ensemble_grid = [(16, 64, 100), (64, 64, 100), (256, 16, 100)]
+        async_grid = [(8, 2, 20.0), (16, 4, 12.0)]
+        repeats = 3
+
+    results = []
+    results += bench_engine(engine_grid, d=1, repeats=repeats)
+    if not args.smoke:
+        results += bench_engine([(64, 100)], d=3, repeats=repeats)
+    results += bench_ensemble(ensemble_grid, d=1, repeats=repeats)
+    results += bench_async(async_grid, repeats=repeats)
+
+    payload = {
+        "schema": "bench-engine/v1",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(results)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

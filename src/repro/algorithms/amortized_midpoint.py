@@ -19,7 +19,7 @@ from typing import Mapping, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm
+from repro.algorithms.base import Algorithm, masked_max, masked_min
 from repro.exceptions import AlgorithmError
 from repro.types import as_value
 
@@ -39,6 +39,21 @@ class AmortizedMidpointState:
         How many rounds of the current phase have been executed.
     phase_length:
         Number of rounds per phase (``n - 1``).
+    """
+
+    value: np.ndarray
+    phase_min: np.ndarray
+    phase_max: np.ndarray
+    rounds_into_phase: int
+    phase_length: int
+
+
+@dataclass(frozen=True)
+class AmortizedMidpointBatchState:
+    """Stacked state of all agents (and scenarios) for the vectorized fast path.
+
+    The arrays have shape ``(..., n, d)``; ``rounds_into_phase`` is a single
+    integer because the synchronous engine advances all agents in lockstep.
     """
 
     value: np.ndarray
@@ -114,6 +129,68 @@ class AmortizedMidpointAlgorithm(Algorithm):
 
     def output(self, agent_id: int, state: AmortizedMidpointState) -> np.ndarray:
         return state.value
+
+    # ------------------------------------------------------------------ #
+    # Vectorized fast path
+    # ------------------------------------------------------------------ #
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def batch_initial(self, values: np.ndarray) -> AmortizedMidpointBatchState:
+        values = np.array(values, dtype=float)
+        n = values.shape[-2]
+        phase_length = self._phase_length_override if self._phase_length_override else max(n - 1, 1)
+        return AmortizedMidpointBatchState(
+            value=values,
+            phase_min=values.copy(),
+            phase_max=values.copy(),
+            rounds_into_phase=0,
+            phase_length=phase_length,
+        )
+
+    def batch_transition(
+        self, batch_state: AmortizedMidpointBatchState, adjacency: np.ndarray, round_number: int
+    ) -> AmortizedMidpointBatchState:
+        new_min = np.minimum(batch_state.phase_min, masked_min(adjacency, batch_state.phase_min))
+        new_max = np.maximum(batch_state.phase_max, masked_max(adjacency, batch_state.phase_max))
+        rounds_into_phase = batch_state.rounds_into_phase + 1
+
+        if rounds_into_phase >= batch_state.phase_length:
+            new_value = (new_min + new_max) / 2.0
+            return AmortizedMidpointBatchState(
+                value=new_value,
+                phase_min=new_value.copy(),
+                phase_max=new_value.copy(),
+                rounds_into_phase=0,
+                phase_length=batch_state.phase_length,
+            )
+        return AmortizedMidpointBatchState(
+            value=batch_state.value,
+            phase_min=new_min,
+            phase_max=new_max,
+            rounds_into_phase=rounds_into_phase,
+            phase_length=batch_state.phase_length,
+        )
+
+    def batch_outputs(self, batch_state: AmortizedMidpointBatchState) -> np.ndarray:
+        return batch_state.value
+
+    def batch_states(self, batch_state: AmortizedMidpointBatchState) -> Tuple[AmortizedMidpointState, ...]:
+        if batch_state.value.ndim != 2:
+            raise AlgorithmError(
+                f"per-agent states only exist for a single scenario, got shape {batch_state.value.shape}"
+            )
+        return tuple(
+            AmortizedMidpointState(
+                value=batch_state.value[i].copy(),
+                phase_min=batch_state.phase_min[i].copy(),
+                phase_max=batch_state.phase_max[i].copy(),
+                rounds_into_phase=batch_state.rounds_into_phase,
+                phase_length=batch_state.phase_length,
+            )
+            for i in range(batch_state.value.shape[0])
+        )
 
     @property
     def name(self) -> str:

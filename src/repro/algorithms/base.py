@@ -21,12 +21,41 @@ Two levels of generality are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import AlgorithmError
 from repro.types import as_value
+
+
+def receive_mask(adjacency: np.ndarray) -> np.ndarray:
+    """The receiver-major view of an adjacency tensor.
+
+    ``adjacency[..., i, j]`` means *i sends to j*; the returned array has
+    ``mask[..., j, i]`` true iff receiver ``j`` hears sender ``i``, which is
+    the orientation every masked reduction of the vectorized fast path needs.
+    Accepts a single ``(n, n)`` matrix or a stacked ``(B, n, n)`` tensor.
+    """
+    return np.swapaxes(np.asarray(adjacency, dtype=bool), -1, -2)
+
+
+def masked_min(adjacency: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-receiver coordinate-wise minimum over received values.
+
+    ``adjacency`` is a boolean ``(..., n, n)`` tensor and ``values`` a
+    ``(..., n, d)`` tensor; row ``j`` of the result is the minimum over the
+    values of ``j``'s in-neighbors.  This is the one authoritative masked
+    reduction shared by the fast-path algorithms and the convexity validator.
+    """
+    mask = receive_mask(adjacency)[..., None]
+    return np.where(mask, values[..., None, :, :], np.inf).min(axis=-2)
+
+
+def masked_max(adjacency: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-receiver coordinate-wise maximum over received values (see :func:`masked_min`)."""
+    mask = receive_mask(adjacency)[..., None]
+    return np.where(mask, values[..., None, :, :], -np.inf).max(axis=-2)
 
 
 class Algorithm(ABC):
@@ -78,6 +107,54 @@ class Algorithm(ABC):
         """Whether the algorithm is a convex-combination (averaging) algorithm."""
         return isinstance(self, ConvexCombinationAlgorithm)
 
+    # ------------------------------------------------------------------ #
+    # Vectorized fast path (optional)
+    # ------------------------------------------------------------------ #
+    #
+    # Algorithms whose round update is a pure array computation can execute
+    # whole rounds — and whole stacked ensembles of executions — as single
+    # NumPy operations instead of per-agent Python loops.  An algorithm opts
+    # in by returning True from :meth:`supports_batch` and implementing the
+    # four ``batch_*`` hooks below.  The *batch state* is an opaque object
+    # holding array-valued per-agent state; all hooks must treat it as
+    # immutable and return fresh objects.  Value tensors have shape
+    # ``(..., n, d)`` and adjacency tensors ``(..., n, n)``, where leading
+    # dimensions (if any) index independent scenarios of an ensemble.
+    #
+    # :func:`repro.execution.run_execution` and
+    # :mod:`repro.execution.batch` dispatch to these hooks automatically and
+    # fall back to the per-agent path when they are absent; both paths
+    # produce equivalent executions (see tests/test_equivalence.py).
+
+    def supports_batch(self) -> bool:
+        """Whether the vectorized ``batch_*`` fast path is implemented."""
+        return False
+
+    def batch_initial(self, values: np.ndarray) -> Any:
+        """Batch state before round 1 from an ``(..., n, d)`` value tensor."""
+        raise NotImplementedError(f"{self.name} has no vectorized fast path")
+
+    def batch_transition(self, batch_state: Any, adjacency: np.ndarray, round_number: int) -> Any:
+        """One synchronous round on the whole batch state at once.
+
+        ``adjacency`` is the boolean ``(..., n, n)`` adjacency tensor of the
+        round's communication graph(s), with ``adjacency[..., i, j]`` true iff
+        ``j`` receives from ``i``.
+        """
+        raise NotImplementedError(f"{self.name} has no vectorized fast path")
+
+    def batch_outputs(self, batch_state: Any) -> np.ndarray:
+        """The ``(..., n, d)`` output tensor encoded in ``batch_state``."""
+        raise NotImplementedError(f"{self.name} has no vectorized fast path")
+
+    def batch_states(self, batch_state: Any) -> Tuple[Any, ...]:
+        """Per-agent states equivalent to an *unbatched* ``(n, d)`` batch state.
+
+        Used to materialize :class:`~repro.execution.state.Configuration`
+        records; only defined when ``batch_state`` holds a single scenario.
+        """
+        raise NotImplementedError(f"{self.name} has no vectorized fast path")
+
 
 class ConvexCombinationAlgorithm(Algorithm):
     """Memoryless averaging algorithms (Section 2.2).
@@ -101,6 +178,21 @@ class ConvexCombinationAlgorithm(Algorithm):
 
         The result must lie in the convex hull of ``received.values()``.
         """
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        """Vectorized :meth:`combine` for all agents (and scenarios) at once.
+
+        ``values`` is the ``(..., n, d)`` tensor of current outputs and
+        ``adjacency`` the boolean ``(..., n, n)`` adjacency tensor of the
+        round's graph(s) (``adjacency[..., i, j]`` iff ``j`` receives from
+        ``i``; the diagonal is always true).  Implementations return the new
+        ``(..., n, d)`` output tensor, equal to applying :meth:`combine`
+        receiver by receiver.  The base implementation returns ``None``,
+        meaning "no fast path" — the engine then uses the per-agent loop.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Algorithm interface
@@ -130,8 +222,51 @@ class ConvexCombinationAlgorithm(Algorithm):
         return state
 
     # ------------------------------------------------------------------ #
+    # Vectorized fast path: generic implementation on top of combine_all
+    # ------------------------------------------------------------------ #
+
+    def supports_batch(self) -> bool:
+        return type(self).combine_all is not ConvexCombinationAlgorithm.combine_all
+
+    def batch_initial(self, values: np.ndarray) -> np.ndarray:
+        return np.array(values, dtype=float)
+
+    def batch_transition(
+        self, batch_state: np.ndarray, adjacency: np.ndarray, round_number: int
+    ) -> np.ndarray:
+        new_values = self.combine_all(adjacency, batch_state, round_number)
+        if new_values is None:
+            raise AlgorithmError(f"{self.name} does not implement combine_all")
+        new_values = np.asarray(new_values, dtype=float)
+        if self._validate:
+            self._check_convex_batch(new_values, batch_state, adjacency)
+        return new_values
+
+    def batch_outputs(self, batch_state: np.ndarray) -> np.ndarray:
+        return batch_state
+
+    def batch_states(self, batch_state: np.ndarray) -> Tuple[np.ndarray, ...]:
+        if batch_state.ndim != 2:
+            raise AlgorithmError(
+                f"per-agent states only exist for a single scenario, got shape {batch_state.shape}"
+            )
+        return tuple(batch_state)
+
+    # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_convex_batch(
+        new_values: np.ndarray, values: np.ndarray, adjacency: np.ndarray, tol: float = 1e-9
+    ) -> None:
+        lo = masked_min(adjacency, values) - tol
+        hi = masked_max(adjacency, values) + tol
+        if np.any(new_values < lo) or np.any(new_values > hi):
+            raise AlgorithmError(
+                "convex-combination algorithm produced a value outside the bounding box "
+                "of received values in the vectorized fast path"
+            )
 
     @staticmethod
     def _check_convex(new_value: np.ndarray, values: Dict[int, np.ndarray], tol: float = 1e-9) -> None:

@@ -15,11 +15,11 @@ exercise the engine with state-dependent behaviour.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm, receive_mask
 from repro.exceptions import AlgorithmError
 
 
@@ -54,6 +54,17 @@ class HegselmannKrauseAlgorithm(ConvexCombinationAlgorithm):
             if float(np.linalg.norm(value - own)) <= self._confidence
         ]
         return np.vstack(trusted).mean(axis=0)
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        # differences[..., j, i] = y_i - y_j: receiver j's view of sender i.
+        differences = values[..., None, :, :] - values[..., :, None, :]
+        distances = np.sqrt((differences * differences).sum(axis=-1))
+        trusted = receive_mask(adjacency) & (distances <= self._confidence)
+        weights = trusted.astype(float)
+        counts = weights.sum(axis=-1)  # >= 1: the self-loop is always trusted
+        return (weights @ values) / counts[..., None]
 
     @property
     def name(self) -> str:

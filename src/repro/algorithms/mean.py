@@ -11,11 +11,11 @@ the baseline for the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm, receive_mask
 
 
 class MeanAlgorithm(ConvexCombinationAlgorithm):
@@ -26,6 +26,13 @@ class MeanAlgorithm(ConvexCombinationAlgorithm):
     ) -> np.ndarray:
         values = np.vstack(list(received.values()))
         return values.mean(axis=0)
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        weights = receive_mask(adjacency).astype(float)
+        counts = weights.sum(axis=-1)
+        return (weights @ values) / counts[..., None]
 
     @property
     def name(self) -> str:

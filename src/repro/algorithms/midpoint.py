@@ -12,11 +12,11 @@ treatment in [Charron-Bost et al., ICALP'16].
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm, masked_max, masked_min
 
 
 class MidpointAlgorithm(ConvexCombinationAlgorithm):
@@ -34,6 +34,13 @@ class MidpointAlgorithm(ConvexCombinationAlgorithm):
     ) -> np.ndarray:
         values = np.vstack(list(received.values()))
         return (values.min(axis=0) + values.max(axis=0)) / 2.0
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        lo = masked_min(adjacency, values)
+        hi = masked_max(adjacency, values)
+        return (lo + hi) / 2.0
 
     @property
     def name(self) -> str:

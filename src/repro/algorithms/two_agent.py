@@ -14,11 +14,11 @@ instead of the 1/2 obtained by the symmetric midpoint rule.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm, receive_mask
 from repro.exceptions import AlgorithmError
 
 
@@ -44,6 +44,19 @@ class TwoAgentThirdsAlgorithm(ConvexCombinationAlgorithm):
             return own
         other = others[0]
         return own / 3.0 + 2.0 * other / 3.0
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        if values.shape[-2] != 2:
+            raise AlgorithmError(
+                f"TwoAgentThirdsAlgorithm is only defined for n = 2 agents, got n = {values.shape[-2]}"
+            )
+        mask = receive_mask(adjacency)
+        heard_other = mask.sum(axis=-1) > 1
+        other_values = values[..., ::-1, :]  # at n = 2, the other agent's value
+        moved = values / 3.0 + 2.0 * other_values / 3.0
+        return np.where(heard_other[..., None], moved, values)
 
     @property
     def name(self) -> str:

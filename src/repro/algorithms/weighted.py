@@ -14,15 +14,22 @@ instantiations are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm, receive_mask
 from repro.exceptions import AlgorithmError
 
 #: A weight function maps (agent_id, received values) to per-sender weights.
 WeightFunction = Callable[[int, Dict[int, np.ndarray]], Dict[int, float]]
+
+#: A matrix weight function maps (adjacency, values, round_number) to a
+#: ``(..., n, n)`` weight tensor with ``W[..., j, i]`` the weight receiver
+#: ``j`` places on sender ``i`` (rows are convex, zero outside the receive
+#: mask).  Supplying one enables the vectorized fast path for
+#: :class:`CallableWeightAveraging`.
+MatrixWeightFunction = Callable[[np.ndarray, np.ndarray, int], np.ndarray]
 
 
 class SelfWeightedAveraging(ConvexCombinationAlgorithm):
@@ -53,6 +60,16 @@ class SelfWeightedAveraging(ConvexCombinationAlgorithm):
         other_mean = np.vstack(others).mean(axis=0)
         return self._self_weight * own + (1.0 - self._self_weight) * other_mean
 
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        mask = receive_mask(adjacency).astype(float)
+        other_counts = mask.sum(axis=-1) - 1.0  # the self-loop is always present
+        other_totals = mask @ values - values
+        other_mean = other_totals / np.where(other_counts > 0, other_counts, 1.0)[..., None]
+        mixed = self._self_weight * values + (1.0 - self._self_weight) * other_mean
+        return np.where((other_counts > 0)[..., None], mixed, values)
+
     @property
     def name(self) -> str:
         return f"self-weighted({self._self_weight:g})"
@@ -64,12 +81,19 @@ class CallableWeightAveraging(ConvexCombinationAlgorithm):
     The callable receives the agent id and the received values and must return
     a mapping from sender ids to non-negative weights summing to 1 (weights for
     senders not present in the mapping default to 0).
+
+    Passing a ``matrix_weight_function`` additionally enables the vectorized
+    fast path: it must be the whole-matrix counterpart of ``weight_function``,
+    mapping ``(adjacency, values, round_number)`` to a ``(..., n, n)`` weight
+    tensor with convex rows that are zero outside the receive mask.
     """
 
     def __init__(self, weight_function: WeightFunction, label: str = "callable-weights",
-                 validate: bool = False) -> None:
+                 validate: bool = False,
+                 matrix_weight_function: Optional[MatrixWeightFunction] = None) -> None:
         super().__init__(validate=validate)
         self._weight_function = weight_function
+        self._matrix_weight_function = matrix_weight_function
         self._label = label
 
     def combine(
@@ -88,6 +112,23 @@ class CallableWeightAveraging(ConvexCombinationAlgorithm):
         for sender, weight in weights.items():
             result = result + weight * received[sender]
         return result
+
+    def supports_batch(self) -> bool:
+        return self._matrix_weight_function is not None
+
+    def combine_all(
+        self, adjacency: np.ndarray, values: np.ndarray, round_number: int
+    ) -> Optional[np.ndarray]:
+        if self._matrix_weight_function is None:
+            return None
+        weights = np.asarray(self._matrix_weight_function(adjacency, values, round_number), dtype=float)
+        if np.any(weights < -1e-12):
+            raise AlgorithmError("matrix weights must be non-negative")
+        if not np.allclose(weights.sum(axis=-1), 1.0, atol=1e-9):
+            raise AlgorithmError("matrix weight rows must sum to 1")
+        if np.any(np.abs(np.where(receive_mask(adjacency), 0.0, weights)) > 1e-12):
+            raise AlgorithmError("matrix weights refer to senders outside the receive mask")
+        return weights @ values
 
     @property
     def name(self) -> str:

@@ -1,0 +1,89 @@
+"""Table 1 of the paper as data: one row per network-model family.
+
+:func:`build_table1` evaluates every closed-form bound pair for concrete
+parameters and :func:`format_table1` renders the result as the fixed-width
+table the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.lower_bounds import (
+    amortized_midpoint_upper_bound,
+    deaf_graphs_lower_bound,
+    general_async_contraction_rate,
+    midpoint_upper_bound,
+    psi_lower_bound,
+    round_based_crash_lower_bound,
+    round_based_crash_upper_bound,
+    two_agent_lower_bound,
+    two_agent_upper_bound,
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: a model family with its bound pair."""
+
+    model: str
+    lower_bound: float
+    lower_source: str
+    upper_bound: Optional[float]
+    upper_source: str
+
+
+def build_table1(n: int = 6, f: int = 2) -> List[Table1Row]:
+    """Evaluate every Table-1 bound pair for ``n`` agents and ``f`` crashes."""
+    return [
+        Table1Row(
+            model="n = 2, {H0,H1,H2}",
+            lower_bound=two_agent_lower_bound(),
+            lower_source="Theorem 1",
+            upper_bound=two_agent_upper_bound(),
+            upper_source="Algorithm 1",
+        ),
+        Table1Row(
+            model=f"n = {n}, deaf(G)",
+            lower_bound=deaf_graphs_lower_bound(),
+            lower_source="Theorem 2",
+            upper_bound=midpoint_upper_bound(),
+            upper_source="midpoint",
+        ),
+        Table1Row(
+            model=f"n = {n}, {{Psi_0,Psi_1,Psi_2}}",
+            lower_bound=psi_lower_bound(n),
+            lower_source="Theorem 3",
+            upper_bound=amortized_midpoint_upper_bound(n),
+            upper_source="amortized midpoint",
+        ),
+        Table1Row(
+            model=f"async rounds, n = {n}, f = {f}",
+            lower_bound=round_based_crash_lower_bound(n, f),
+            lower_source="Theorem 6",
+            upper_bound=round_based_crash_upper_bound(n, f),
+            upper_source="Fekete",
+        ),
+        Table1Row(
+            model=f"async general, f = {n - 1}",
+            lower_bound=general_async_contraction_rate(),
+            lower_source="trivial",
+            upper_bound=general_async_contraction_rate(),
+            upper_source="MinRelay (Theorem 7)",
+        ),
+    ]
+
+
+def format_table1(n: int = 6, f: int = 2) -> str:
+    """Render :func:`build_table1` as a fixed-width text table."""
+    rows = build_table1(n=n, f=f)
+    return format_table(
+        headers=["network model", "lower bound", "source", "upper bound", "algorithm"],
+        rows=[
+            [row.model, row.lower_bound, row.lower_source, row.upper_bound, row.upper_source]
+            for row in rows
+        ],
+        title=f"Table 1 (n={n}, f={f})",
+    )

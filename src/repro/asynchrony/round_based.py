@@ -13,12 +13,19 @@ agent used) is recorded in the agent state; by construction every agent's
 in-neighborhood has at least ``n - f`` members, i.e. the realized graphs
 belong to the crash network model ``N_A`` — the observation on which the
 Theorem 6 lower bound rests.
+
+Performance note: the message buffers are maintained *incrementally*.  Each
+delivery copies only the affected per-round buffer (copy-on-write), instead
+of re-freezing and re-sorting the entire nested buffer structure on every
+event as the original implementation did.  States remain immutable by
+contract: all mappings stored on :class:`RoundBasedState` must be treated as
+read-only snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, FrozenSet, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, List, Mapping, Tuple
 
 import numpy as np
 
@@ -27,27 +34,37 @@ from repro.asynchrony.simulator import AsyncAlgorithm, Broadcast
 from repro.exceptions import AsynchronyError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class RoundBasedState:
-    """State of the asynchronous-round wrapper around a synchronous algorithm."""
+    """State of the asynchronous-round wrapper around a synchronous algorithm.
+
+    ``buffers`` maps round number -> sender -> buffered round message, and
+    ``round_in_neighbors`` maps completed round -> senders used.  Both are
+    plain dicts for speed but are never mutated after construction; steps
+    build updated copies of only the entries they touch.
+    """
 
     inner: Any
     current_round: int
-    buffers: Tuple[Tuple[int, Tuple[Tuple[int, Any], ...]], ...]
-    round_in_neighbors: Tuple[Tuple[int, FrozenSet[int]], ...]
+    buffers: Mapping[int, Mapping[int, Any]]
+    round_in_neighbors: Mapping[int, FrozenSet[int]]
     n: int
     f: int
 
     def buffer_dict(self) -> Dict[int, Dict[int, Any]]:
-        """The buffered round messages as a mutable nested dict."""
-        return {rnd: dict(entries) for rnd, entries in self.buffers}
+        """The buffered round messages as a mutable nested dict (a copy)."""
+        return {rnd: dict(entries) for rnd, entries in self.buffers.items()}
 
 
-def _freeze_buffers(buffers: Dict[int, Dict[int, Any]]) -> Tuple[Tuple[int, Tuple[Tuple[int, Any], ...]], ...]:
-    return tuple(
-        (rnd, tuple(sorted(entries.items(), key=lambda kv: kv[0])))
-        for rnd, entries in sorted(buffers.items())
-    )
+def _with_buffered(
+    buffers: Mapping[int, Mapping[int, Any]], round_number: int, sender: int, message: Any
+) -> Dict[int, Mapping[int, Any]]:
+    """Copy-on-write insert of one round message into the buffer structure."""
+    updated = dict(buffers)
+    round_buffer = dict(updated.get(round_number, ()))
+    round_buffer[sender] = message
+    updated[round_number] = round_buffer
+    return updated
 
 
 class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
@@ -78,17 +95,16 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         return RoundBasedState(
             inner=inner_state,
             current_round=1,
-            buffers=_freeze_buffers({}),
-            round_in_neighbors=(),
+            buffers={},
+            round_in_neighbors={},
             n=n,
             f=f,
         )
 
     def on_start(self, agent_id: int, state: RoundBasedState) -> Tuple[RoundBasedState, List[Broadcast]]:
         payload = (state.current_round, self._inner.message(agent_id, state.inner))
-        buffers = state.buffer_dict()
-        buffers.setdefault(state.current_round, {})[agent_id] = payload[1]
-        new_state = replace(state, buffers=_freeze_buffers(buffers))
+        buffers = _with_buffered(state.buffers, state.current_round, agent_id, payload[1])
+        new_state = replace(state, buffers=buffers)
         new_state, extra = self._advance_if_possible(agent_id, new_state)
         return new_state, [Broadcast(payload=payload, round_hint=state.current_round)] + extra
 
@@ -102,9 +118,8 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         if message_round < state.current_round:
             # Late message for a completed round: round structure ignores it.
             return state, []
-        buffers = state.buffer_dict()
-        buffers.setdefault(message_round, {})[sender] = message
-        new_state = replace(state, buffers=_freeze_buffers(buffers))
+        buffers = _with_buffered(state.buffers, message_round, sender, message)
+        new_state = replace(state, buffers=buffers)
         return self._advance_if_possible(agent_id, new_state)
 
     def output(self, agent_id: int, state: RoundBasedState) -> np.ndarray:
@@ -133,21 +148,25 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
     def _advance_if_possible(
         self, agent_id: int, state: RoundBasedState
     ) -> Tuple[RoundBasedState, List[Broadcast]]:
-        broadcasts: List[Broadcast] = []
         quorum = state.n - state.f
-        buffers = state.buffer_dict()
+        current_buffer = state.buffers.get(state.current_round, ())
+        if len(current_buffer) < quorum:
+            return state, []
+
+        broadcasts: List[Broadcast] = []
+        buffers = dict(state.buffers)
         inner = state.inner
         current_round = state.current_round
         in_neighbors = dict(state.round_in_neighbors)
 
-        while len(buffers.get(current_round, {})) >= quorum:
+        while len(buffers.get(current_round, ())) >= quorum:
             received = dict(buffers[current_round])
             inner = self._inner.transition(agent_id, inner, received, current_round)
             in_neighbors[current_round] = frozenset(received)
             del buffers[current_round]
             current_round += 1
             payload_message = self._inner.message(agent_id, inner)
-            buffers.setdefault(current_round, {})[agent_id] = payload_message
+            buffers = _with_buffered(buffers, current_round, agent_id, payload_message)
             broadcasts.append(
                 Broadcast(payload=(current_round, payload_message), round_hint=current_round)
             )
@@ -155,8 +174,8 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         new_state = RoundBasedState(
             inner=inner,
             current_round=current_round,
-            buffers=_freeze_buffers(buffers),
-            round_in_neighbors=tuple(sorted(in_neighbors.items())),
+            buffers=buffers,
+            round_in_neighbors=in_neighbors,
             n=state.n,
             f=state.f,
         )

@@ -19,7 +19,7 @@ import heapq
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,7 +83,13 @@ class OutputSample:
 
 @dataclass
 class AsyncExecution:
-    """The result of an asynchronous simulation."""
+    """The result of an asynchronous simulation.
+
+    All time-indexed queries (``outputs_at``, ``correct_diameter_at``,
+    ``agreement_time``) share one code path: a single chronological sweep
+    over the recorded samples (:meth:`timeline`), instead of rescanning the
+    full sample list per queried time.
+    """
 
     algorithm_name: str
     n: int
@@ -98,14 +104,44 @@ class AsyncExecution:
         """The agents that never crash."""
         return [i for i in range(self.n) if i not in self.crashed_agents]
 
+    def _sorted_samples(self) -> List[OutputSample]:
+        """The samples in chronological order (stable, so same-time updates
+        apply in recording order).  Cached: the sample list is append-only
+        during simulation and read-only afterwards."""
+        cached = getattr(self, "_sorted_cache", None)
+        if cached is None or len(cached) != len(self.samples):
+            cached = sorted(self.samples, key=lambda sample: sample.time)
+            self._sorted_cache = cached
+        return cached
+
+    def timeline(self) -> Iterator[Tuple[float, np.ndarray, FrozenSet[int]]]:
+        """Chronological sweep yielding ``(time, outputs, changed_agents)``.
+
+        One tuple per distinct sample time, with ``outputs`` the full
+        ``(n, d)`` output matrix *after* applying every sample at that time
+        and ``changed_agents`` the agents whose output was updated.  The
+        yielded array is reused between steps; copy it to keep a snapshot.
+        """
+        samples = self._sorted_samples()
+        outputs = self.final_outputs.copy()
+        index = 0
+        total = len(samples)
+        while index < total:
+            time = samples[index].time
+            changed = set()
+            while index < total and samples[index].time == time:
+                outputs[samples[index].agent] = samples[index].value
+                changed.add(samples[index].agent)
+                index += 1
+            yield time, outputs, frozenset(changed)
+
     def outputs_at(self, time: float) -> np.ndarray:
         """The outputs of all agents at simulated time ``time`` (last value before ``time``)."""
         outputs = self.final_outputs.copy()
-        latest = np.full(self.n, -np.inf)
-        for sample in self.samples:
-            if sample.time <= time and sample.time >= latest[sample.agent]:
-                outputs[sample.agent] = sample.value
-                latest[sample.agent] = sample.time
+        for step_time, step_outputs, _changed in self.timeline():
+            if step_time > time:
+                break
+            outputs[:] = step_outputs
         return outputs
 
     def correct_diameter_at(self, time: float) -> float:
@@ -119,14 +155,21 @@ class AsyncExecution:
 
         Returns None if they never do within the simulated horizon.
         """
-        times = sorted({sample.time for sample in self.samples} | {0.0, self.final_time})
+        correct = self.correct_agents()
+        correct_set = frozenset(correct)
         agreement_since: Optional[float] = None
-        for t in times:
-            if self.correct_diameter_at(t) <= tolerance + 1e-12:
+        seen_any = False
+        for time, outputs, changed in self.timeline():
+            seen_any = True
+            if agreement_since is not None and not (changed & correct_set):
+                continue  # no correct output changed: the diameter is unchanged
+            if diameter(outputs[correct]) <= tolerance + 1e-12:
                 if agreement_since is None:
-                    agreement_since = t
+                    agreement_since = time
             else:
                 agreement_since = None
+        if not seen_any and diameter(self.final_outputs[correct]) <= tolerance + 1e-12:
+            return 0.0
         return agreement_since
 
 

@@ -4,9 +4,28 @@ The engine turns an algorithm, a vector of initial values and a communication
 pattern into an :class:`~repro.execution.execution.Execution` record holding
 the full history of configurations (Section 2): the per-round graphs, per-
 round outputs ``y(t)`` and (optionally) the opaque agent states.
+
+Two execution paths are provided: the per-agent reference path and a
+vectorized fast path (see :mod:`repro.execution.engine`), plus a batched
+ensemble runner (:mod:`repro.execution.batch`) that executes many scenarios
+at once through the fast path.
 """
 
-from repro.execution.engine import apply_graph, run_execution, successor_outputs
+from repro.execution.batch import (
+    EnsembleExecution,
+    materialize_pattern,
+    run_ensemble,
+    run_pattern_ensemble,
+    stack_initial_values,
+    sweep,
+)
+from repro.execution.engine import (
+    apply_graph,
+    initial_configuration,
+    run_execution,
+    run_from_configuration,
+    successor_outputs,
+)
 from repro.execution.execution import Execution
 from repro.execution.metrics import (
     convergence_round,
@@ -18,10 +37,18 @@ from repro.execution.state import Configuration
 
 __all__ = [
     "Configuration",
+    "EnsembleExecution",
     "Execution",
     "apply_graph",
+    "initial_configuration",
+    "materialize_pattern",
+    "run_ensemble",
     "run_execution",
+    "run_from_configuration",
+    "run_pattern_ensemble",
+    "stack_initial_values",
     "successor_outputs",
+    "sweep",
     "diameter_history",
     "empirical_contraction_rate",
     "convergence_round",

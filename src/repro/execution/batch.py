@@ -1,0 +1,357 @@
+"""Batched ensemble execution: many independent scenarios in one pass.
+
+The vectorized fast path of :mod:`repro.execution.engine` computes a round as
+a masked reduction over the adjacency matrix.  Because every reduction
+broadcasts over leading axes, an entire *ensemble* of ``B`` independent
+scenarios — stacked ``(B, n, d)`` value tensors combined with per-scenario
+graph sequences stacked into ``(B, n, n)`` adjacency tensors — runs through
+the same NumPy expressions at once.  This is what opens scenario diversity at
+scale: initial-value grids, pattern grids, and Monte-Carlo ensembles execute
+in a handful of array operations per round instead of ``B`` separate Python
+drive loops.
+
+Entry points
+------------
+* :func:`run_ensemble` — run ``B`` scenarios against explicit per-round
+  graphs (shared across scenarios or one per scenario).
+* :func:`run_pattern_ensemble` — the same with oblivious
+  :class:`~repro.models.patterns.CommunicationPattern` objects.
+* :func:`sweep` — cross-product convenience over initial-value and pattern
+  grids.
+
+Algorithms without batch hooks fall back to scenario-by-scenario execution
+through :func:`repro.execution.engine.apply_graph`, so the API is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import ExecutionError
+from repro.execution.engine import apply_graph, initial_configuration
+from repro.graphs.digraph import CommunicationGraph
+from repro.models.patterns import CommunicationPattern
+from repro.types import ValuesLike, as_value_matrix
+
+#: One round of ensemble communication: a single graph shared by every
+#: scenario, or one graph per scenario (length ``B``).
+RoundGraphs = Union[CommunicationGraph, Sequence[CommunicationGraph]]
+
+
+@dataclass
+class EnsembleExecution:
+    """The recorded trajectory of a batched ensemble run.
+
+    Attributes
+    ----------
+    algorithm_name:
+        Name of the algorithm that produced the ensemble.
+    recorded_rounds:
+        The round numbers of the recorded snapshots (always includes 0 and
+        the final round).
+    recorded_outputs:
+        Array of shape ``(R, B, n, d)``: one ``(B, n, d)`` output tensor per
+        recorded round.
+    scenario_labels:
+        Optional per-scenario labels (e.g. ``(value_index, pattern_index)``
+        pairs produced by :func:`sweep`).
+    """
+
+    algorithm_name: str
+    recorded_rounds: List[int]
+    recorded_outputs: np.ndarray
+    scenario_labels: Optional[List[object]] = field(default=None)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of scenarios ``B``."""
+        return int(self.recorded_outputs.shape[1])
+
+    @property
+    def n(self) -> int:
+        """Number of agents per scenario."""
+        return int(self.recorded_outputs.shape[2])
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``d`` of the agents' values."""
+        return int(self.recorded_outputs.shape[3])
+
+    @property
+    def rounds(self) -> int:
+        """Number of executed rounds ``T``."""
+        return self.recorded_rounds[-1]
+
+    @property
+    def final_outputs(self) -> np.ndarray:
+        """The ``(B, n, d)`` output tensor after the last round."""
+        return self.recorded_outputs[-1]
+
+    def outputs_at_round(self, round_number: int) -> np.ndarray:
+        """The ``(B, n, d)`` outputs of a recorded round."""
+        try:
+            index = self.recorded_rounds.index(round_number)
+        except ValueError as exc:
+            raise ExecutionError(
+                f"round {round_number} was not recorded (recorded: {self.recorded_rounds})"
+            ) from exc
+        return self.recorded_outputs[index]
+
+    def diameters(self) -> np.ndarray:
+        """Per-scenario output diameters at every recorded round, shape ``(R, B)``."""
+        return np.stack([_batch_diameters(snapshot) for snapshot in self.recorded_outputs])
+
+    def final_diameters(self) -> np.ndarray:
+        """Per-scenario output diameters after the last round, shape ``(B,)``."""
+        return _batch_diameters(self.final_outputs)
+
+    def convergence_rounds(self, tolerance: float) -> np.ndarray:
+        """Per scenario, the first recorded round with diameter <= ``tolerance`` (-1 if never)."""
+        diameters = self.diameters()
+        result = np.full(self.batch_size, -1, dtype=int)
+        for row, round_number in zip(diameters, self.recorded_rounds):
+            hit = (row <= tolerance) & (result < 0)
+            result[hit] = round_number
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsembleExecution({self.algorithm_name}, B={self.batch_size}, n={self.n}, "
+            f"rounds={self.rounds}, mean final diam={float(self.final_diameters().mean()):.4g})"
+        )
+
+
+def _batch_diameters(outputs: np.ndarray) -> np.ndarray:
+    """Euclidean output diameter of each scenario of a ``(B, n, d)`` tensor."""
+    diffs = outputs[:, :, None, :] - outputs[:, None, :, :]
+    distances = np.sqrt((diffs * diffs).sum(axis=-1))
+    return distances.max(axis=(-1, -2))
+
+
+def stack_initial_values(initial_values: Union[np.ndarray, Sequence[ValuesLike]]) -> np.ndarray:
+    """Promote per-scenario initial values to a ``(B, n, d)`` float tensor."""
+    if isinstance(initial_values, np.ndarray) and initial_values.ndim == 3:
+        return initial_values.astype(float, copy=True)
+    matrices = [as_value_matrix(values) for values in initial_values]
+    if not matrices:
+        raise ExecutionError("an ensemble needs at least one scenario")
+    shape = matrices[0].shape
+    for index, matrix in enumerate(matrices):
+        if matrix.shape != shape:
+            raise ExecutionError(
+                f"scenario {index} has shape {matrix.shape}, expected {shape}: all scenarios "
+                "of an ensemble must share n and d"
+            )
+    return np.stack(matrices)
+
+
+def _round_adjacency(round_graphs: RoundGraphs, batch_size: int, n: int) -> np.ndarray:
+    """The adjacency tensor of one ensemble round: ``(n, n)`` shared or ``(B, n, n)``."""
+    if isinstance(round_graphs, CommunicationGraph):
+        if round_graphs.n != n:
+            raise ExecutionError(f"graph has {round_graphs.n} agents, scenarios have {n}")
+        return round_graphs.adjacency
+    graphs = list(round_graphs)
+    if len(graphs) != batch_size:
+        raise ExecutionError(
+            f"per-scenario round needs {batch_size} graphs, got {len(graphs)}"
+        )
+    for graph in graphs:
+        if graph.n != n:
+            raise ExecutionError(f"graph has {graph.n} agents, scenarios have {n}")
+    return np.stack([graph.adjacency for graph in graphs])
+
+
+def _round_graph_of_scenario(round_graphs: RoundGraphs, scenario: int) -> CommunicationGraph:
+    if isinstance(round_graphs, CommunicationGraph):
+        return round_graphs
+    return round_graphs[scenario]
+
+
+def run_ensemble(
+    algorithm: Algorithm,
+    initial_values: Union[np.ndarray, Sequence[ValuesLike]],
+    graph_rounds: Sequence[RoundGraphs],
+    record_every: int = 1,
+    scenario_labels: Optional[Sequence[object]] = None,
+) -> EnsembleExecution:
+    """Execute ``B`` independent scenarios through the vectorized fast path.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to run; batch-capable algorithms execute all scenarios
+        at once, others fall back to a per-scenario loop.
+    initial_values:
+        A ``(B, n, d)`` tensor or a sequence of ``B`` per-agent value
+        collections (all with the same ``n`` and ``d``).
+    graph_rounds:
+        One entry per round ``t``: either a single
+        :class:`~repro.graphs.digraph.CommunicationGraph` applied to every
+        scenario, or a length-``B`` sequence of per-scenario graphs.
+    record_every:
+        Keep every ``record_every``-th round snapshot in addition to the
+        initial and final ones.
+    scenario_labels:
+        Optional labels stored on the result (one per scenario).
+    """
+    if record_every < 1:
+        raise ExecutionError(f"record_every must be >= 1, got {record_every}")
+    values = stack_initial_values(initial_values)
+    batch_size, n, _d = values.shape
+    labels = list(scenario_labels) if scenario_labels is not None else None
+    if labels is not None and len(labels) != batch_size:
+        raise ExecutionError(f"need {batch_size} scenario labels, got {len(labels)}")
+    rounds = len(graph_rounds)
+
+    if not algorithm.supports_batch():
+        return _run_ensemble_slow(algorithm, values, graph_rounds, record_every, labels)
+
+    batch_state = algorithm.batch_initial(values)
+    recorded_rounds = [0]
+    recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
+    for t, round_graphs in enumerate(graph_rounds, start=1):
+        adjacency = _round_adjacency(round_graphs, batch_size, n)
+        batch_state = algorithm.batch_transition(batch_state, adjacency, t)
+        if t % record_every == 0 or t == rounds:
+            recorded_rounds.append(t)
+            recorded.append(np.array(algorithm.batch_outputs(batch_state), dtype=float))
+
+    return EnsembleExecution(
+        algorithm_name=algorithm.name,
+        recorded_rounds=recorded_rounds,
+        recorded_outputs=np.stack(recorded),
+        scenario_labels=labels,
+    )
+
+
+def _run_ensemble_slow(
+    algorithm: Algorithm,
+    values: np.ndarray,
+    graph_rounds: Sequence[RoundGraphs],
+    record_every: int,
+    labels: Optional[List[object]],
+) -> EnsembleExecution:
+    """Per-scenario fallback for algorithms without batch hooks."""
+    batch_size = values.shape[0]
+    rounds = len(graph_rounds)
+    per_scenario: List[List[np.ndarray]] = []
+    recorded_rounds = [0] + [
+        t for t in range(1, rounds + 1) if t % record_every == 0 or t == rounds
+    ]
+    for scenario in range(batch_size):
+        configuration = initial_configuration(algorithm, values[scenario])
+        snapshots = [configuration.outputs.copy()]
+        for t, round_graphs in enumerate(graph_rounds, start=1):
+            graph = _round_graph_of_scenario(round_graphs, scenario)
+            configuration = apply_graph(algorithm, configuration, graph)
+            if t % record_every == 0 or t == rounds:
+                snapshots.append(configuration.outputs.copy())
+        per_scenario.append(snapshots)
+    recorded = [
+        np.stack([per_scenario[b][r] for b in range(batch_size)])
+        for r in range(len(recorded_rounds))
+    ]
+    return EnsembleExecution(
+        algorithm_name=algorithm.name,
+        recorded_rounds=recorded_rounds,
+        recorded_outputs=np.stack(recorded),
+        scenario_labels=labels,
+    )
+
+
+def materialize_pattern(pattern: CommunicationPattern, rounds: int) -> List[CommunicationGraph]:
+    """Evaluate an oblivious pattern's first ``rounds`` graphs.
+
+    Adaptive patterns cannot be materialized ahead of the execution and raise
+    :class:`~repro.exceptions.ExecutionError` (run them one scenario at a time
+    through :func:`repro.execution.run_execution`).
+    """
+    pattern.reset()
+    return [pattern.graph_at(t) for t in range(1, rounds + 1)]
+
+
+def run_pattern_ensemble(
+    algorithm: Algorithm,
+    initial_values: Union[np.ndarray, Sequence[ValuesLike]],
+    patterns: Union[CommunicationPattern, Sequence[CommunicationPattern]],
+    rounds: int,
+    record_every: int = 1,
+    scenario_labels: Optional[Sequence[object]] = None,
+) -> EnsembleExecution:
+    """Run an ensemble against oblivious communication patterns.
+
+    ``patterns`` is a single pattern shared by every scenario or one pattern
+    per scenario.
+    """
+    if rounds < 0:
+        raise ExecutionError(f"rounds must be non-negative, got {rounds}")
+    values = stack_initial_values(initial_values)
+    batch_size = values.shape[0]
+    if isinstance(patterns, CommunicationPattern):
+        graph_rounds: List[RoundGraphs] = list(materialize_pattern(patterns, rounds))
+    else:
+        pattern_list = list(patterns)
+        if len(pattern_list) != batch_size:
+            raise ExecutionError(
+                f"need one pattern per scenario ({batch_size}), got {len(pattern_list)}"
+            )
+        per_pattern = [materialize_pattern(p, rounds) for p in pattern_list]
+        graph_rounds = [
+            [per_pattern[b][t] for b in range(batch_size)] for t in range(rounds)
+        ]
+    return run_ensemble(
+        algorithm,
+        values,
+        graph_rounds,
+        record_every=record_every,
+        scenario_labels=scenario_labels,
+    )
+
+
+def sweep(
+    algorithm: Algorithm,
+    initial_values_grid: Sequence[ValuesLike],
+    patterns: Union[CommunicationPattern, Sequence[CommunicationPattern]],
+    rounds: int,
+    record_every: int = 1,
+) -> EnsembleExecution:
+    """Cross-product sweep over initial-value and pattern grids.
+
+    Builds one scenario per ``(initial values, pattern)`` pair and executes
+    the whole grid as a single batched ensemble.  Each scenario is labelled
+    ``(value_index, pattern_index)`` so results can be pivoted back onto the
+    grid.
+    """
+    values_list = [as_value_matrix(values) for values in initial_values_grid]
+    if not values_list:
+        raise ExecutionError("a sweep needs at least one initial-value vector")
+    pattern_list = (
+        [patterns] if isinstance(patterns, CommunicationPattern) else list(patterns)
+    )
+    if not pattern_list:
+        raise ExecutionError("a sweep needs at least one pattern")
+    per_pattern = [materialize_pattern(p, rounds) for p in pattern_list]
+
+    stacked: List[np.ndarray] = []
+    labels: List[Tuple[int, int]] = []
+    scenario_graphs: List[List[CommunicationGraph]] = []
+    for value_index, values in enumerate(values_list):
+        for pattern_index in range(len(pattern_list)):
+            stacked.append(values)
+            labels.append((value_index, pattern_index))
+            scenario_graphs.append(per_pattern[pattern_index])
+    graph_rounds: List[RoundGraphs] = [
+        [scenario_graphs[b][t] for b in range(len(stacked))] for t in range(rounds)
+    ]
+    return run_ensemble(
+        algorithm,
+        stack_initial_values(stacked),
+        graph_rounds,
+        record_every=record_every,
+        scenario_labels=labels,
+    )

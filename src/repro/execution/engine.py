@@ -6,6 +6,25 @@ given number of rounds against a communication pattern, producing an
 ``G.C`` operation of Section 2) performs a single round and is also used by
 the valency estimator and by adaptive adversaries to evaluate candidate
 successor configurations without committing to them.
+
+Two execution paths are available and produce equivalent executions:
+
+* the **per-agent path** — the fully general reference implementation that
+  builds a ``{sender: value}`` dict per agent per round and calls the
+  algorithm's ``transition``; and
+* the **vectorized fast path** — taken automatically whenever the algorithm
+  implements the ``batch_*`` hooks of :class:`~repro.algorithms.base.Algorithm`
+  (all convex-combination algorithms with a ``combine_all``, plus the
+  amortized midpoint algorithm).  Whole rounds are computed as masked NumPy
+  reductions over the graph's adjacency matrix, and per-agent states are only
+  materialized for recorded configurations.
+
+``use_fast_path=None`` (the default) auto-selects; ``False`` forces the
+per-agent path (used by the equivalence tests and benchmarks) and ``True``
+requires the fast path.  Adaptive patterns keep working on the fast path:
+the :class:`~repro.models.patterns.RoundContext` exposes the same outputs and
+(lazily materialized) states, and ``simulate_outputs`` routes through the
+same dispatch.
 """
 
 from __future__ import annotations
@@ -14,13 +33,53 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm
+from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
 from repro.exceptions import ExecutionError
 from repro.execution.execution import Execution
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
 from repro.models.patterns import CommunicationPattern, RoundContext
 from repro.types import ValuesLike, as_value_matrix
+
+
+def _fast_path_enabled(algorithm: Algorithm, use_fast_path: Optional[bool]) -> bool:
+    """Resolve the ``use_fast_path`` tri-state against the algorithm's support."""
+    if use_fast_path is None:
+        return algorithm.supports_batch()
+    if use_fast_path and not algorithm.supports_batch():
+        raise ExecutionError(
+            f"use_fast_path=True but {algorithm.name} does not implement the batch hooks"
+        )
+    return use_fast_path
+
+
+class _LazyStates(Sequence):
+    """A sequence of per-agent states materialized only on first access.
+
+    The fast path hands this to :class:`~repro.models.patterns.RoundContext`
+    so that oblivious patterns never pay for state materialization while
+    adaptive adversaries still see the exact per-agent states.
+    """
+
+    __slots__ = ("_thunk", "_states")
+
+    def __init__(self, thunk) -> None:
+        self._thunk = thunk
+        self._states: Optional[Tuple[Any, ...]] = None
+
+    def _materialize(self) -> Tuple[Any, ...]:
+        if self._states is None:
+            self._states = tuple(self._thunk())
+        return self._states
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __iter__(self):
+        return iter(self._materialize())
 
 
 def initial_configuration(
@@ -40,12 +99,16 @@ def apply_graph(
     algorithm: Algorithm,
     configuration: Configuration,
     graph: CommunicationGraph,
+    use_fast_path: Optional[bool] = None,
 ) -> Configuration:
     """The successor configuration ``G.C``: one synchronous round with graph ``G``.
 
     Every agent broadcasts its message, receives the messages of its
     in-neighbors in ``graph`` (always including its own), and applies the
-    algorithm's transition function.
+    algorithm's transition function.  Convex-combination algorithms with a
+    ``combine_all`` dispatch to the vectorized fast path automatically;
+    other batch-capable algorithms take the per-agent path here (pass
+    ``use_fast_path=True`` to get an error instead of a silent fallback).
     """
     n = configuration.n
     if graph.n != n:
@@ -53,6 +116,26 @@ def apply_graph(
             f"communication graph has {graph.n} agents but the configuration has {n}"
         )
     round_number = configuration.round_number + 1
+
+    # Fast path: for convex-combination algorithms the state *is* the output
+    # matrix, so one masked reduction replaces the per-agent dict traffic.
+    # Other batch-capable algorithms (e.g. the amortized midpoint) carry
+    # state beyond the outputs that a single Configuration-level step cannot
+    # reconstruct cheaply; only run_execution drives their fast path.
+    if _fast_path_enabled(algorithm, use_fast_path):
+        if isinstance(algorithm, ConvexCombinationAlgorithm):
+            new_values = algorithm.batch_transition(
+                configuration.outputs, graph.adjacency, round_number
+            )
+            return Configuration(
+                states=tuple(new_values), outputs=new_values, round_number=round_number
+            )
+        if use_fast_path:
+            raise ExecutionError(
+                f"apply_graph's fast path only covers convex-combination algorithms; "
+                f"run {algorithm.name} through run_execution(use_fast_path=True) instead"
+            )
+
     messages = [algorithm.message(i, configuration.states[i]) for i in range(n)]
     new_states: List[Any] = []
     for j in range(n):
@@ -70,9 +153,10 @@ def successor_outputs(
     algorithm: Algorithm,
     configuration: Configuration,
     graph: CommunicationGraph,
+    use_fast_path: Optional[bool] = None,
 ) -> np.ndarray:
     """The output matrix of ``G.C`` (convenience wrapper around :func:`apply_graph`)."""
-    return apply_graph(algorithm, configuration, graph).outputs
+    return apply_graph(algorithm, configuration, graph, use_fast_path=use_fast_path).outputs
 
 
 def run_execution(
@@ -81,6 +165,7 @@ def run_execution(
     pattern: CommunicationPattern,
     rounds: int,
     record_every: int = 1,
+    use_fast_path: Optional[bool] = None,
 ) -> Execution:
     """Run ``algorithm`` for ``rounds`` rounds against ``pattern``.
 
@@ -99,6 +184,10 @@ def run_execution(
         Keep every ``record_every``-th configuration in addition to the
         initial and final ones (1 keeps everything).  The graphs list always
         has one entry per executed round.
+    use_fast_path:
+        ``None`` auto-selects the vectorized fast path when the algorithm
+        supports it; ``False`` forces the per-agent reference path; ``True``
+        requires the fast path (raising if unsupported).
 
     Returns
     -------
@@ -111,6 +200,9 @@ def run_execution(
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
 
     pattern.reset()
+    if _fast_path_enabled(algorithm, use_fast_path):
+        return _run_execution_fast(algorithm, initial_values, pattern, rounds, record_every)
+
     configuration = initial_configuration(algorithm, initial_values)
     execution = Execution(algorithm_name=algorithm.name, configurations=[configuration], graphs=[])
     history: List[CommunicationGraph] = []
@@ -121,11 +213,13 @@ def run_execution(
             outputs=configuration.outputs,
             states=configuration.states,
             algorithm=algorithm,
-            simulate_outputs=lambda g, _c=configuration: successor_outputs(algorithm, _c, g),
+            simulate_outputs=lambda g, _c=configuration: successor_outputs(
+                algorithm, _c, g, use_fast_path=False
+            ),
             history=history,
         )
         graph = pattern.graph_at(t, context)
-        configuration = apply_graph(algorithm, configuration, graph)
+        configuration = apply_graph(algorithm, configuration, graph, use_fast_path=False)
         history.append(graph)
         execution.graphs.append(graph)
         if t % record_every == 0 or t == rounds:
@@ -134,10 +228,64 @@ def run_execution(
     return execution
 
 
+def _run_execution_fast(
+    algorithm: Algorithm,
+    initial_values: ValuesLike,
+    pattern: CommunicationPattern,
+    rounds: int,
+    record_every: int,
+) -> Execution:
+    """The vectorized drive loop behind :func:`run_execution`."""
+    values = as_value_matrix(initial_values)
+    if values.shape[0] < 1:
+        raise ExecutionError("at least one agent is required")
+    batch_state = algorithm.batch_initial(values)
+    outputs = np.asarray(algorithm.batch_outputs(batch_state), dtype=float)
+    execution = Execution(
+        algorithm_name=algorithm.name,
+        configurations=[
+            Configuration(states=algorithm.batch_states(batch_state), outputs=outputs, round_number=0)
+        ],
+        graphs=[],
+    )
+    history: List[CommunicationGraph] = []
+
+    for t in range(1, rounds + 1):
+        context = RoundContext(
+            round_number=t,
+            outputs=outputs,
+            states=_LazyStates(lambda _bs=batch_state: algorithm.batch_states(_bs)),
+            algorithm=algorithm,
+            simulate_outputs=lambda g, _bs=batch_state, _t=t: np.asarray(
+                algorithm.batch_outputs(algorithm.batch_transition(_bs, g.adjacency, _t)),
+                dtype=float,
+            ),
+            history=history,
+        )
+        graph = pattern.graph_at(t, context)
+        if graph.n != values.shape[0]:
+            raise ExecutionError(
+                f"communication graph has {graph.n} agents but the configuration has {values.shape[0]}"
+            )
+        batch_state = algorithm.batch_transition(batch_state, graph.adjacency, t)
+        outputs = np.asarray(algorithm.batch_outputs(batch_state), dtype=float)
+        history.append(graph)
+        execution.graphs.append(graph)
+        if t % record_every == 0 or t == rounds:
+            execution.configurations.append(
+                Configuration(
+                    states=algorithm.batch_states(batch_state), outputs=outputs, round_number=t
+                )
+            )
+
+    return execution
+
+
 def run_from_configuration(
     algorithm: Algorithm,
     configuration: Configuration,
     graphs: Sequence[CommunicationGraph],
+    use_fast_path: Optional[bool] = None,
 ) -> Tuple[Configuration, List[Configuration]]:
     """Apply a fixed finite graph sequence starting from ``configuration``.
 
@@ -148,6 +296,6 @@ def run_from_configuration(
     intermediate: List[Configuration] = []
     current = configuration
     for graph in graphs:
-        current = apply_graph(algorithm, current, graph)
+        current = apply_graph(algorithm, current, graph, use_fast_path=use_fast_path)
         intermediate.append(current)
     return current, intermediate

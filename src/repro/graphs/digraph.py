@@ -49,7 +49,7 @@ class CommunicationGraph:
     [0]
     """
 
-    __slots__ = ("_n", "_adj", "_name", "_hash")
+    __slots__ = ("_n", "_adj", "_name", "_hash", "_in_cache", "_out_cache")
 
     def __init__(
         self,
@@ -89,6 +89,12 @@ class CommunicationGraph:
         self._adj = adj
         self._name = name
         self._hash = hash((n, adj.tobytes()))
+        # Lazily built per-agent neighborhood caches.  The graph is immutable,
+        # so the frozensets are computed once and shared by every caller
+        # (in_neighbors/out_neighbors are hit per agent per round in the
+        # per-agent execution path and throughout graphs/relations.py).
+        self._in_cache: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._out_cache: Optional[Tuple[FrozenSet[int], ...]] = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -134,12 +140,22 @@ class CommunicationGraph:
     def in_neighbors(self, j: int) -> FrozenSet[int]:
         """``In_j(G)``: agents whose round message ``j`` receives (includes ``j``)."""
         self._check_agent(j)
-        return frozenset(np.nonzero(self._adj[:, j])[0].tolist())
+        if self._in_cache is None:
+            self._in_cache = tuple(
+                frozenset(np.nonzero(self._adj[:, column])[0].tolist())
+                for column in range(self._n)
+            )
+        return self._in_cache[j]
 
     def out_neighbors(self, i: int) -> FrozenSet[int]:
         """``Out_i(G)``: agents that receive ``i``'s round message (includes ``i``)."""
         self._check_agent(i)
-        return frozenset(np.nonzero(self._adj[i, :])[0].tolist())
+        if self._out_cache is None:
+            self._out_cache = tuple(
+                frozenset(np.nonzero(self._adj[row, :])[0].tolist())
+                for row in range(self._n)
+            )
+        return self._out_cache[i]
 
     def in_degree(self, j: int) -> int:
         """Number of in-neighbors of ``j`` (self-loop included)."""

@@ -1,0 +1,51 @@
+"""Tests for the analysis package: experiments and the Table-1 summary."""
+
+import pytest
+
+from repro.analysis import (
+    Table1Row,
+    build_table1,
+    experiment_decision_times,
+    experiment_nonsplit,
+    experiment_solvability,
+    experiment_two_agent,
+    format_table,
+    format_table1,
+)
+
+
+def test_experiment_two_agent_measures_one_third():
+    result = experiment_two_agent()
+    assert result["measured"] == pytest.approx(result["paper"], abs=1e-6)
+
+
+def test_experiment_nonsplit_measures_one_half():
+    result = experiment_nonsplit(n=4, rounds=20)
+    assert result["measured"] == pytest.approx(0.5, abs=1e-9)
+
+
+def test_experiment_decision_times_matches_closed_form():
+    result = experiment_decision_times(delta=1.0, epsilon=1e-2)
+    assert result["measured"] == result["paper"]
+
+
+def test_experiment_solvability():
+    assert experiment_solvability()["measured"] is True
+
+
+def test_build_table1_rows_are_consistent():
+    rows = build_table1(n=6, f=2)
+    assert all(isinstance(row, Table1Row) for row in rows)
+    for row in rows:
+        if row.upper_bound is not None:
+            assert row.lower_bound <= row.upper_bound + 1e-12
+
+
+def test_format_table1_renders():
+    text = format_table1(n=6, f=2)
+    assert "Theorem 3" in text and "midpoint" in text
+
+
+def test_format_table_handles_mixed_cells():
+    text = format_table(["a", "b"], [[1, None], ["x", 2.5]], title="t")
+    assert "nan" not in text and "-" in text

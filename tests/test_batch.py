@@ -1,0 +1,156 @@
+"""Tests for the batched ensemble runner (repro.execution.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MeanAlgorithm, MidpointAlgorithm
+from repro.algorithms.base import ConvexCombinationAlgorithm
+from repro.exceptions import ExecutionError
+from repro.execution import (
+    run_ensemble,
+    run_execution,
+    run_pattern_ensemble,
+    stack_initial_values,
+    sweep,
+)
+from repro.graphs.families import complete_graph, cycle_graph, directed_star_graph
+from repro.models.patterns import ConstantPattern, PeriodicPattern
+
+
+class SlowMidpoint(ConvexCombinationAlgorithm):
+    """A midpoint clone without combine_all, to exercise the fallback path."""
+
+    def combine(self, agent_id, received, round_number):
+        values = np.vstack(list(received.values()))
+        return (values.min(axis=0) + values.max(axis=0)) / 2.0
+
+
+def _values(batch, n, d, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=(batch, n, d))
+
+
+class TestStackInitialValues:
+    def test_scalar_scenarios_are_promoted(self):
+        stacked = stack_initial_values([[0.0, 1.0], [2.0, 3.0]])
+        assert stacked.shape == (2, 2, 1)
+
+    def test_mismatched_scenarios_raise(self):
+        with pytest.raises(ExecutionError):
+            stack_initial_values([[0.0, 1.0], [0.0, 1.0, 2.0]])
+
+    def test_empty_ensemble_raises(self):
+        with pytest.raises(ExecutionError):
+            stack_initial_values([])
+
+
+class TestRunEnsemble:
+    def test_shared_graphs_match_single_executions(self):
+        batch, n, d, rounds = 4, 6, 2, 8
+        values = _values(batch, n, d)
+        pattern = PeriodicPattern([complete_graph(n), cycle_graph(n)])
+        ensemble = run_pattern_ensemble(MidpointAlgorithm(), values, pattern, rounds)
+        for b in range(batch):
+            single = run_execution(MidpointAlgorithm(), values[b], pattern, rounds)
+            for r, round_number in enumerate(ensemble.recorded_rounds):
+                np.testing.assert_array_equal(
+                    ensemble.recorded_outputs[r, b],
+                    single.configuration(round_number).outputs,
+                )
+
+    def test_per_scenario_graphs(self):
+        n, rounds = 5, 6
+        values = _values(3, n, 1)
+        sequences = [
+            [complete_graph(n)] * rounds,
+            [cycle_graph(n)] * rounds,
+            [directed_star_graph(n)] * rounds,
+        ]
+        graph_rounds = [[sequences[b][t] for b in range(3)] for t in range(rounds)]
+        ensemble = run_ensemble(MeanAlgorithm(), values, graph_rounds)
+        for b in range(3):
+            single = run_execution(
+                MeanAlgorithm(), values[b], ConstantPattern(sequences[b][0]), rounds
+            )
+            np.testing.assert_allclose(
+                ensemble.final_outputs[b], single.final_configuration.outputs,
+                rtol=0.0, atol=1e-12,
+            )
+
+    def test_fallback_path_matches_fast_path(self):
+        batch, n, rounds = 3, 5, 7
+        values = _values(batch, n, 1, seed=4)
+        pattern = PeriodicPattern([complete_graph(n), cycle_graph(n)])
+        fast = run_pattern_ensemble(MidpointAlgorithm(), values, pattern, rounds)
+        slow = run_pattern_ensemble(SlowMidpoint(), values, pattern, rounds)
+        assert fast.recorded_rounds == slow.recorded_rounds
+        np.testing.assert_array_equal(fast.recorded_outputs, slow.recorded_outputs)
+
+    def test_record_every(self):
+        values = _values(2, 4, 1)
+        pattern = ConstantPattern(complete_graph(4))
+        ensemble = run_pattern_ensemble(MidpointAlgorithm(), values, pattern, 7, record_every=3)
+        assert ensemble.recorded_rounds == [0, 3, 6, 7]
+
+    def test_wrong_scenario_count_raises(self):
+        values = _values(2, 4, 1)
+        with pytest.raises(ExecutionError):
+            run_ensemble(MidpointAlgorithm(), values, [[complete_graph(4)]] )
+
+    def test_graph_size_mismatch_raises(self):
+        values = _values(2, 4, 1)
+        with pytest.raises(ExecutionError):
+            run_ensemble(MidpointAlgorithm(), values, [complete_graph(5)])
+
+
+class TestEnsembleMetrics:
+    def test_diameters_and_convergence_rounds(self):
+        n = 4
+        values = np.stack([
+            np.linspace(0.0, 1.0, n).reshape(n, 1),
+            np.linspace(0.0, 4.0, n).reshape(n, 1),
+        ])
+        ensemble = run_pattern_ensemble(
+            MidpointAlgorithm(), values, ConstantPattern(complete_graph(n)), 3
+        )
+        diameters = ensemble.diameters()
+        assert diameters.shape == (4, 2)
+        np.testing.assert_allclose(diameters[0], [1.0, 4.0])
+        np.testing.assert_allclose(diameters[1], [0.0, 0.0], atol=1e-12)
+        assert list(ensemble.convergence_rounds(1e-9)) == [1, 1]
+        assert ensemble.convergence_rounds(1e-9).shape == (2,)
+
+    def test_outputs_at_round_raises_for_unrecorded_round(self):
+        values = _values(2, 3, 1)
+        ensemble = run_pattern_ensemble(
+            MidpointAlgorithm(), values, ConstantPattern(complete_graph(3)), 6, record_every=2
+        )
+        with pytest.raises(ExecutionError):
+            ensemble.outputs_at_round(3)
+
+
+class TestSweep:
+    def test_cross_product_labels_and_results(self):
+        n, rounds = 4, 5
+        grids = [np.linspace(0.0, 1.0, n), np.linspace(-1.0, 1.0, n)]
+        patterns = [ConstantPattern(complete_graph(n)), ConstantPattern(cycle_graph(n))]
+        result = sweep(MidpointAlgorithm(), grids, patterns, rounds)
+        assert result.batch_size == 4
+        assert result.scenario_labels == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        for b, (value_index, pattern_index) in enumerate(result.scenario_labels):
+            single = run_execution(
+                MidpointAlgorithm(), grids[value_index], patterns[pattern_index], rounds
+            )
+            np.testing.assert_array_equal(
+                result.final_outputs[b], single.final_configuration.outputs
+            )
+
+    def test_single_pattern_is_broadcast(self):
+        n = 3
+        result = sweep(
+            MidpointAlgorithm(),
+            [[0.0, 1.0, 2.0], [5.0, 6.0, 7.0]],
+            ConstantPattern(complete_graph(n)),
+            rounds=2,
+        )
+        assert result.batch_size == 2
+        assert result.scenario_labels == [(0, 0), (1, 0)]

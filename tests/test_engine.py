@@ -1,0 +1,150 @@
+"""Unit tests for the synchronous round engine (both execution paths)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    MeanAlgorithm,
+    MidpointAlgorithm,
+    TwoAgentThirdsAlgorithm,
+)
+from repro.core.adversary import GreedyDiameterAdversary, TwoAgentAdversary
+from repro.exceptions import ExecutionError
+from repro.execution import (
+    apply_graph,
+    initial_configuration,
+    run_execution,
+    successor_outputs,
+)
+from repro.execution.metrics import empirical_contraction_rate
+from repro.graphs.families import complete_graph, cycle_graph, directed_star_graph
+from repro.models.patterns import ConstantPattern, PeriodicPattern
+from repro.models.standard import deaf_model
+
+
+class TestApplyGraph:
+    def test_midpoint_on_complete_graph_agrees_in_one_round(self):
+        algo = MidpointAlgorithm()
+        config = initial_configuration(algo, [0.0, 1.0, 4.0])
+        successor = apply_graph(algo, config, complete_graph(3))
+        np.testing.assert_array_equal(successor.outputs, np.full((3, 1), 2.0))
+        assert successor.round_number == 1
+
+    def test_mean_on_complete_graph(self):
+        algo = MeanAlgorithm()
+        config = initial_configuration(algo, [0.0, 3.0, 6.0])
+        successor = apply_graph(algo, config, complete_graph(3))
+        np.testing.assert_allclose(successor.outputs, np.full((3, 1), 3.0))
+
+    def test_graph_size_mismatch_raises(self):
+        algo = MidpointAlgorithm()
+        config = initial_configuration(algo, [0.0, 1.0])
+        with pytest.raises(ExecutionError):
+            apply_graph(algo, config, complete_graph(3))
+
+    def test_successor_outputs_does_not_mutate_configuration(self):
+        algo = MidpointAlgorithm()
+        config = initial_configuration(algo, [0.0, 1.0, 4.0])
+        before = config.outputs.copy()
+        successor_outputs(algo, config, complete_graph(3))
+        np.testing.assert_array_equal(config.outputs, before)
+
+    def test_forced_fast_apply_graph_rejects_non_convex_combination(self):
+        # The amortized midpoint supports batching in run_execution, but
+        # apply_graph cannot reconstruct its batch state from a
+        # Configuration; use_fast_path=True must error, not silently fall
+        # back to the per-agent path.
+        from repro.algorithms import AmortizedMidpointAlgorithm
+
+        algo = AmortizedMidpointAlgorithm()
+        config = initial_configuration(algo, [0.0, 1.0, 2.0])
+        with pytest.raises(ExecutionError):
+            apply_graph(algo, config, complete_graph(3), use_fast_path=True)
+        fallback = apply_graph(algo, config, complete_graph(3))
+        assert fallback.round_number == 1
+
+    def test_fast_and_slow_apply_graph_agree(self):
+        algo = MidpointAlgorithm()
+        config = initial_configuration(algo, [0.0, 1.0, 4.0, -2.0])
+        graph = directed_star_graph(4, center=1)
+        fast = apply_graph(algo, config, graph, use_fast_path=True)
+        slow = apply_graph(algo, config, graph, use_fast_path=False)
+        np.testing.assert_array_equal(fast.outputs, slow.outputs)
+
+
+class TestRunExecution:
+    def test_negative_rounds_raises(self):
+        with pytest.raises(ExecutionError):
+            run_execution(MidpointAlgorithm(), [0.0, 1.0], ConstantPattern(complete_graph(2)), -1)
+
+    def test_zero_rounds_records_only_initial_configuration(self):
+        execution = run_execution(
+            MidpointAlgorithm(), [0.0, 1.0], ConstantPattern(complete_graph(2)), 0
+        )
+        assert execution.rounds == 0
+        assert len(execution.configurations) == 1
+
+    def test_record_every_keeps_final_configuration(self):
+        execution = run_execution(
+            MidpointAlgorithm(),
+            [0.0, 1.0, 2.0],
+            ConstantPattern(cycle_graph(3)),
+            rounds=7,
+            record_every=3,
+        )
+        assert [c.round_number for c in execution.configurations] == [0, 3, 6, 7]
+        assert len(execution.graphs) == 7
+
+    def test_use_fast_path_true_requires_batch_support(self):
+        class NoBatch(MidpointAlgorithm):
+            def supports_batch(self):
+                return False
+
+        with pytest.raises(ExecutionError):
+            run_execution(
+                NoBatch(), [0.0, 1.0], ConstantPattern(complete_graph(2)), 1, use_fast_path=True
+            )
+
+    def test_midpoint_halves_diameter_per_round_on_nonsplit_graphs(self):
+        execution = run_execution(
+            MidpointAlgorithm(), [0.0, 1.0], ConstantPattern(complete_graph(2)), 10
+        )
+        assert execution.final_diameter() == pytest.approx(0.0, abs=1e-12)
+        assert execution.validity_holds()
+
+    def test_validity_holds_on_both_paths(self):
+        pattern = PeriodicPattern([complete_graph(4), cycle_graph(4)])
+        for fast in (False, True):
+            execution = run_execution(
+                MeanAlgorithm(), [0.0, 1.0, 5.0, -3.0], pattern, 12, use_fast_path=fast
+            )
+            assert execution.validity_holds()
+
+
+class TestAdaptivePatterns:
+    def test_two_agent_adversary_realizes_one_third_on_fast_path(self):
+        execution = run_execution(
+            TwoAgentThirdsAlgorithm(), [0.0, 1.0], TwoAgentAdversary(), 25
+        )
+        rate = empirical_contraction_rate(execution)
+        assert rate == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_greedy_deaf_adversary_halves_midpoint_per_round(self):
+        execution = run_execution(
+            MidpointAlgorithm(),
+            [0.0, 1.0, 2.0, 3.0],
+            GreedyDiameterAdversary(deaf_model(n=4)),
+            15,
+        )
+        rate = empirical_contraction_rate(execution)
+        assert rate == pytest.approx(0.5, abs=1e-9)
+
+    def test_adaptive_pattern_sees_identical_context_on_both_paths(self):
+        adversary_fast = GreedyDiameterAdversary(deaf_model(n=3))
+        adversary_slow = GreedyDiameterAdversary(deaf_model(n=3))
+        values = [0.0, 2.0, 5.0]
+        fast = run_execution(MidpointAlgorithm(), values, adversary_fast, 8, use_fast_path=True)
+        slow = run_execution(MidpointAlgorithm(), values, adversary_slow, 8, use_fast_path=False)
+        assert fast.graphs == slow.graphs
+        for a, b in zip(fast.configurations, slow.configurations):
+            np.testing.assert_array_equal(a.outputs, b.outputs)

@@ -1,0 +1,86 @@
+"""Guard a benchmark JSON against fast-path regressions.
+
+Reads a ``BENCH_engine.json``-style file and fails (exit code 1) when any
+entry that compares an old/new or loop/batched pair reports the new path more
+than ``--max-slowdown`` times slower than the old one.  CI runs this on the
+smoke benchmark so a fast-path regression cannot merge silently; the smoke
+grids are tiny, so the threshold is a slack 2x rather than a tight bound.
+
+Usage::
+
+    python benchmarks/check_bench.py bench-smoke.json
+    python benchmarks/check_bench.py bench-smoke.json --max-slowdown 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (old-timing key, new-timing key) pairs an entry may carry.  The
+#: dense/chunked reduction timings are deliberately NOT gated: chunking is a
+#: memory-for-time tradeoff measured at millisecond scale, so a 2x wall-clock
+#: bound on a noisy CI runner would flake without any code regression.
+_TIMING_PAIRS = (
+    ("old_s", "new_s"),
+    ("loop_s", "batched_s"),
+)
+
+
+def check(payload: dict, max_slowdown: float) -> list:
+    """Return a list of human-readable violations found in ``payload``."""
+    violations = []
+    for entry in payload.get("results", []):
+        for old_key, new_key in _TIMING_PAIRS:
+            if old_key not in entry or new_key not in entry:
+                continue
+            old_s, new_s = entry[old_key], entry[new_key]
+            if old_s <= 0:
+                continue
+            slowdown = new_s / old_s
+            if slowdown > max_slowdown:
+                label = entry.get("benchmark", "?")
+                detail = ", ".join(
+                    f"{key}={entry[key]}"
+                    for key in ("algorithm", "n", "B", "rounds", "model_size", "d")
+                    if key in entry
+                )
+                violations.append(
+                    f"{label} ({detail}): {new_key}={new_s:.6f}s is "
+                    f"{slowdown:.2f}x slower than {old_key}={old_s:.6f}s "
+                    f"(limit {max_slowdown:.2f}x)"
+                )
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="benchmark JSON file to check")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when a new/fast timing exceeds this multiple of the old one",
+    )
+    args = parser.parse_args()
+
+    payload = json.loads(Path(args.path).read_text())
+    violations = check(payload, args.max_slowdown)
+    checked = sum(
+        1
+        for entry in payload.get("results", [])
+        if any(old in entry and new in entry for old, new in _TIMING_PAIRS)
+    )
+    if violations:
+        print(f"FAIL: {len(violations)} fast-path slowdown(s) in {args.path}:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"OK: {checked} compared entries in {args.path} within {args.max_slowdown}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,12 @@
 
 Times the synchronous engine's two execution paths on an ``(n, rounds)``
 grid, the batched ensemble runner against an equivalent loop of single
-executions on a ``(B, n, rounds)`` grid, and the asynchronous
-``agreement_time`` sweep, then writes the results to ``BENCH_engine.json``
-so the performance trajectory is tracked from PR to PR.
+executions on a ``(B, n, rounds)`` grid, the adversaries' batched candidate
+evaluation against the per-graph reference loop, the batched adversarial
+ensemble runner, the peak memory of the chunked vs dense masked reductions
+(tracemalloc), and the asynchronous ``agreement_time`` sweep, then writes the
+results to ``BENCH_engine.json`` so the performance trajectory is tracked
+from PR to PR.
 
 Usage (from the repository root)::
 
@@ -20,6 +23,7 @@ import json
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -27,9 +31,16 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algorithms import MeanAlgorithm, MidpointAlgorithm
+from repro.algorithms.base import masked_reduction_chunks
 from repro.asynchrony import AsynchronousSimulator, RoundBasedAsyncAlgorithm
-from repro.execution import run_execution, run_pattern_ensemble
-from repro.graphs.families import complete_graph, cycle_graph, directed_star_graph
+from repro.core.adversary import GreedyDiameterAdversary
+from repro.execution import (
+    run_adversarial_ensemble,
+    run_execution,
+    run_pattern_ensemble,
+)
+from repro.graphs.families import complete_graph, cycle_graph, deaf_variant, directed_star_graph
+from repro.models.network_model import NetworkModel
 from repro.models.patterns import PeriodicPattern
 
 
@@ -41,6 +52,17 @@ def _best_of(callable_, repeats: int) -> float:
         callable_()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _peak_bytes(callable_) -> int:
+    """tracemalloc peak allocation of one invocation, in bytes."""
+    tracemalloc.start()
+    try:
+        callable_()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
 
 
 def _pattern(n: int) -> PeriodicPattern:
@@ -105,6 +127,11 @@ def bench_ensemble(grid, d: int, repeats: int) -> list:
             ),
             repeats,
         )
+        peak_mem = _peak_bytes(
+            lambda: run_pattern_ensemble(
+                algorithm, values, pattern, rounds, record_every=rounds or 1
+            )
+        )
         entry = {
             "benchmark": "ensemble",
             "algorithm": algorithm.name,
@@ -115,14 +142,238 @@ def bench_ensemble(grid, d: int, repeats: int) -> list:
             "loop_s": loop_s,
             "batched_s": batch_s,
             "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+            "peak_mem_bytes": peak_mem,
         }
         results.append(entry)
         print(
             f"ensemble      {algorithm.name:10s} B={batch_size:4d} n={n:4d} rounds={rounds:4d} "
             f"loop={loop_s * 1e3:9.2f}ms batched={batch_s * 1e3:9.2f}ms "
+            f"speedup={entry['speedup']:7.1f}x peak={peak_mem / 1e6:7.1f}MB"
+        )
+    return results
+
+
+def _deaf_submodel(n: int, model_size: int) -> NetworkModel:
+    """The first ``model_size`` deaf variants of ``K_n`` (a worst-case model)."""
+    base = complete_graph(n)
+    return NetworkModel(
+        [deaf_variant(base, agent) for agent in range(model_size)],
+        name=f"deaf{model_size}(K_{n})",
+    )
+
+
+class _TimedPattern:
+    """Wrap a communication pattern, accumulating wall-clock time in graph_at.
+
+    The adversaries do all candidate evaluation inside ``choose`` (called by
+    ``graph_at``), so this isolates candidate-evaluation time from the
+    engine's committed transitions.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def graph_at(self, round_number, context=None):
+        start = time.perf_counter()
+        graph = self._inner.graph_at(round_number, context)
+        self.seconds += time.perf_counter() - start
+        return graph
+
+
+def _timed_choose(algorithm, values, adversary, rounds, use_fast_path, repeats) -> float:
+    """Best-of-``repeats`` seconds spent in the adversary's choose() calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        timed = _TimedPattern(adversary)
+        run_execution(algorithm, values, timed, rounds, use_fast_path=use_fast_path)
+        best = min(best, timed.seconds)
+    return best
+
+
+def bench_adversary(grid, repeats: int) -> list:
+    """Batched vs per-graph candidate evaluation of the greedy adversary.
+
+    Three candidate-evaluation regimes are timed (seconds spent inside the
+    adversary's ``choose`` calls; all three make identical graph choices):
+
+    * ``old_s`` — the per-graph loop on the per-agent reference path (one
+      ``simulate_outputs`` per candidate, per-agent dict rounds), the
+      pre-vectorization baseline;
+    * ``fastpath_loop_s`` — the same per-graph loop with vectorized
+      single-candidate simulations;
+    * ``new_s`` — all ``|N|`` candidates evaluated as one stacked
+      ``(C, n, n)`` adjacency pass through the batch hooks.
+    """
+    results = []
+    algorithm = MidpointAlgorithm()
+    for n, model_size, rounds in grid:
+        model = _deaf_submodel(n, model_size)
+        values = _initial_values(n, 1)
+        old_s = _timed_choose(
+            algorithm, values, GreedyDiameterAdversary(model, use_batch=False),
+            rounds, False, repeats,
+        )
+        fastpath_loop_s = _timed_choose(
+            algorithm, values, GreedyDiameterAdversary(model, use_batch=False),
+            rounds, True, repeats,
+        )
+        new_s = _timed_choose(
+            algorithm, values, GreedyDiameterAdversary(model, use_batch=True),
+            rounds, True, repeats,
+        )
+        entry = {
+            "benchmark": "greedy_adversary",
+            "algorithm": algorithm.name,
+            "n": n,
+            "model_size": model_size,
+            "rounds": rounds,
+            "d": 1,
+            "old_s": old_s,
+            "fastpath_loop_s": fastpath_loop_s,
+            "new_s": new_s,
+            "speedup": old_s / new_s if new_s > 0 else float("inf"),
+            "speedup_vs_fastpath_loop": (
+                fastpath_loop_s / new_s if new_s > 0 else float("inf")
+            ),
+        }
+        results.append(entry)
+        print(
+            f"greedy-adv    {algorithm.name:10s} n={n:4d} |N|={model_size:3d} rounds={rounds:4d} "
+            f"old={old_s * 1e3:9.2f}ms loop={fastpath_loop_s * 1e3:8.2f}ms "
+            f"new={new_s * 1e3:8.2f}ms speedup={entry['speedup']:7.1f}x "
+            f"(vs fast loop {entry['speedup_vs_fastpath_loop']:.1f}x)"
+        )
+    return results
+
+
+def bench_psi_adversary(grid, repeats: int) -> list:
+    """Batched vs per-sequence block evaluation of the Theorem 3 adversary.
+
+    The amortized midpoint carries state beyond its outputs, so the
+    per-sequence reference loop replays each candidate ``σ`` block through
+    ``run_from_configuration`` on the per-agent path — the pre-batching
+    behaviour — while the batched adversary rolls all three blocks forward as
+    stacked adjacency passes.
+    """
+    from repro.algorithms import AmortizedMidpointAlgorithm
+    from repro.core.adversary import PsiBlockAdversary
+
+    results = []
+    for n, rounds in grid:
+        algorithm = AmortizedMidpointAlgorithm()
+        values = _initial_values(n, 1)
+        old_s = _timed_choose(
+            algorithm, values, PsiBlockAdversary(n, use_batch=False),
+            rounds, None, repeats,
+        )
+        new_s = _timed_choose(
+            algorithm, values, PsiBlockAdversary(n, use_batch=True),
+            rounds, None, repeats,
+        )
+        entry = {
+            "benchmark": "psi_adversary",
+            "algorithm": algorithm.name,
+            "n": n,
+            "rounds": rounds,
+            "d": 1,
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": old_s / new_s if new_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"psi-adv       {algorithm.name:18s} n={n:4d} rounds={rounds:4d} "
+            f"old={old_s * 1e3:9.2f}ms new={new_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
+def bench_adversarial_ensemble(grid, repeats: int) -> list:
+    """Batched adversarial ensemble vs a loop of per-scenario adversarial runs."""
+    results = []
+    algorithm = MidpointAlgorithm()
+    for batch_size, n, model_size, rounds in grid:
+        model = _deaf_submodel(n, model_size)
+        values = np.stack([_initial_values(n, 1, seed=b) for b in range(batch_size)])
+        loop_s = _best_of(
+            lambda: [
+                run_execution(
+                    algorithm, values[b], GreedyDiameterAdversary(model), rounds,
+                    record_every=rounds or 1,
+                )
+                for b in range(batch_size)
+            ],
+            repeats,
+        )
+        batch_s = _best_of(
+            lambda: run_adversarial_ensemble(
+                algorithm, values, GreedyDiameterAdversary(model), rounds,
+                record_every=rounds or 1,
+            ),
+            repeats,
+        )
+        entry = {
+            "benchmark": "adversarial_ensemble",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "model_size": model_size,
+            "rounds": rounds,
+            "d": 1,
+            "loop_s": loop_s,
+            "batched_s": batch_s,
+            "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"adv-ensemble  {algorithm.name:10s} B={batch_size:4d} n={n:4d} |N|={model_size:3d} "
+            f"rounds={rounds:4d} loop={loop_s * 1e3:9.2f}ms batched={batch_s * 1e3:9.2f}ms "
             f"speedup={entry['speedup']:7.1f}x"
         )
     return results
+
+
+def bench_reduction_memory(batch_size: int, n: int, d: int) -> list:
+    """Peak memory of one batched midpoint round: dense vs chunked reductions."""
+    algorithm = MidpointAlgorithm()
+    values = np.stack([_initial_values(n, d, seed=b) for b in range(batch_size)])
+    base = complete_graph(n)
+    adjacency = np.stack(
+        [deaf_variant(base, b % n).adjacency for b in range(batch_size)]
+    )
+
+    def one_round():
+        algorithm.batch_transition(values, adjacency, 1)
+
+    with masked_reduction_chunks(batch="dense", receivers="dense"):
+        dense_peak = _peak_bytes(one_round)
+        dense_s = _best_of(one_round, 3)
+    with masked_reduction_chunks(batch="auto", receivers="auto"):
+        chunked_peak = _peak_bytes(one_round)
+        chunked_s = _best_of(one_round, 3)
+    entry = {
+        "benchmark": "masked_reduction_memory",
+        "algorithm": algorithm.name,
+        "B": batch_size,
+        "n": n,
+        "d": d,
+        "dense_peak_bytes": dense_peak,
+        "chunked_peak_bytes": chunked_peak,
+        "memory_ratio": dense_peak / chunked_peak if chunked_peak else float("inf"),
+        "dense_s": dense_s,
+        "chunked_s": chunked_s,
+    }
+    print(
+        f"reduction-mem midpoint   B={batch_size:4d} n={n:4d} d={d} "
+        f"dense={dense_peak / 1e6:7.1f}MB chunked={chunked_peak / 1e6:7.1f}MB "
+        f"ratio={entry['memory_ratio']:5.1f}x (dense={dense_s * 1e3:.2f}ms, "
+        f"chunked={chunked_s * 1e3:.2f}ms)"
+    )
+    return [entry]
 
 
 def bench_async(grid, repeats: int) -> list:
@@ -167,11 +418,21 @@ def main() -> int:
     if args.smoke:
         engine_grid = [(8, 10)]
         ensemble_grid = [(8, 8, 10)]
+        adversary_grid = [(8, 4, 5)]
+        psi_grid = [(8, 12)]
+        adversarial_ensemble_grid = [(4, 8, 4, 5)]
+        # Above the auto-chunk threshold (24*256*256 > 2^20 elements), so the
+        # smoke run genuinely compares the dense and chunked code paths.
+        memory_case = (24, 256, 1)
         async_grid = [(4, 1, 6.0)]
         repeats = 1
     else:
         engine_grid = [(16, 100), (64, 100), (64, 500), (256, 100)]
         ensemble_grid = [(16, 64, 100), (64, 64, 100), (256, 16, 100)]
+        adversary_grid = [(64, 8, 10), (64, 16, 10), (128, 8, 5)]
+        psi_grid = [(34, 64), (66, 64)]
+        adversarial_ensemble_grid = [(16, 32, 8, 20), (64, 32, 8, 20)]
+        memory_case = (64, 256, 1)
         async_grid = [(8, 2, 20.0), (16, 4, 12.0)]
         repeats = 3
 
@@ -180,6 +441,10 @@ def main() -> int:
     if not args.smoke:
         results += bench_engine([(64, 100)], d=3, repeats=repeats)
     results += bench_ensemble(ensemble_grid, d=1, repeats=repeats)
+    results += bench_adversary(adversary_grid, repeats=repeats)
+    results += bench_psi_adversary(psi_grid, repeats=repeats)
+    results += bench_adversarial_ensemble(adversarial_ensemble_grid, repeats=repeats)
+    results += bench_reduction_memory(*memory_case)
     results += bench_async(async_grid, repeats=repeats)
 
     payload = {

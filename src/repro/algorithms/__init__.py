@@ -29,7 +29,16 @@ from repro.algorithms.approximate import (
     decisions_of_execution,
     epsilon_agreement_holds,
 )
-from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
+from repro.algorithms.base import (
+    Algorithm,
+    ConvexCombinationAlgorithm,
+    get_masked_reduction_chunks,
+    masked_max,
+    masked_min,
+    masked_min_max,
+    masked_reduction_chunks,
+    set_masked_reduction_chunks,
+)
 from repro.algorithms.exact import FloodingExactConsensus, FloodingState, flooding_horizon_sufficient
 from repro.algorithms.hegselmann_krause import HegselmannKrauseAlgorithm
 from repro.algorithms.mass_splitting import MassSplittingAlgorithm
@@ -41,6 +50,12 @@ from repro.algorithms.weighted import CallableWeightAveraging, SelfWeightedAvera
 __all__ = [
     "Algorithm",
     "ConvexCombinationAlgorithm",
+    "masked_min",
+    "masked_max",
+    "masked_min_max",
+    "set_masked_reduction_chunks",
+    "get_masked_reduction_chunks",
+    "masked_reduction_chunks",
     "MidpointAlgorithm",
     "AmortizedMidpointAlgorithm",
     "AmortizedMidpointState",

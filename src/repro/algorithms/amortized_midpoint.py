@@ -176,6 +176,15 @@ class AmortizedMidpointAlgorithm(Algorithm):
     def batch_outputs(self, batch_state: AmortizedMidpointBatchState) -> np.ndarray:
         return batch_state.value
 
+    def batch_map(self, batch_state: AmortizedMidpointBatchState, fn) -> AmortizedMidpointBatchState:
+        return AmortizedMidpointBatchState(
+            value=fn(batch_state.value),
+            phase_min=fn(batch_state.phase_min),
+            phase_max=fn(batch_state.phase_max),
+            rounds_into_phase=batch_state.rounds_into_phase,
+            phase_length=batch_state.phase_length,
+        )
+
     def batch_states(self, batch_state: AmortizedMidpointBatchState) -> Tuple[AmortizedMidpointState, ...]:
         if batch_state.value.ndim != 2:
             raise AlgorithmError(

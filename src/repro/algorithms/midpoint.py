@@ -16,7 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.algorithms.base import ConvexCombinationAlgorithm, masked_max, masked_min
+from repro.algorithms.base import ConvexCombinationAlgorithm, masked_min_max
 
 
 class MidpointAlgorithm(ConvexCombinationAlgorithm):
@@ -38,8 +38,7 @@ class MidpointAlgorithm(ConvexCombinationAlgorithm):
     def combine_all(
         self, adjacency: np.ndarray, values: np.ndarray, round_number: int
     ) -> Optional[np.ndarray]:
-        lo = masked_min(adjacency, values)
-        hi = masked_max(adjacency, values)
+        lo, hi = masked_min_max(adjacency, values)
         return (lo + hi) / 2.0
 
     @property

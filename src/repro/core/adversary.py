@@ -18,6 +18,18 @@ executable counterparts:
 All adversaries are :class:`~repro.models.patterns.AdversarialPattern`
 instances and can be passed directly to
 :func:`repro.execution.run_execution`.
+
+Candidate evaluation is *batched* by default: each decision routes all ``C``
+candidate graphs (or graph sequences) through
+:meth:`~repro.models.patterns.RoundContext.simulate_outputs_batch` /
+:meth:`~repro.models.patterns.RoundContext.simulate_sequences_batch`, which
+the fast execution path evaluates as one stacked ``(C, n, n)`` adjacency
+pass.  Pass ``use_batch=False`` to keep the per-graph reference loop (used by
+the benchmarks and equivalence tests); both make identical choices.  Every
+adversary also implements
+:meth:`~repro.models.patterns.AdversarialPattern.ensemble_plan`, so whole
+scenario ensembles run through
+:func:`repro.execution.batch.run_adversarial_ensemble`.
 """
 
 from __future__ import annotations
@@ -33,8 +45,8 @@ from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
 from repro.graphs.families import psi_graph, two_agent_graphs
 from repro.models.network_model import NetworkModel
-from repro.models.patterns import AdversarialPattern, RoundContext
-from repro.types import diameter
+from repro.models.patterns import AdversarialPattern, EnsemblePlan, RoundContext
+from repro.types import diameter, pairwise_diameters, running_argmax
 
 
 def _configuration_from_context(context: RoundContext) -> Configuration:
@@ -50,11 +62,14 @@ class GreedyDiameterAdversary(AdversarialPattern):
     """Pick, every round, the model graph that maximizes the successor output diameter.
 
     Ties are broken by the order of the graphs in the model, which makes the
-    adversary deterministic and executions reproducible.
+    adversary deterministic and executions reproducible.  With ``use_batch``
+    (the default) all ``|N|`` candidates are evaluated as one stacked
+    adjacency pass; ``use_batch=False`` keeps the per-graph reference loop.
     """
 
-    def __init__(self, model: NetworkModel) -> None:
+    def __init__(self, model: NetworkModel, use_batch: bool = True) -> None:
         self._model = model
+        self._use_batch = use_batch
 
     @property
     def model(self) -> NetworkModel:
@@ -62,9 +77,13 @@ class GreedyDiameterAdversary(AdversarialPattern):
         return self._model
 
     def choose(self, context: RoundContext) -> CommunicationGraph:
+        graphs = list(self._model)
+        if self._use_batch:
+            outputs = context.simulate_outputs_batch(graphs)
+            return graphs[running_argmax(pairwise_diameters(outputs))]
         best_graph: Optional[CommunicationGraph] = None
         best_diameter = -1.0
-        for graph in self._model:
+        for graph in graphs:
             outputs = context.simulate_outputs(graph)
             candidate = diameter(outputs)
             if candidate > best_diameter + 1e-15:
@@ -72,6 +91,11 @@ class GreedyDiameterAdversary(AdversarialPattern):
                 best_graph = graph
         assert best_graph is not None
         return best_graph
+
+    def ensemble_plan(self, round_number: int, n: int) -> EnsemblePlan:
+        return EnsemblePlan(
+            candidates=tuple((graph,) for graph in self._model), commit_rounds=1
+        )
 
     def __repr__(self) -> str:
         return f"GreedyDiameterAdversary({self._model!r})"
@@ -85,18 +109,25 @@ class LookaheadDiameterAdversary(AdversarialPattern):
     sequence is committed each round (receding-horizon control).
     """
 
-    def __init__(self, model: NetworkModel, lookahead: int = 2) -> None:
+    def __init__(self, model: NetworkModel, lookahead: int = 2, use_batch: bool = True) -> None:
         if lookahead < 1:
             raise ExecutionError(f"lookahead must be >= 1, got {lookahead}")
         self._model = model
         self._lookahead = lookahead
+        self._use_batch = use_batch
+
+    def _candidate_sequences(self) -> List[Tuple[CommunicationGraph, ...]]:
+        return list(iter_product(list(self._model), repeat=self._lookahead))
 
     def choose(self, context: RoundContext) -> CommunicationGraph:
+        sequences = self._candidate_sequences()
+        if self._use_batch:
+            outputs = context.simulate_sequences_batch(sequences)
+            return sequences[running_argmax(pairwise_diameters(outputs))][0]
         configuration = _configuration_from_context(context)
-        graphs = list(self._model)
         best_sequence: Optional[Tuple[CommunicationGraph, ...]] = None
         best_diameter = -1.0
-        for sequence in iter_product(graphs, repeat=self._lookahead):
+        for sequence in sequences:
             final, _ = run_from_configuration(context.algorithm, configuration, list(sequence))
             candidate = final.output_diameter()
             if candidate > best_diameter + 1e-15:
@@ -104,6 +135,11 @@ class LookaheadDiameterAdversary(AdversarialPattern):
                 best_sequence = sequence
         assert best_sequence is not None
         return best_sequence[0]
+
+    def ensemble_plan(self, round_number: int, n: int) -> EnsemblePlan:
+        return EnsemblePlan(
+            candidates=tuple(self._candidate_sequences()), commit_rounds=1
+        )
 
     def __repr__(self) -> str:
         return f"LookaheadDiameterAdversary({self._model!r}, lookahead={self._lookahead})"
@@ -118,12 +154,16 @@ class TwoAgentAdversary(AdversarialPattern):
     third of the parent's".
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_batch: bool = True) -> None:
         self._graphs = list(two_agent_graphs())
+        self._use_batch = use_batch
 
     def choose(self, context: RoundContext) -> CommunicationGraph:
         if context.outputs.shape[0] != 2:
             raise ExecutionError("TwoAgentAdversary only applies to systems of 2 agents")
+        if self._use_batch:
+            outputs = context.simulate_outputs_batch(self._graphs)
+            return self._graphs[running_argmax(pairwise_diameters(outputs))]
         best_graph = self._graphs[0]
         best_diameter = -1.0
         for graph in self._graphs:
@@ -132,6 +172,13 @@ class TwoAgentAdversary(AdversarialPattern):
                 best_diameter = candidate
                 best_graph = graph
         return best_graph
+
+    def ensemble_plan(self, round_number: int, n: int) -> EnsemblePlan:
+        if n != 2:
+            raise ExecutionError("TwoAgentAdversary only applies to systems of 2 agents")
+        return EnsemblePlan(
+            candidates=tuple((graph,) for graph in self._graphs), commit_rounds=1
+        )
 
     def __repr__(self) -> str:
         return "TwoAgentAdversary()"
@@ -148,12 +195,13 @@ class PsiBlockAdversary(AdversarialPattern):
     of the property ``P_seq`` of Section 6.2.
     """
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, use_batch: bool = True) -> None:
         if n < 4:
             raise ExecutionError("PsiBlockAdversary requires n >= 4 agents")
         self._n = n
         self._block_length = n - 2
         self._psi = {i: psi_graph(n, i) for i in (0, 1, 2)}
+        self._use_batch = use_batch
         self._current_choice: Optional[int] = None
         self._chosen_blocks: List[int] = []
 
@@ -173,7 +221,13 @@ class PsiBlockAdversary(AdversarialPattern):
             self._chosen_blocks.append(self._current_choice)
         return self._psi[self._current_choice]
 
+    def _candidate_blocks(self) -> List[List[CommunicationGraph]]:
+        return [[self._psi[choice]] * self._block_length for choice in (0, 1, 2)]
+
     def _pick_block(self, context: RoundContext) -> int:
+        if self._use_batch:
+            outputs = context.simulate_sequences_batch(self._candidate_blocks())
+            return running_argmax(pairwise_diameters(outputs))
         configuration = _configuration_from_context(context)
         best_choice = 0
         best_diameter = -1.0
@@ -185,6 +239,16 @@ class PsiBlockAdversary(AdversarialPattern):
                 best_diameter = candidate
                 best_choice = choice
         return best_choice
+
+    def ensemble_plan(self, round_number: int, n: int) -> EnsemblePlan:
+        if n != self._n:
+            raise ExecutionError(
+                f"PsiBlockAdversary was built for n={self._n} agents, the ensemble has n={n}"
+            )
+        return EnsemblePlan(
+            candidates=tuple(tuple(block) for block in self._candidate_blocks()),
+            commit_rounds=self._block_length,
+        )
 
     def __repr__(self) -> str:
         return f"PsiBlockAdversary(n={self._n})"

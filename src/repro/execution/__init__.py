@@ -12,8 +12,10 @@ at once through the fast path.
 """
 
 from repro.execution.batch import (
+    AdversarialEnsembleExecution,
     EnsembleExecution,
     materialize_pattern,
+    run_adversarial_ensemble,
     run_ensemble,
     run_pattern_ensemble,
     stack_initial_values,
@@ -36,12 +38,14 @@ from repro.execution.metrics import (
 from repro.execution.state import Configuration
 
 __all__ = [
+    "AdversarialEnsembleExecution",
     "Configuration",
     "EnsembleExecution",
     "Execution",
     "apply_graph",
     "initial_configuration",
     "materialize_pattern",
+    "run_adversarial_ensemble",
     "run_ensemble",
     "run_execution",
     "run_from_configuration",

@@ -16,6 +16,9 @@ Entry points
   graphs (shared across scenarios or one per scenario).
 * :func:`run_pattern_ensemble` — the same with oblivious
   :class:`~repro.models.patterns.CommunicationPattern` objects.
+* :func:`run_adversarial_ensemble` — drive ``B`` scenarios under an adaptive
+  adversary, evaluating a ``(B, C, n, d)`` candidate tensor per decision and
+  committing a per-scenario argmax.
 * :func:`sweep` — cross-product convenience over initial-value and pattern
   grids.
 
@@ -32,10 +35,10 @@ import numpy as np
 
 from repro.algorithms.base import Algorithm
 from repro.exceptions import ExecutionError
-from repro.execution.engine import apply_graph, initial_configuration
+from repro.execution.engine import _AdjacencyCache, apply_graph, initial_configuration
 from repro.graphs.digraph import CommunicationGraph
-from repro.models.patterns import CommunicationPattern
-from repro.types import ValuesLike, as_value_matrix
+from repro.models.patterns import AdversarialPattern, CommunicationPattern
+from repro.types import ValuesLike, as_value_matrix, pairwise_diameters
 
 #: One round of ensemble communication: a single graph shared by every
 #: scenario, or one graph per scenario (length ``B``).
@@ -126,10 +129,43 @@ class EnsembleExecution:
 
 
 def _batch_diameters(outputs: np.ndarray) -> np.ndarray:
-    """Euclidean output diameter of each scenario of a ``(B, n, d)`` tensor."""
-    diffs = outputs[:, :, None, :] - outputs[:, None, :, :]
-    distances = np.sqrt((diffs * diffs).sum(axis=-1))
-    return distances.max(axis=(-1, -2))
+    """Euclidean output diameter of each scenario of a ``(B, n, d)`` tensor.
+
+    For ``d == 1`` the diameter is exactly ``max - min``, computed in
+    ``O(B·n)`` without the pairwise ``(B, n, n)`` distance tensor.  For
+    ``d > 1`` the per-axis extremes prune the candidate endpoints first: a
+    point whose distance to the farthest corner of the scenario's bounding box
+    is below the best extreme-pair distance can never be an endpoint of the
+    diameter, so only the (typically few) surviving points enter the exact
+    pairwise pass.
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    batch_size, n, d = outputs.shape
+    if n < 2:
+        return np.zeros(batch_size, dtype=float)
+    if d == 1:
+        flat = outputs[..., 0]
+        return flat.max(axis=-1) - flat.min(axis=-1)
+    lo = outputs.min(axis=1)
+    hi = outputs.max(axis=1)
+    # Lower bound: the best pairwise distance among the per-axis extreme points.
+    extreme_idx = np.concatenate([outputs.argmin(axis=1), outputs.argmax(axis=1)], axis=1)
+    extremes = np.take_along_axis(outputs, extreme_idx[:, :, None], axis=1)  # (B, 2d, d)
+    ext_diffs = extremes[:, :, None, :] - extremes[:, None, :, :]
+    lower = np.sqrt((ext_diffs * ext_diffs).sum(axis=-1)).max(axis=(-1, -2))  # (B,)
+    # Upper bound per point: distance to the farthest bounding-box corner.
+    deviation = np.maximum(hi[:, None, :] - outputs, outputs - lo[:, None, :])
+    reach = np.sqrt((deviation * deviation).sum(axis=-1))  # (B, n)
+    survivors = reach >= lower[:, None]
+    result = lower.copy()
+    for scenario in range(batch_size):
+        points = outputs[scenario][survivors[scenario]]
+        if points.shape[0] >= 2:
+            diffs = points[:, None, :] - points[None, :, :]
+            best = float(np.sqrt((diffs * diffs).sum(axis=-1)).max())
+            if best > result[scenario]:
+                result[scenario] = best
+    return result
 
 
 def stack_initial_values(initial_values: Union[np.ndarray, Sequence[ValuesLike]]) -> np.ndarray:
@@ -149,7 +185,12 @@ def stack_initial_values(initial_values: Union[np.ndarray, Sequence[ValuesLike]]
     return np.stack(matrices)
 
 
-def _round_adjacency(round_graphs: RoundGraphs, batch_size: int, n: int) -> np.ndarray:
+def _round_adjacency(
+    round_graphs: RoundGraphs,
+    batch_size: int,
+    n: int,
+    cache: Optional[_AdjacencyCache] = None,
+) -> np.ndarray:
     """The adjacency tensor of one ensemble round: ``(n, n)`` shared or ``(B, n, n)``."""
     if isinstance(round_graphs, CommunicationGraph):
         if round_graphs.n != n:
@@ -163,6 +204,13 @@ def _round_adjacency(round_graphs: RoundGraphs, batch_size: int, n: int) -> np.n
     for graph in graphs:
         if graph.n != n:
             raise ExecutionError(f"graph has {graph.n} agents, scenarios have {n}")
+    first = graphs[0]
+    if all(graph is first for graph in graphs):
+        # A uniform per-scenario list broadcasts like a shared graph; skip the
+        # (B, n, n) stack entirely.
+        return first.adjacency
+    if cache is not None:
+        return cache.stacked(tuple(graphs))
     return np.stack([graph.adjacency for graph in graphs])
 
 
@@ -214,8 +262,9 @@ def run_ensemble(
     batch_state = algorithm.batch_initial(values)
     recorded_rounds = [0]
     recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
+    adjacency_cache = _AdjacencyCache()
     for t, round_graphs in enumerate(graph_rounds, start=1):
-        adjacency = _round_adjacency(round_graphs, batch_size, n)
+        adjacency = _round_adjacency(round_graphs, batch_size, n, cache=adjacency_cache)
         batch_state = algorithm.batch_transition(batch_state, adjacency, t)
         if t % record_every == 0 or t == rounds:
             recorded_rounds.append(t)
@@ -261,6 +310,175 @@ def _run_ensemble_slow(
         recorded_rounds=recorded_rounds,
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
+    )
+
+
+@dataclass
+class AdversarialEnsembleExecution(EnsembleExecution):
+    """An ensemble run driven by an adaptive adversary.
+
+    In addition to the recorded outputs, the per-round, per-scenario graph
+    choices the adversary committed are kept (``round_choices[t - 1][b]`` is
+    the graph scenario ``b`` saw in round ``t``).
+    """
+
+    round_choices: List[List[CommunicationGraph]] = field(default_factory=list)
+
+    def scenario_graphs(self, scenario: int) -> List[CommunicationGraph]:
+        """The graph sequence committed against scenario ``scenario``."""
+        return [choices[scenario] for choices in self.round_choices]
+
+
+def run_adversarial_ensemble(
+    algorithm: Algorithm,
+    initial_values: Union[np.ndarray, Sequence[ValuesLike]],
+    adversary: AdversarialPattern,
+    rounds: int,
+    record_every: int = 1,
+    scenario_labels: Optional[Sequence[object]] = None,
+) -> AdversarialEnsembleExecution:
+    """Drive ``B`` scenarios under an adaptive adversary in one batched loop.
+
+    Each decision evaluates the adversary's candidate graph sequences against
+    *every* scenario at once — a ``(B, C, n, d)`` candidate tensor computed by
+    broadcasting the ensemble state against the stacked ``(C, n, n)``
+    candidate adjacencies — and commits a per-scenario argmax of the successor
+    output diameters.  The committed choices are exactly the ones ``B``
+    independent per-scenario runs of the same adversary would make (enforced
+    by ``tests/test_adversary_batch.py``), so worst-case sweeps scale with the
+    hardware instead of with Python-level simulation loops.
+
+    Falls back to scenario-by-scenario :func:`repro.execution.run_execution`
+    when the algorithm has no batch hooks or the adversary does not implement
+    :meth:`~repro.models.patterns.AdversarialPattern.ensemble_plan`.
+    """
+    if rounds < 0:
+        raise ExecutionError(f"rounds must be non-negative, got {rounds}")
+    if record_every < 1:
+        raise ExecutionError(f"record_every must be >= 1, got {record_every}")
+    values = stack_initial_values(initial_values)
+    batch_size, n, _d = values.shape
+    labels = list(scenario_labels) if scenario_labels is not None else None
+    if labels is not None and len(labels) != batch_size:
+        raise ExecutionError(f"need {batch_size} scenario labels, got {len(labels)}")
+    if not isinstance(adversary, AdversarialPattern):
+        raise ExecutionError(
+            f"run_adversarial_ensemble needs an AdversarialPattern, got {type(adversary).__name__}"
+        )
+    first_plan = adversary.ensemble_plan(1, n) if algorithm.supports_batch() else None
+    if first_plan is None:
+        return _run_adversarial_ensemble_slow(
+            algorithm, values, adversary, rounds, record_every, labels
+        )
+
+    batch_state = algorithm.batch_initial(values)
+    try:
+        # Capability probe: batch-capable algorithms with structured state
+        # predating the batch_map hook take the per-scenario fallback instead
+        # of crashing mid-run.
+        algorithm.batch_map(batch_state, lambda a: a)
+    except NotImplementedError:
+        return _run_adversarial_ensemble_slow(
+            algorithm, values, adversary, rounds, record_every, labels
+        )
+    recorded_rounds = [0]
+    recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
+    round_choices: List[List[CommunicationGraph]] = []
+    cache = _AdjacencyCache()
+
+    t = 1
+    while t <= rounds:
+        plan = first_plan if t == 1 else adversary.ensemble_plan(t, n)
+        if plan is None:
+            raise ExecutionError(
+                f"{type(adversary).__name__}.ensemble_plan returned None mid-run"
+            )
+        candidates = [list(candidate) for candidate in plan.candidates]
+        for candidate in candidates:
+            for graph in candidate:
+                if graph.n != n:
+                    raise ExecutionError(
+                        f"candidate graph has {graph.n} agents, scenarios have {n}"
+                    )
+        # Evaluate all candidates against all scenarios at once: insert a
+        # candidate axis into the batch state and let the stacked (C, n, n)
+        # adjacency broadcast it to (B, C, n, d).
+        candidate_state = algorithm.batch_map(batch_state, lambda a: a[:, None, ...])
+        for offset in range(plan.horizon):
+            adjacency = cache.stacked(tuple(candidate[offset] for candidate in candidates))
+            candidate_state = algorithm.batch_transition(
+                candidate_state, adjacency, t + offset
+            )
+        outputs = np.asarray(algorithm.batch_outputs(candidate_state), dtype=float)
+        outputs = np.broadcast_to(
+            outputs, (batch_size, len(candidates), n, outputs.shape[-1])
+        )
+        diameters = pairwise_diameters(outputs)  # (B, C)
+
+        # Per-scenario strict-improvement scan — the vectorized equivalent of
+        # the per-scenario adversaries' first-graph-wins tie-breaking.
+        best = np.full(batch_size, -1.0)
+        choices = np.zeros(batch_size, dtype=int)
+        for candidate_index in range(len(candidates)):
+            improved = diameters[:, candidate_index] > best + 1e-15
+            best = np.where(improved, diameters[:, candidate_index], best)
+            choices = np.where(improved, candidate_index, choices)
+
+        commit = min(plan.commit_rounds, rounds - t + 1)
+        for offset in range(commit):
+            committed = [candidates[choices[b]][offset] for b in range(batch_size)]
+            adjacency = _round_adjacency(committed, batch_size, n, cache=cache)
+            batch_state = algorithm.batch_transition(batch_state, adjacency, t)
+            round_choices.append(committed)
+            if t % record_every == 0 or t == rounds:
+                recorded_rounds.append(t)
+                recorded.append(np.array(algorithm.batch_outputs(batch_state), dtype=float))
+            t += 1
+
+    return AdversarialEnsembleExecution(
+        algorithm_name=algorithm.name,
+        recorded_rounds=recorded_rounds,
+        recorded_outputs=np.stack(recorded),
+        scenario_labels=labels,
+        round_choices=round_choices,
+    )
+
+
+def _run_adversarial_ensemble_slow(
+    algorithm: Algorithm,
+    values: np.ndarray,
+    adversary: AdversarialPattern,
+    rounds: int,
+    record_every: int,
+    labels: Optional[List[object]],
+) -> AdversarialEnsembleExecution:
+    """Scenario-by-scenario fallback driving the adversary through run_execution."""
+    from repro.execution.engine import run_execution  # local import avoids a cycle
+
+    batch_size = values.shape[0]
+    per_scenario_outputs: List[List[np.ndarray]] = []
+    per_scenario_graphs: List[List[CommunicationGraph]] = []
+    recorded_rounds: List[int] = []
+    for scenario in range(batch_size):
+        execution = run_execution(
+            algorithm, values[scenario], adversary, rounds, record_every=record_every
+        )
+        recorded_rounds = [c.round_number for c in execution.configurations]
+        per_scenario_outputs.append([c.outputs.copy() for c in execution.configurations])
+        per_scenario_graphs.append(list(execution.graphs))
+    recorded = [
+        np.stack([per_scenario_outputs[b][r] for b in range(batch_size)])
+        for r in range(len(recorded_rounds))
+    ]
+    round_choices = [
+        [per_scenario_graphs[b][t] for b in range(batch_size)] for t in range(rounds)
+    ]
+    return AdversarialEnsembleExecution(
+        algorithm_name=algorithm.name,
+        recorded_rounds=recorded_rounds,
+        recorded_outputs=np.stack(recorded),
+        scenario_labels=labels,
+        round_choices=round_choices,
     )
 
 

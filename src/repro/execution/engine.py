@@ -82,6 +82,92 @@ class _LazyStates(Sequence):
         return iter(self._materialize())
 
 
+class _AdjacencyCache:
+    """Memoizes stacked ``(C, n, n)`` adjacency tensors across rounds.
+
+    Candidate graph lists frequently repeat from decision to decision (a
+    greedy adversary re-evaluates the same model every round, Ψ-block
+    adversaries replay the committed block graph, constant suffixes repeat one
+    list for a whole suffix); re-stacking the adjacency matrices every round
+    is pure waste then.  Keys are the identities of the graph objects in the
+    list — the cached tuple keeps them alive, so identity keys stay valid.
+    """
+
+    __slots__ = ("_store", "_max_entries", "_max_bytes", "_bytes")
+
+    def __init__(self, max_entries: int = 64, max_bytes: int = 16 << 20) -> None:
+        self._store: dict = {}
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._bytes = 0
+
+    def stacked(self, graphs: Tuple[CommunicationGraph, ...]) -> np.ndarray:
+        key = tuple(map(id, graphs))
+        hit = self._store.get(key)
+        if hit is not None:
+            return hit[1]
+        stacked = np.stack([graph.adjacency for graph in graphs])
+        stacked.setflags(write=False)
+        # Bounded in entries *and* bytes: memoization must never pin more
+        # memory than the reductions it is saving (large churning per-scenario
+        # stacks simply go uncached).
+        if (
+            len(self._store) < self._max_entries
+            and self._bytes + stacked.nbytes <= self._max_bytes
+        ):
+            self._store[key] = (graphs, stacked)
+            self._bytes += stacked.nbytes
+        return stacked
+
+
+def _make_batch_rollout(
+    algorithm: Algorithm,
+    batch_state: Any,
+    round_number: int,
+    n: int,
+    cache: Optional[_AdjacencyCache] = None,
+):
+    """A ``RoundContext.batch_rollout`` evaluating candidate graph sequences.
+
+    Each round of the rollout stacks the candidates' adjacency matrices into a
+    ``(C, n, n)`` tensor and runs one ``batch_transition`` on it; the
+    unbatched ``(n, d)``-shaped state broadcasts against the candidate axis,
+    so ``C`` candidate simulations cost one vectorized pass per round instead
+    of ``C`` Python-level simulations.
+    """
+
+    def rollout(sequences: Sequence[Sequence[CommunicationGraph]]) -> np.ndarray:
+        candidate_sequences = [list(sequence) for sequence in sequences]
+        lengths = {len(sequence) for sequence in candidate_sequences}
+        if not candidate_sequences or len(lengths) != 1 or 0 in lengths:
+            raise ExecutionError(
+                "batch rollout needs candidate sequences sharing one non-zero length"
+            )
+        for sequence in candidate_sequences:
+            for graph in sequence:
+                if graph.n != n:
+                    raise ExecutionError(
+                        f"candidate graph has {graph.n} agents but the configuration has {n}"
+                    )
+        state = batch_state
+        for offset in range(lengths.pop()):
+            round_graphs = tuple(sequence[offset] for sequence in candidate_sequences)
+            if cache is not None:
+                adjacency = cache.stacked(round_graphs)
+            else:
+                adjacency = np.stack([graph.adjacency for graph in round_graphs])
+            state = algorithm.batch_transition(state, adjacency, round_number + offset)
+        outputs = np.asarray(algorithm.batch_outputs(state), dtype=float)
+        # Outputs that did not change during the rollout (e.g. mid-phase
+        # amortized midpoint) never grow the candidate axis; broadcast to the
+        # full (C, n, d) shape so callers always see one row per candidate.
+        return np.broadcast_to(
+            outputs, (len(candidate_sequences), n, outputs.shape[-1])
+        ).copy()
+
+    return rollout
+
+
 def initial_configuration(
     algorithm: Algorithm, initial_values: ValuesLike
 ) -> Configuration:
@@ -249,6 +335,7 @@ def _run_execution_fast(
         graphs=[],
     )
     history: List[CommunicationGraph] = []
+    rollout_cache = _AdjacencyCache()
 
     for t in range(1, rounds + 1):
         context = RoundContext(
@@ -261,6 +348,9 @@ def _run_execution_fast(
                 dtype=float,
             ),
             history=history,
+            batch_rollout=_make_batch_rollout(
+                algorithm, batch_state, t, values.shape[0], cache=rollout_cache
+            ),
         )
         graph = pattern.graph_at(t, context)
         if graph.n != values.shape[0]:

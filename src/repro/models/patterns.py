@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,14 @@ class RoundContext:
         this round.  The call has no side effects on the running execution.
     history:
         The list of graphs applied in earlier rounds.
+    batch_rollout:
+        Optional callable mapping ``C`` candidate graph *sequences* (all of
+        the same length ``L``) to the ``(C, n, d)`` output tensor obtained by
+        applying each sequence from the current configuration.  The fast
+        execution path supplies one that routes all candidates through the
+        algorithm's ``batch_*`` hooks as a single stacked ``(C, n, n)``
+        adjacency pass per round; when absent, the ``simulate_*_batch``
+        methods below fall back to per-candidate simulation.
     """
 
     round_number: int
@@ -55,6 +63,59 @@ class RoundContext:
     algorithm: Any
     simulate_outputs: Callable[[CommunicationGraph], np.ndarray]
     history: List[CommunicationGraph] = field(default_factory=list)
+    batch_rollout: Optional[
+        Callable[[Sequence[Sequence[CommunicationGraph]]], np.ndarray]
+    ] = None
+
+    def simulate_outputs_batch(self, graphs: Sequence[CommunicationGraph]) -> np.ndarray:
+        """The ``(C, n, d)`` outputs of applying each candidate graph this round.
+
+        Equivalent to stacking :attr:`simulate_outputs` over ``graphs`` but,
+        on the vectorized fast path, evaluated as one batched adjacency pass.
+        """
+        graphs = list(graphs)
+        if not graphs:
+            raise ExecutionError("simulate_outputs_batch needs at least one candidate graph")
+        if self.batch_rollout is not None:
+            return self.batch_rollout([[graph] for graph in graphs])
+        return np.stack(
+            [np.asarray(self.simulate_outputs(graph), dtype=float) for graph in graphs]
+        )
+
+    def simulate_sequences_batch(
+        self, sequences: Sequence[Sequence[CommunicationGraph]]
+    ) -> np.ndarray:
+        """The ``(C, n, d)`` outputs after applying each candidate graph sequence.
+
+        All sequences must have the same length.  Used by lookahead and
+        block-committing adversaries to evaluate multi-round candidates in one
+        batched pass.
+        """
+        candidate_sequences = [list(sequence) for sequence in sequences]
+        if not candidate_sequences:
+            raise ExecutionError("simulate_sequences_batch needs at least one candidate")
+        lengths = {len(sequence) for sequence in candidate_sequences}
+        if len(lengths) != 1 or 0 in lengths:
+            raise ExecutionError(
+                f"candidate sequences must share one non-zero length, got lengths {sorted(lengths)}"
+            )
+        if self.batch_rollout is not None:
+            return self.batch_rollout(candidate_sequences)
+        # Per-candidate fallback used by the per-agent execution path: rebuild
+        # the configuration and replay each sequence through the engine.
+        from repro.execution.engine import run_from_configuration  # local import avoids a cycle
+        from repro.execution.state import Configuration
+
+        configuration = Configuration(
+            states=tuple(self.states),
+            outputs=np.asarray(self.outputs, dtype=float),
+            round_number=self.round_number - 1,
+        )
+        finals = []
+        for sequence in candidate_sequences:
+            final, _ = run_from_configuration(self.algorithm, configuration, sequence)
+            finals.append(np.asarray(final.outputs, dtype=float))
+        return np.stack(finals)
 
 
 class CommunicationPattern(ABC):
@@ -192,11 +253,53 @@ class SigmaBlockPattern(CommunicationPattern):
         return f"SigmaBlockPattern(n={self._n}, block_length={self._block_length})"
 
 
+@dataclass(frozen=True)
+class EnsemblePlan:
+    """One decision window of a batched adversarial ensemble run.
+
+    Attributes
+    ----------
+    candidates:
+        The ``C`` candidate graph sequences to evaluate, all of the same
+        length ``L``.  The candidate order must match the order the
+        per-scenario adversary scans, so tie-breaking is identical.
+    commit_rounds:
+        How many rounds of the winning candidate to commit before the
+        adversary is consulted again (1 for receding-horizon adversaries,
+        ``L`` for block-committing ones).
+    """
+
+    candidates: Tuple[Tuple[CommunicationGraph, ...], ...]
+    commit_rounds: int
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ExecutionError("an ensemble plan needs at least one candidate sequence")
+        lengths = {len(candidate) for candidate in self.candidates}
+        if len(lengths) != 1 or 0 in lengths:
+            raise ExecutionError(
+                f"ensemble-plan candidates must share one non-zero length, got {sorted(lengths)}"
+            )
+        if not 1 <= self.commit_rounds <= len(self.candidates[0]):
+            raise ExecutionError(
+                f"commit_rounds must be in [1, {len(self.candidates[0])}], got {self.commit_rounds}"
+            )
+
+    @property
+    def horizon(self) -> int:
+        """Length ``L`` of every candidate sequence."""
+        return len(self.candidates[0])
+
+
 class AdversarialPattern(CommunicationPattern):
     """Base class of adaptive patterns that need the :class:`RoundContext`.
 
     Subclasses implement :meth:`choose`; :meth:`graph_at` enforces that a
     context is available (adaptive patterns cannot be evaluated obliviously).
+    Adversaries whose candidate set depends only on the round number may also
+    implement :meth:`ensemble_plan`, which lets
+    :func:`repro.execution.batch.run_adversarial_ensemble` evaluate all
+    scenarios and candidates as one ``(B, C, n, d)`` tensor per decision.
     """
 
     def graph_at(self, round_number: int, context: Optional[RoundContext] = None) -> CommunicationGraph:
@@ -210,3 +313,12 @@ class AdversarialPattern(CommunicationPattern):
     @abstractmethod
     def choose(self, context: RoundContext) -> CommunicationGraph:
         """Pick the communication graph for the round described by ``context``."""
+
+    def ensemble_plan(self, round_number: int, n: int) -> Optional[EnsemblePlan]:
+        """The candidate sequences to evaluate for round ``round_number``.
+
+        Returns ``None`` (the default) when the adversary has no batched
+        ensemble support, in which case the ensemble runner falls back to
+        scenario-by-scenario execution.
+        """
+        return None

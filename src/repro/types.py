@@ -11,6 +11,7 @@ The library follows the paper's conventions:
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence, Union
 
 import numpy as np
@@ -90,6 +91,53 @@ def diameter(points: Iterable[np.ndarray] | np.ndarray) -> float:
     diffs = pts[:, None, :] - pts[None, :, :]
     dists = np.sqrt(np.sum(diffs * diffs, axis=-1))
     return float(dists.max())
+
+
+def pairwise_diameters(outputs: np.ndarray) -> np.ndarray:
+    """Euclidean diameters of stacked point sets, shape ``(..., n, d) -> (...)``.
+
+    This is the batched counterpart of :func:`diameter` and performs the
+    *same* floating-point operations elementwise (pairwise differences,
+    squared sums, square roots, maximum), so a batched evaluation of candidate
+    configurations is bit-for-bit comparable with per-candidate
+    :func:`diameter` calls — which is what lets the batched adversaries make
+    identical choices to the per-scenario ones.
+    """
+    points = np.asarray(outputs, dtype=float)
+    if points.ndim < 2:
+        raise ValueError(f"expected at least a (n, d) array, got shape {points.shape}")
+    if points.shape[-2] < 2:
+        return np.zeros(points.shape[:-2], dtype=float)
+    if points.shape[-1] == 1:
+        # max over sqrt((a_i - a_j)^2) equals sqrt((max - min)^2): rounding is
+        # monotone, so the maximal pair is the (max, min) pair and applying
+        # the same square/sqrt to it reproduces the dense result bit-for-bit
+        # in O(n) instead of O(n^2).
+        flat = points[..., 0]
+        spread = flat.max(axis=-1) - flat.min(axis=-1)
+        return np.sqrt(spread * spread)
+    diffs = points[..., :, None, :] - points[..., None, :, :]
+    dists = np.sqrt(np.sum(diffs * diffs, axis=-1))
+    return dists.max(axis=(-1, -2))
+
+
+def running_argmax(values: Iterable[float], tolerance: float = 1e-15) -> int:
+    """Index selected by the adversaries' strict-improvement scan.
+
+    Scans ``values`` in order, keeping index ``i`` whenever ``values[i]``
+    exceeds the running best by more than ``tolerance``.  This reproduces the
+    exact tie-breaking of the per-scenario adversary loops (first graph wins
+    on ties), which the batched adversaries must match choice-for-choice.
+    """
+    if not isinstance(values, np.ndarray):
+        values = np.asarray(list(values), dtype=float)
+    best = -math.inf
+    best_index = 0
+    for index, value in enumerate(values.ravel().tolist()):
+        if value > best + tolerance:
+            best = value
+            best_index = index
+    return best_index
 
 
 def in_convex_hull(point: np.ndarray, points: np.ndarray, tol: float = 1e-9) -> bool:

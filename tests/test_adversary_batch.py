@@ -1,0 +1,394 @@
+"""Tests for the batched adversarial search engine and the chunked reductions.
+
+Three properties are enforced:
+
+* batched candidate evaluation makes *identical* choices to the per-graph
+  reference loops on the Theorem 1 / Theorem 3 reference executions (and on
+  generic greedy/lookahead runs), on both execution paths;
+* :func:`repro.execution.run_adversarial_ensemble` commits the same graph
+  sequences and outputs as independent per-scenario runs;
+* the chunked masked reductions are bit-for-bit equal to the dense ones for
+  every chunk configuration, including chunk=1 and chunk > B.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AmortizedMidpointAlgorithm,
+    MeanAlgorithm,
+    MidpointAlgorithm,
+    TwoAgentThirdsAlgorithm,
+)
+from repro.algorithms.base import (
+    ConvexCombinationAlgorithm,
+    get_masked_reduction_chunks,
+    masked_max,
+    masked_min,
+    masked_min_max,
+    masked_reduction_chunks,
+    set_masked_reduction_chunks,
+)
+from repro.core.adversary import (
+    GreedyDiameterAdversary,
+    LookaheadDiameterAdversary,
+    PsiBlockAdversary,
+    TwoAgentAdversary,
+)
+from repro.exceptions import AlgorithmError, ExecutionError
+from repro.execution import run_adversarial_ensemble, run_execution
+from repro.execution.batch import _batch_diameters, _round_adjacency
+from repro.execution.engine import _AdjacencyCache
+from repro.graphs.families import complete_graph, cycle_graph
+from repro.models.standard import deaf_model, two_agent_model
+from repro.types import pairwise_diameters, running_argmax
+
+
+class _SlowMidpoint(ConvexCombinationAlgorithm):
+    """Midpoint clone without batch hooks, to exercise the fallback paths."""
+
+    def combine(self, agent_id, received, round_number):
+        values = np.vstack(list(received.values()))
+        return (values.min(axis=0) + values.max(axis=0)) / 2.0
+
+
+def _values(batch, n, d=1, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=(batch, n, d))
+
+
+# --------------------------------------------------------------------------- #
+# Batched vs per-graph adversary choices (single executions)
+# --------------------------------------------------------------------------- #
+
+
+class TestBatchedAdversaryChoices:
+    CASES = [
+        # (adversary factory taking use_batch, algorithm factory, n, rounds)
+        (lambda ub: GreedyDiameterAdversary(deaf_model(n=4), use_batch=ub), MidpointAlgorithm, 4, 8),
+        (lambda ub: LookaheadDiameterAdversary(deaf_model(n=3), 2, use_batch=ub), MidpointAlgorithm, 3, 6),
+        (lambda ub: TwoAgentAdversary(use_batch=ub), TwoAgentThirdsAlgorithm, 2, 12),
+        (lambda ub: PsiBlockAdversary(5, use_batch=ub), MidpointAlgorithm, 5, 10),
+        (lambda ub: PsiBlockAdversary(5, use_batch=ub), AmortizedMidpointAlgorithm, 5, 9),
+        (lambda ub: GreedyDiameterAdversary(deaf_model(n=4), use_batch=ub), MeanAlgorithm, 4, 7),
+    ]
+
+    @pytest.mark.parametrize("use_fast_path", [True, False, None])
+    @pytest.mark.parametrize("case_index", range(len(CASES)))
+    def test_batched_matches_reference_loop(self, use_fast_path, case_index):
+        make_adversary, make_algorithm, n, rounds = self.CASES[case_index]
+        values = list(np.linspace(0.0, 1.0, n) + np.arange(n) % 3)
+        batched = run_execution(
+            make_algorithm(), values, make_adversary(True), rounds,
+            use_fast_path=use_fast_path,
+        )
+        reference = run_execution(
+            make_algorithm(), values, make_adversary(False), rounds,
+            use_fast_path=use_fast_path,
+        )
+        assert batched.graphs == reference.graphs
+        for lhs, rhs in zip(batched.configurations, reference.configurations):
+            np.testing.assert_array_equal(lhs.outputs, rhs.outputs)
+
+    def test_theorem_1_reference_execution(self):
+        # The Theorem 1 adversary must still realize contraction rate 1/3
+        # against Algorithm 1 with batched candidate evaluation.
+        from repro.execution.metrics import empirical_contraction_rate
+
+        execution = run_execution(
+            TwoAgentThirdsAlgorithm(), [0.0, 1.0], TwoAgentAdversary(), 25
+        )
+        assert empirical_contraction_rate(execution) == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_theorem_3_reference_execution(self):
+        # The Theorem 3 adversary plays sigma blocks; batched and reference
+        # block picks must agree including the recorded deaf-agent choices.
+        n, rounds = 5, 12
+        values = [0.0, 1.0, 2.0, 3.0, 4.0]
+        batched_adversary = PsiBlockAdversary(n, use_batch=True)
+        reference_adversary = PsiBlockAdversary(n, use_batch=False)
+        batched = run_execution(MidpointAlgorithm(), values, batched_adversary, rounds)
+        reference = run_execution(MidpointAlgorithm(), values, reference_adversary, rounds)
+        assert batched.graphs == reference.graphs
+        assert batched_adversary.chosen_blocks == reference_adversary.chosen_blocks
+
+    def test_simulate_outputs_batch_matches_per_graph(self):
+        captured = {}
+
+        class Probe(GreedyDiameterAdversary):
+            def choose(self, context):
+                graphs = list(self.model)
+                batched = context.simulate_outputs_batch(graphs)
+                stacked = np.stack(
+                    [np.asarray(context.simulate_outputs(g), dtype=float) for g in graphs]
+                )
+                captured.setdefault("pairs", []).append((batched, stacked))
+                return super().choose(context)
+
+        for fast in (True, False):
+            captured.clear()
+            run_execution(
+                MidpointAlgorithm(), [0.0, 1.0, 2.0], Probe(deaf_model(n=3)), 4,
+                use_fast_path=fast,
+            )
+            assert captured["pairs"]
+            for batched, stacked in captured["pairs"]:
+                np.testing.assert_array_equal(batched, stacked)
+
+    def test_simulate_sequences_batch_rejects_mixed_lengths(self):
+        class Probe(GreedyDiameterAdversary):
+            def choose(self, context):
+                graphs = list(self.model)
+                with pytest.raises(ExecutionError):
+                    context.simulate_sequences_batch([[graphs[0]], [graphs[0]] * 2])
+                return super().choose(context)
+
+        run_execution(MidpointAlgorithm(), [0.0, 1.0, 2.0], Probe(deaf_model(n=3)), 1)
+
+
+# --------------------------------------------------------------------------- #
+# Batched adversarial ensembles
+# --------------------------------------------------------------------------- #
+
+
+class TestRunAdversarialEnsemble:
+    @pytest.mark.parametrize(
+        "make_algorithm,make_adversary,n,rounds",
+        [
+            (MidpointAlgorithm, lambda: GreedyDiameterAdversary(deaf_model(n=5)), 5, 7),
+            (MidpointAlgorithm, lambda: LookaheadDiameterAdversary(deaf_model(n=4), 2), 4, 5),
+            (MidpointAlgorithm, lambda: PsiBlockAdversary(5), 5, 10),
+            (AmortizedMidpointAlgorithm, lambda: PsiBlockAdversary(5), 5, 8),
+            (TwoAgentThirdsAlgorithm, TwoAgentAdversary, 2, 12),
+            (_SlowMidpoint, lambda: GreedyDiameterAdversary(deaf_model(n=4)), 4, 5),
+        ],
+    )
+    def test_matches_per_scenario_runs(self, make_algorithm, make_adversary, n, rounds):
+        batch = 4
+        values = _values(batch, n, seed=11)
+        ensemble = run_adversarial_ensemble(
+            make_algorithm(), values, make_adversary(), rounds
+        )
+        assert ensemble.rounds == rounds
+        for scenario in range(batch):
+            single = run_execution(
+                make_algorithm(), values[scenario], make_adversary(), rounds
+            )
+            assert ensemble.scenario_graphs(scenario) == single.graphs
+            np.testing.assert_array_equal(
+                ensemble.final_outputs[scenario], single.final_configuration.outputs
+            )
+
+    def test_multidimensional_values(self):
+        batch, n, rounds = 3, 4, 6
+        values = _values(batch, n, d=3, seed=2)
+        ensemble = run_adversarial_ensemble(
+            MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=n)), rounds
+        )
+        for scenario in range(batch):
+            single = run_execution(
+                MidpointAlgorithm(), values[scenario],
+                GreedyDiameterAdversary(deaf_model(n=n)), rounds,
+            )
+            assert ensemble.scenario_graphs(scenario) == single.graphs
+            np.testing.assert_array_equal(
+                ensemble.final_outputs[scenario], single.final_configuration.outputs
+            )
+
+    def test_record_every(self):
+        values = _values(2, 4, seed=5)
+        ensemble = run_adversarial_ensemble(
+            MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 7,
+            record_every=3,
+        )
+        assert ensemble.recorded_rounds == [0, 3, 6, 7]
+        assert len(ensemble.round_choices) == 7
+
+    def test_zero_rounds(self):
+        values = _values(2, 4, seed=6)
+        ensemble = run_adversarial_ensemble(
+            MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 0
+        )
+        assert ensemble.recorded_rounds == [0]
+        assert ensemble.round_choices == []
+
+    def test_rejects_non_adversarial_pattern(self):
+        from repro.models.patterns import ConstantPattern
+
+        with pytest.raises(ExecutionError):
+            run_adversarial_ensemble(
+                MidpointAlgorithm(), _values(2, 3), ConstantPattern(complete_graph(3)), 2
+            )
+
+    def test_two_agent_plan_rejects_wrong_n(self):
+        with pytest.raises(ExecutionError):
+            run_adversarial_ensemble(
+                MidpointAlgorithm(), _values(2, 3), TwoAgentAdversary(), 2
+            )
+
+    def test_scenario_labels(self):
+        values = _values(3, 4, seed=8)
+        labels = ["a", "b", "c"]
+        ensemble = run_adversarial_ensemble(
+            MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 3,
+            scenario_labels=labels,
+        )
+        assert ensemble.scenario_labels == labels
+        with pytest.raises(ExecutionError):
+            run_adversarial_ensemble(
+                MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 3,
+                scenario_labels=["too", "few"],
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Chunked masked reductions
+# --------------------------------------------------------------------------- #
+
+
+def _dense_masked_min(adjacency, values):
+    mask = np.swapaxes(np.asarray(adjacency, dtype=bool), -1, -2)[..., None]
+    return np.where(mask, values[..., None, :, :], np.inf).min(axis=-2)
+
+
+class TestChunkedReductions:
+    SHAPES = [
+        ((6, 6), (6, 2)),          # single graph, single scenario
+        ((5, 6, 6), (5, 6, 2)),    # per-scenario graphs
+        ((3, 6, 6), (5, 1, 6, 2)), # candidate axis crossed with scenarios
+        ((6, 6), (5, 6, 1)),       # shared graph over an ensemble
+        ((4, 6, 6), (6, 3)),       # stacked candidates, shared values (scan path)
+    ]
+
+    @pytest.mark.parametrize("batch_chunk", [1, 2, 3, 7, 100, "dense", "auto"])
+    @pytest.mark.parametrize("receiver_chunk", [1, 2, 4, 100, "dense", "auto"])
+    def test_bitwise_equal_to_dense(self, batch_chunk, receiver_chunk):
+        rng = np.random.default_rng(0)
+        for adjacency_shape, values_shape in self.SHAPES:
+            n = adjacency_shape[-1]
+            adjacency = rng.random(adjacency_shape) < 0.4
+            adjacency[..., np.arange(n), np.arange(n)] = True
+            values = rng.normal(size=values_shape)
+            expected_lo = _dense_masked_min(adjacency, values)
+            expected_hi = -_dense_masked_min(adjacency, -values)
+            with masked_reduction_chunks(batch=batch_chunk, receivers=receiver_chunk):
+                np.testing.assert_array_equal(masked_min(adjacency, values), expected_lo)
+                np.testing.assert_array_equal(masked_max(adjacency, values), expected_hi)
+                lo, hi = masked_min_max(adjacency, values)
+            np.testing.assert_array_equal(lo, expected_lo)
+            np.testing.assert_array_equal(hi, expected_hi)
+
+    def test_chunk_one_and_chunk_larger_than_batch(self):
+        rng = np.random.default_rng(1)
+        batch = 3
+        adjacency = rng.random((batch, 5, 5)) < 0.5
+        adjacency[..., np.arange(5), np.arange(5)] = True
+        values = rng.normal(size=(batch, 5, 4))
+        expected = _dense_masked_min(adjacency, values)
+        for chunk in (1, batch + 10):
+            with masked_reduction_chunks(batch=chunk, receivers=chunk):
+                np.testing.assert_array_equal(masked_min(adjacency, values), expected)
+
+    def test_rows_without_neighbors_fill(self):
+        adjacency = np.zeros((2, 3, 3), dtype=bool)  # not even self-loops
+        values = np.ones((3, 2))
+        assert np.all(masked_min(adjacency, values) == np.inf)
+        assert np.all(masked_max(adjacency, values) == -np.inf)
+
+    def test_configuration_validation_and_restore(self):
+        with pytest.raises(AlgorithmError):
+            set_masked_reduction_chunks(batch=0)
+        with pytest.raises(AlgorithmError):
+            set_masked_reduction_chunks(receivers="sometimes")
+        before = get_masked_reduction_chunks()
+        with masked_reduction_chunks(batch=2, receivers=3):
+            assert get_masked_reduction_chunks() == {"batch": 2, "receivers": 3}
+        assert get_masked_reduction_chunks() == before
+
+    def test_executions_identical_across_chunkings(self):
+        values = _values(4, 6, seed=9)
+        pattern_graphs = [complete_graph(6), cycle_graph(6)]
+        from repro.execution import run_pattern_ensemble
+        from repro.models.patterns import PeriodicPattern
+
+        with masked_reduction_chunks(batch="dense", receivers="dense"):
+            dense = run_pattern_ensemble(
+                MidpointAlgorithm(), values, PeriodicPattern(pattern_graphs), 9
+            )
+        with masked_reduction_chunks(batch=1, receivers=2):
+            chunked = run_pattern_ensemble(
+                MidpointAlgorithm(), values, PeriodicPattern(pattern_graphs), 9
+            )
+        np.testing.assert_array_equal(dense.recorded_outputs, chunked.recorded_outputs)
+
+
+# --------------------------------------------------------------------------- #
+# Selection helpers
+# --------------------------------------------------------------------------- #
+
+
+class TestSelectionHelpers:
+    def test_pairwise_diameters_d1_matches_dense(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(6, 9, 1))
+        diffs = points[..., :, None, :] - points[..., None, :, :]
+        dense = np.sqrt(np.sum(diffs * diffs, axis=-1)).max(axis=(-1, -2))
+        np.testing.assert_array_equal(pairwise_diameters(points), dense)
+
+    def test_pairwise_diameters_matches_scalar_diameter(self):
+        from repro.types import diameter
+
+        rng = np.random.default_rng(5)
+        stacked = rng.normal(size=(4, 5, 3))
+        batched = pairwise_diameters(stacked)
+        for index in range(4):
+            assert batched[index] == diameter(stacked[index])
+
+    def test_running_argmax_tie_breaking(self):
+        assert running_argmax([1.0, 1.0, 1.0]) == 0
+        assert running_argmax([0.5, 1.0, 1.0]) == 1
+        assert running_argmax([0.0, 0.0, 0.5]) == 2
+        # improvements below the tolerance do not move the pick
+        assert running_argmax([1.0, 1.0 + 5e-16]) == 0
+
+    def test_batch_diameters_d1_and_pruned(self):
+        rng = np.random.default_rng(6)
+        for shape in [(5, 8, 1), (4, 12, 3), (3, 2, 2), (2, 1, 4)]:
+            outputs = rng.normal(size=shape)
+            diffs = outputs[:, :, None, :] - outputs[:, None, :, :]
+            dense = np.sqrt((diffs * diffs).sum(axis=-1)).max(axis=(-1, -2))
+            if shape[1] < 2:
+                dense = np.zeros(shape[0])
+            np.testing.assert_allclose(
+                _batch_diameters(outputs), dense, rtol=1e-12, atol=1e-14
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Adjacency caching
+# --------------------------------------------------------------------------- #
+
+
+class TestAdjacencyCache:
+    def test_repeated_graph_lists_reuse_the_stacked_tensor(self):
+        cache = _AdjacencyCache()
+        graphs = (complete_graph(4), cycle_graph(4), complete_graph(4))
+        first = cache.stacked(graphs)
+        second = cache.stacked(graphs)
+        assert first is second
+        np.testing.assert_array_equal(
+            first, np.stack([graph.adjacency for graph in graphs])
+        )
+
+    def test_uniform_round_broadcasts_without_stacking(self):
+        graph = complete_graph(3)
+        adjacency = _round_adjacency([graph, graph, graph], 3, 3)
+        assert adjacency.shape == (3, 3)
+        assert adjacency is graph.adjacency
+
+    def test_cache_bounded(self):
+        cache = _AdjacencyCache(max_entries=1)
+        first = cache.stacked((complete_graph(3), cycle_graph(3)))
+        # A different list does not evict the first entry (insert-only cap).
+        cache.stacked((cycle_graph(3), complete_graph(3)))
+        again = cache.stacked((complete_graph(3), cycle_graph(3)))
+        np.testing.assert_array_equal(first, again)

@@ -20,18 +20,41 @@ import sys
 from pathlib import Path
 
 #: (old-timing key, new-timing key) pairs an entry may carry.  The
-#: dense/chunked reduction timings are deliberately NOT gated: chunking is a
-#: memory-for-time tradeoff measured at millisecond scale, so a 2x wall-clock
-#: bound on a noisy CI runner would flake without any code regression.
+#: dense/chunked/packed reduction timings are deliberately NOT gated:
+#: chunking and packing are memory-for-time tradeoffs measured at millisecond
+#: scale, so a 2x wall-clock bound on a noisy CI runner would flake without
+#: any code regression.
 _TIMING_PAIRS = (
     ("old_s", "new_s"),
     ("loop_s", "batched_s"),
+)
+
+#: Benchmarks every payload must contain: the fast-path gate is meaningless
+#: if a regression silently removes an entry, so missing families fail too.
+#: The valency/contraction/alpha entries carry old_s/new_s and are therefore
+#: gated by the slowdown check above as well.
+_REQUIRED_BENCHMARKS = (
+    "run_execution",
+    "ensemble",
+    "greedy_adversary",
+    "psi_adversary",
+    "adversarial_ensemble",
+    "valency_estimation",
+    "valency_streaming_memory",
+    "contraction_trace",
+    "alpha_classes",
+    "masked_reduction_memory",
+    "packed_masked_reduction",
 )
 
 
 def check(payload: dict, max_slowdown: float) -> list:
     """Return a list of human-readable violations found in ``payload``."""
     violations = []
+    present = {entry.get("benchmark") for entry in payload.get("results", [])}
+    for name in _REQUIRED_BENCHMARKS:
+        if name not in present:
+            violations.append(f"required benchmark family {name!r} is missing")
     for entry in payload.get("results", []):
         for old_key, new_key in _TIMING_PAIRS:
             if old_key not in entry or new_key not in entry:

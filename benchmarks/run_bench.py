@@ -4,10 +4,14 @@ Times the synchronous engine's two execution paths on an ``(n, rounds)``
 grid, the batched ensemble runner against an equivalent loop of single
 executions on a ``(B, n, rounds)`` grid, the adversaries' batched candidate
 evaluation against the per-graph reference loop, the batched adversarial
-ensemble runner, the peak memory of the chunked vs dense masked reductions
-(tracemalloc), and the asynchronous ``agreement_time`` sweep, then writes the
-results to ``BENCH_engine.json`` so the performance trajectory is tracked
-from PR to PR.
+ensemble runner, the certification engine (batched valency estimation,
+contraction traces and packed α-class computation against their per-sequence
+/ per-pair reference loops, plus a tracemalloc assertion that the streamed
+prefix enumeration stays below the materialized pass), the peak memory of
+the chunked vs dense vs packed masked reductions (tracemalloc), and the
+asynchronous ``agreement_time`` sweep, then writes the results to
+``BENCH_engine.json`` so the performance trajectory is tracked from PR to
+PR.
 
 Usage (from the repository root)::
 
@@ -31,17 +35,28 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algorithms import MeanAlgorithm, MidpointAlgorithm
-from repro.algorithms.base import masked_reduction_chunks
+from repro.algorithms.base import masked_reduction_chunks, masked_reduction_impl, masked_min_max
 from repro.asynchrony import AsynchronousSimulator, RoundBasedAsyncAlgorithm
 from repro.core.adversary import GreedyDiameterAdversary
+from repro.core.contraction import valency_contraction_trace
+from repro.core.valency import ValencyEstimator
 from repro.execution import (
     run_adversarial_ensemble,
     run_execution,
     run_pattern_ensemble,
 )
-from repro.graphs.families import complete_graph, cycle_graph, deaf_variant, directed_star_graph
+from repro.execution.engine import initial_configuration
+from repro.graphs.families import (
+    complete_graph,
+    cycle_graph,
+    deaf_variant,
+    directed_star_graph,
+    psi_family,
+)
+from repro.graphs.relations import alpha_classes, alpha_diameter, beta_classes
 from repro.models.network_model import NetworkModel
 from repro.models.patterns import PeriodicPattern
+from repro.models.standard import deaf_model
 
 
 def _best_of(callable_, repeats: int) -> float:
@@ -347,7 +362,10 @@ def bench_reduction_memory(batch_size: int, n: int, d: int) -> list:
     )
 
     def one_round():
-        algorithm.batch_transition(values, adjacency, 1)
+        # Pin the np.where implementation: this entry isolates the effect of
+        # chunking, not of the packed-bit path (benchmarked separately).
+        with masked_reduction_impl("dense"):
+            algorithm.batch_transition(values, adjacency, 1)
 
     with masked_reduction_chunks(batch="dense", receivers="dense"):
         dense_peak = _peak_bytes(one_round)
@@ -372,6 +390,212 @@ def bench_reduction_memory(batch_size: int, n: int, d: int) -> list:
         f"dense={dense_peak / 1e6:7.1f}MB chunked={chunked_peak / 1e6:7.1f}MB "
         f"ratio={entry['memory_ratio']:5.1f}x (dense={dense_s * 1e3:.2f}ms, "
         f"chunked={chunked_s * 1e3:.2f}ms)"
+    )
+    return [entry]
+
+
+def bench_valency(grid, repeats: int) -> list:
+    """Batched valency estimation vs the per-sequence reference loop.
+
+    ``old_s`` runs one ``run_from_configuration`` per sampled future (the
+    pre-certification-engine behaviour); ``new_s`` stacks all futures of each
+    exploration depth into one scenario ensemble.  Both produce bit-for-bit
+    identical ``ValencyEstimate`` bounds (tests/test_valency_batch.py).
+    """
+    results = []
+    algorithm = MidpointAlgorithm()
+    for n, depth, suffix_rounds in grid:
+        model = deaf_model(n=n)
+        configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, n))
+        reference = ValencyEstimator(
+            algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=depth,
+            use_batch=False,
+        )
+        batched = ValencyEstimator(
+            algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=depth,
+        )
+        old_s = _best_of(lambda: reference.limit_estimates(configuration), repeats)
+        new_s = _best_of(lambda: batched.limit_estimates(configuration), repeats)
+        futures = sum(len(model) ** level for level in range(depth + 1)) * len(model)
+        entry = {
+            "benchmark": "valency_estimation",
+            "algorithm": algorithm.name,
+            "n": n,
+            "depth": depth,
+            "suffix_rounds": suffix_rounds,
+            "futures": futures,
+            "d": 1,
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": old_s / new_s if new_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"valency       {algorithm.name:10s} n={n:4d} depth={depth} K={futures:5d} "
+            f"old={old_s * 1e3:9.2f}ms new={new_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
+def bench_valency_memory(n: int, depth: int, suffix_rounds: int) -> list:
+    """Peak memory of the streamed prefix enumeration vs one materialized pass.
+
+    Asserts (tracemalloc) that streaming the exhaustive ``|N|^depth`` prefix
+    product in bounded chunks keeps peak allocation strictly below the
+    single-pass run that stacks every future at once — the whole point of the
+    chunked enumeration.
+    """
+    algorithm = MidpointAlgorithm()
+    model = deaf_model(n=n)
+    configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, n))
+    futures = sum(len(model) ** d for d in range(depth + 1)) * len(model)
+    streamed = ValencyEstimator(
+        algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=depth,
+        scenario_chunk=128,
+    )
+    materialized = ValencyEstimator(
+        algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=depth,
+        scenario_chunk=max(futures, 128),
+    )
+    streamed_peak = _peak_bytes(lambda: streamed.limit_estimates(configuration))
+    materialized_peak = _peak_bytes(lambda: materialized.limit_estimates(configuration))
+    assert streamed_peak < materialized_peak, (
+        f"streamed prefix enumeration peaked at {streamed_peak} bytes, not below the "
+        f"materialized pass ({materialized_peak} bytes)"
+    )
+    entry = {
+        "benchmark": "valency_streaming_memory",
+        "algorithm": algorithm.name,
+        "n": n,
+        "depth": depth,
+        "suffix_rounds": suffix_rounds,
+        "futures": futures,
+        "streamed_peak_bytes": streamed_peak,
+        "materialized_peak_bytes": materialized_peak,
+        "memory_ratio": materialized_peak / streamed_peak if streamed_peak else float("inf"),
+    }
+    print(
+        f"valency-mem   {algorithm.name:10s} n={n:4d} depth={depth} K={futures:5d} "
+        f"streamed={streamed_peak / 1e6:7.2f}MB materialized={materialized_peak / 1e6:7.2f}MB "
+        f"ratio={entry['memory_ratio']:5.1f}x"
+    )
+    return [entry]
+
+
+def bench_contraction_trace(grid, repeats: int) -> list:
+    """Batched vs reference valency-diameter traces along adversarial executions."""
+    results = []
+    algorithm = MidpointAlgorithm()
+    for n, rounds, suffix_rounds in grid:
+        model = deaf_model(n=n)
+        values = np.linspace(0.0, 1.0, n)
+
+        def trace(use_batch):
+            return valency_contraction_trace(
+                algorithm, model, GreedyDiameterAdversary(model), values, rounds,
+                suffix_rounds=suffix_rounds, use_batch=use_batch,
+            )
+
+        old_s = _best_of(lambda: trace(False), repeats)
+        new_s = _best_of(lambda: trace(True), repeats)
+        entry = {
+            "benchmark": "contraction_trace",
+            "algorithm": algorithm.name,
+            "n": n,
+            "rounds": rounds,
+            "suffix_rounds": suffix_rounds,
+            "d": 1,
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": old_s / new_s if new_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"contraction   {algorithm.name:10s} n={n:4d} rounds={rounds:4d} "
+            f"old={old_s * 1e3:9.2f}ms new={new_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
+def bench_alpha_classes(grid, repeats: int) -> list:
+    """Packed α/β-class and α-diameter computation vs the per-pair reference."""
+    results = []
+    for family, n in grid:
+        if family == "psi":
+            graphs = psi_family(n)
+        else:
+            graphs = [deaf_variant(complete_graph(n), agent) for agent in range(n)]
+
+        def analyses(use_packed):
+            alpha_classes(graphs, use_packed=use_packed)
+            beta_classes(graphs, use_packed=use_packed)
+            alpha_diameter(graphs, use_packed=use_packed)
+
+        old_s = _best_of(lambda: analyses(False), repeats)
+        new_s = _best_of(lambda: analyses(True), repeats)
+        entry = {
+            "benchmark": "alpha_classes",
+            "family": family,
+            "n": n,
+            "model_size": len(graphs),
+            "old_s": old_s,
+            "new_s": new_s,
+            "speedup": old_s / new_s if new_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"alpha-classes {family:10s} n={n:4d} |N|={len(graphs):3d} "
+            f"old={old_s * 1e3:9.2f}ms new={new_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
+def bench_packed_reduction(batch_size: int, n: int, d: int, repeats: int) -> list:
+    """Packed-bit masked reductions vs dense/chunked and vs the sort-and-scan path.
+
+    ``packed_s``/``dense_s`` time the general case (per-scenario values),
+    ``scan_s`` the shared-values case the existing sort-and-scan covers.
+    tracemalloc peaks are recorded; the timings are deliberately not gated
+    (memory-for-time tradeoffs at millisecond scale flake on CI).
+    """
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-1.0, 1.0, size=(batch_size, n, d))
+    base = complete_graph(n)
+    adjacency = np.stack(
+        [deaf_variant(base, b % n).adjacency for b in range(batch_size)]
+    )
+    shared_values = values[:1]
+
+    def general(impl):
+        with masked_reduction_impl(impl):
+            masked_min_max(adjacency, values)
+
+    def scan():
+        with masked_reduction_impl("dense"):
+            masked_min_max(adjacency, shared_values)
+
+    dense_s = _best_of(lambda: general("dense"), repeats)
+    packed_s = _best_of(lambda: general("packed"), repeats)
+    scan_s = _best_of(scan, repeats)
+    dense_peak = _peak_bytes(lambda: general("dense"))
+    packed_peak = _peak_bytes(lambda: general("packed"))
+    entry = {
+        "benchmark": "packed_masked_reduction",
+        "B": batch_size,
+        "n": n,
+        "d": d,
+        "dense_s": dense_s,
+        "packed_s": packed_s,
+        "scan_shared_values_s": scan_s,
+        "dense_peak_bytes": dense_peak,
+        "packed_peak_bytes": packed_peak,
+        "memory_ratio": dense_peak / packed_peak if packed_peak else float("inf"),
+    }
+    print(
+        f"packed-reduce midpoint   B={batch_size:4d} n={n:4d} d={d} "
+        f"dense={dense_s * 1e3:8.2f}ms packed={packed_s * 1e3:8.2f}ms "
+        f"scan(shared)={scan_s * 1e3:8.2f}ms mem {dense_peak / 1e6:6.1f}->"
+        f"{packed_peak / 1e6:6.1f}MB ({entry['memory_ratio']:.1f}x)"
     )
     return [entry]
 
@@ -424,6 +648,11 @@ def main() -> int:
         # Above the auto-chunk threshold (24*256*256 > 2^20 elements), so the
         # smoke run genuinely compares the dense and chunked code paths.
         memory_case = (24, 256, 1)
+        valency_grid = [(6, 1, 20)]
+        valency_memory_case = (6, 2, 10)
+        contraction_grid = [(5, 4, 15)]
+        alpha_grid = [("psi", 16), ("deaf", 12)]
+        packed_reduction_case = (24, 256, 1)
         async_grid = [(4, 1, 6.0)]
         repeats = 1
     else:
@@ -433,6 +662,13 @@ def main() -> int:
         psi_grid = [(34, 64), (66, 64)]
         adversarial_ensemble_grid = [(16, 32, 8, 20), (64, 32, 8, 20)]
         memory_case = (64, 256, 1)
+        # The (8, 2, 60) case is the ISSUE 3 acceptance workload: n=8,
+        # depth-2 exhaustive sampling, default suffix length.
+        valency_grid = [(8, 2, 60), (16, 1, 60), (32, 0, 60)]
+        valency_memory_case = (8, 3, 30)
+        contraction_grid = [(8, 12, 40), (16, 12, 40)]
+        alpha_grid = [("psi", 32), ("psi", 64), ("deaf", 32), ("deaf", 48)]
+        packed_reduction_case = (64, 256, 1)
         async_grid = [(8, 2, 20.0), (16, 4, 12.0)]
         repeats = 3
 
@@ -444,7 +680,12 @@ def main() -> int:
     results += bench_adversary(adversary_grid, repeats=repeats)
     results += bench_psi_adversary(psi_grid, repeats=repeats)
     results += bench_adversarial_ensemble(adversarial_ensemble_grid, repeats=repeats)
+    results += bench_valency(valency_grid, repeats=repeats)
+    results += bench_valency_memory(*valency_memory_case)
+    results += bench_contraction_trace(contraction_grid, repeats=repeats)
+    results += bench_alpha_classes(alpha_grid, repeats=repeats)
     results += bench_reduction_memory(*memory_case)
+    results += bench_packed_reduction(*packed_reduction_case, repeats=repeats)
     results += bench_async(async_grid, repeats=repeats)
 
     payload = {

@@ -37,7 +37,9 @@ from repro.algorithms.base import (
     masked_min,
     masked_min_max,
     masked_reduction_chunks,
+    masked_reduction_impl,
     set_masked_reduction_chunks,
+    set_masked_reduction_impl,
 )
 from repro.algorithms.exact import FloodingExactConsensus, FloodingState, flooding_horizon_sufficient
 from repro.algorithms.hegselmann_krause import HegselmannKrauseAlgorithm
@@ -56,6 +58,8 @@ __all__ = [
     "set_masked_reduction_chunks",
     "get_masked_reduction_chunks",
     "masked_reduction_chunks",
+    "set_masked_reduction_impl",
+    "masked_reduction_impl",
     "MidpointAlgorithm",
     "AmortizedMidpointAlgorithm",
     "AmortizedMidpointState",

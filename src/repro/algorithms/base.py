@@ -28,7 +28,7 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import AlgorithmError
-from repro.types import as_value
+from repro.types import as_value, pack_bool_rows, packed_first_true, packed_last_true
 
 #: A chunk setting: "auto" (heuristic), "dense" (never chunk this axis), or a
 #: positive block size.
@@ -76,6 +76,40 @@ def set_masked_reduction_chunks(
 def get_masked_reduction_chunks() -> Dict[str, ChunkSetting]:
     """The current chunk configuration (a copy)."""
     return dict(_REDUCTION_CHUNKS)
+
+
+#: Implementation selector for the *general* masked-reduction case (per-lead
+#: value tensors, where the shared-values sort-and-scan cannot fire):
+#: ``"auto"`` picks the packed-bit path for large d<=2 stacks, ``"dense"``
+#: never packs, ``"packed"`` always packs when applicable.
+_REDUCTION_IMPL: Dict[str, str] = {"general": "auto"}
+
+
+def set_masked_reduction_impl(general: str = "auto") -> None:
+    """Choose the implementation of the general masked-reduction case.
+
+    ``"auto"`` (default) routes large ``(B, n, n)`` reductions with small
+    ``d`` through the packed-bit scan of :func:`repro.types.pack_bool_rows`;
+    ``"dense"`` forces the dense/chunked ``np.where`` path; ``"packed"``
+    forces the packed path whenever it is applicable (float values without
+    NaNs).  All implementations are bit-for-bit identical.
+    """
+    if general not in ("auto", "dense", "packed"):
+        raise AlgorithmError(
+            f"reduction impl must be 'auto', 'dense' or 'packed', got {general!r}"
+        )
+    _REDUCTION_IMPL["general"] = general
+
+
+@contextmanager
+def masked_reduction_impl(general: str = "auto") -> Iterator[None]:
+    """Temporarily override the general masked-reduction implementation."""
+    previous = _REDUCTION_IMPL["general"]
+    set_masked_reduction_impl(general)
+    try:
+        yield
+    finally:
+        _REDUCTION_IMPL["general"] = previous
 
 
 @contextmanager
@@ -225,6 +259,61 @@ def _masked_extremes_scan(
     return lo, hi
 
 
+def _masked_extremes_packed(
+    mask: np.ndarray, values: np.ndarray, lead: tuple, want_min: bool, want_max: bool
+):
+    """Packed-bit masked extremes for the general (per-lead values) case.
+
+    Sorting each scenario's values once per coordinate turns the masked
+    extreme of every receiver into a first/last-set-bit query on the
+    receiver's mask row *permuted into sorted order*; packing those rows via
+    ``np.packbits`` answers all queries with one byte-level ``argmax`` and a
+    table lookup.  The largest intermediate is the permuted boolean mask —
+    an eighth of the dense path's float64 ``np.where`` tensor at ``d == 1``
+    before packing even starts — and the selected floats are actual elements
+    of ``values``, so the result is bit-for-bit equal to the dense path.
+    """
+    n_receivers, n = mask.shape[-2], mask.shape[-1]
+    d = values.shape[-1]
+    lead_count = math.prod(lead) if lead else 1
+    mask_flat = np.broadcast_to(mask, lead + (n_receivers, n)).reshape(
+        lead_count, n_receivers, n
+    )
+    values_flat = np.broadcast_to(values, lead + (n, d)).reshape(lead_count, n, d)
+    out_dtype = (
+        values.dtype
+        if np.issubdtype(values.dtype, np.floating)
+        else np.result_type(values.dtype, float)
+    )
+    lo = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_min else None
+    hi = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_max else None
+    order = np.argsort(values_flat, axis=-2, kind="stable")  # (L, n, d)
+    permuted = np.empty((lead_count, n_receivers, n), dtype=bool)
+    for coord in range(d):
+        column_order = order[..., coord]  # (L, n)
+        sorted_column = np.take_along_axis(values_flat[..., coord], column_order, axis=-1)
+        sorted_column = sorted_column.astype(out_dtype, copy=False)
+        # Column gather per lead scenario: ~2x faster than a broadcast
+        # take_along_axis over the stacked tensor, and the loop body is large
+        # whenever this path fires.
+        for scenario in range(lead_count):
+            permuted[scenario] = mask_flat[scenario][:, column_order[scenario]]
+        packed = pack_bool_rows(permuted)  # (L, R, ceil(n/8))
+        if want_min:
+            first = packed_first_true(packed, n)  # (L, R); n = no neighbor
+            gathered = np.take_along_axis(sorted_column, np.minimum(first, n - 1), axis=-1)
+            lo[..., coord] = np.where(first < n, gathered, np.inf)
+        if want_max:
+            last = packed_last_true(packed, n)  # (L, R); -1 = no neighbor
+            gathered = np.take_along_axis(sorted_column, np.maximum(last, 0), axis=-1)
+            hi[..., coord] = np.where(last >= 0, gathered, -np.inf)
+    out_shape = lead + (n_receivers, d)
+    return (
+        lo.reshape(out_shape) if lo is not None else None,
+        hi.reshape(out_shape) if hi is not None else None,
+    )
+
+
 def _masked_extremes(
     adjacency: np.ndarray, values: np.ndarray, want_min: bool, want_max: bool
 ):
@@ -258,6 +347,26 @@ def _masked_extremes(
             lo.reshape(out_shape) if lo is not None else None,
             hi.reshape(out_shape) if hi is not None else None,
         )
+
+    # Packed-bit path for the general case (per-lead value tensors).  In
+    # "auto" mode it fires where the dense intermediate would be chunked
+    # anyway and the coordinate count is small; "packed" forces it whenever
+    # the values are NaN-free (NaNs need the dense propagation semantics).
+    impl = _REDUCTION_IMPL["general"]
+    if impl != "dense" and (want_min or want_max):
+        auto_fire = (
+            impl == "packed"
+            or (
+                lead_count > 1
+                and d <= 2
+                and n >= 32
+                and lead_count * n_receivers * n * d > _AUTO_DENSE_ELEMENT_LIMIT
+            )
+        )
+        if auto_fire and (
+            not np.issubdtype(values.dtype, np.floating) or not np.isnan(values).any()
+        ):
+            return _masked_extremes_packed(mask, values, lead, want_min, want_max)
 
     chunks = _resolve_chunks(lead_count, lead0, n_receivers, n, d)
 
@@ -360,6 +469,19 @@ class Algorithm(ABC):
     def is_convex_combination(self) -> bool:
         """Whether the algorithm is a convex-combination (averaging) algorithm."""
         return isinstance(self, ConvexCombinationAlgorithm)
+
+    def round_invariant(self) -> bool:
+        """Whether the transition ignores the ``round_number`` argument.
+
+        Round-invariant algorithms produce bit-for-bit identical outputs no
+        matter which round number a transition executes at.  The batched
+        valency estimator relies on this to stack futures that start at
+        different rounds into one ensemble and to drop exact-fixpoint
+        scenarios from constant suffixes early.  Defaults to ``False``
+        (conservative); memoryless rules whose update never reads
+        ``round_number`` override it to ``True``.
+        """
+        return False
 
     # ------------------------------------------------------------------ #
     # Vectorized fast path (optional)

@@ -66,6 +66,9 @@ class HegselmannKrauseAlgorithm(ConvexCombinationAlgorithm):
         counts = weights.sum(axis=-1)  # >= 1: the self-loop is always trusted
         return (weights @ values) / counts[..., None]
 
+    def round_invariant(self) -> bool:
+        return True
+
     @property
     def name(self) -> str:
         return f"hegselmann-krause(r={self._confidence:g})"

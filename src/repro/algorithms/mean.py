@@ -34,6 +34,9 @@ class MeanAlgorithm(ConvexCombinationAlgorithm):
         counts = weights.sum(axis=-1)
         return (weights @ values) / counts[..., None]
 
+    def round_invariant(self) -> bool:
+        return True
+
     @property
     def name(self) -> str:
         return "mean"

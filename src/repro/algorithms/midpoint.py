@@ -41,6 +41,9 @@ class MidpointAlgorithm(ConvexCombinationAlgorithm):
         lo, hi = masked_min_max(adjacency, values)
         return (lo + hi) / 2.0
 
+    def round_invariant(self) -> bool:
+        return True
+
     @property
     def name(self) -> str:
         return "midpoint"

@@ -58,6 +58,9 @@ class TwoAgentThirdsAlgorithm(ConvexCombinationAlgorithm):
         moved = values / 3.0 + 2.0 * other_values / 3.0
         return np.where(heard_other[..., None], moved, values)
 
+    def round_invariant(self) -> bool:
+        return True
+
     @property
     def name(self) -> str:
         return "two-agent-thirds"

@@ -70,6 +70,9 @@ class SelfWeightedAveraging(ConvexCombinationAlgorithm):
         mixed = self._self_weight * values + (1.0 - self._self_weight) * other_mean
         return np.where((other_counts > 0)[..., None], mixed, values)
 
+    def round_invariant(self) -> bool:
+        return True
+
     @property
     def name(self) -> str:
         return f"self-weighted({self._self_weight:g})"

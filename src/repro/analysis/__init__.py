@@ -15,6 +15,7 @@ from repro.analysis.experiments import (
     experiment_round_based_crashes,
     experiment_solvability,
     experiment_two_agent,
+    run_certification_sweep,
 )
 from repro.analysis.reporting import format_table
 from repro.analysis.summary import Table1Row, build_table1, format_table1
@@ -28,6 +29,7 @@ __all__ = [
     "experiment_minrelay",
     "experiment_decision_times",
     "experiment_solvability",
+    "run_certification_sweep",
     "format_table",
     "Table1Row",
     "build_table1",

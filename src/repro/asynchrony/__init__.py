@@ -30,12 +30,13 @@ from repro.asynchrony.schedulers import (
     RandomDelayScheduler,
     staggered_crash_schedule,
 )
-from repro.asynchrony.simulator import AsyncExecution, AsynchronousSimulator, AsyncAlgorithm
+from repro.asynchrony.simulator import AsyncAlgorithm, AsyncExecution, AsynchronousSimulator, OutputSample
 
 __all__ = [
     "AsyncAlgorithm",
     "AsynchronousSimulator",
     "AsyncExecution",
+    "OutputSample",
     "MinRelayAlgorithm",
     "RoundBasedAsyncAlgorithm",
     "ConstantDelayScheduler",

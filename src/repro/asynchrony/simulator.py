@@ -106,12 +106,23 @@ class AsyncExecution:
 
     def _sorted_samples(self) -> List[OutputSample]:
         """The samples in chronological order (stable, so same-time updates
-        apply in recording order).  Cached: the sample list is append-only
-        during simulation and read-only afterwards."""
+        apply in recording order).
+
+        Cached, and the cache is keyed on a fingerprint of the sample list
+        (identity and time of every sample) rather than its length alone:
+        post-run mutations that keep the length — replacing a sample,
+        editing a sample's ``time`` in place, reordering the list — must
+        invalidate the cache too, or every time-indexed query would silently
+        use the stale order (regression test in ``tests/test_async.py``).
+        Values may be edited freely: the sorted list holds the same sample
+        objects, so value edits are visible without a resort.
+        """
+        fingerprint = tuple((id(sample), sample.time) for sample in self.samples)
         cached = getattr(self, "_sorted_cache", None)
-        if cached is None or len(cached) != len(self.samples):
+        if cached is None or getattr(self, "_sorted_cache_key", None) != fingerprint:
             cached = sorted(self.samples, key=lambda sample: sample.time)
             self._sorted_cache = cached
+            self._sorted_cache_key = fingerprint
         return cached
 
     def timeline(self) -> Iterator[Tuple[float, np.ndarray, FrozenSet[int]]]:

@@ -56,10 +56,11 @@ from repro.core.lower_bounds import (
     two_agent_upper_bound,
 )
 from repro.core.optimality import TightnessReport, tightness_report
-from repro.core.valency import ValencyEstimator
+from repro.core.valency import ValencyEstimate, ValencyEstimator
 
 __all__ = [
     "ValencyEstimator",
+    "ValencyEstimate",
     "ContractionMeasurement",
     "measure_contraction_rate",
     "valency_contraction_trace",

@@ -104,18 +104,32 @@ def valency_contraction_trace(
     suffix_rounds: int = 60,
     exploration_depth: int = 0,
     estimator: Optional[ValencyEstimator] = None,
+    use_batch: bool = True,
 ) -> List[float]:
     """Lower estimates of ``δ_N(C_t)`` for ``t = 0 .. rounds`` along one execution.
 
     This is the executable counterpart of the quantity the lower-bound proofs
     track: under the proof adversaries the returned sequence decays no faster
     than ``bound^t · δ_N(C_0)``.
+
+    With ``use_batch`` (the default) the per-round valency estimates run
+    through the estimator's stacked-ensemble path — for round-invariant
+    algorithms the futures of *every* recorded configuration are evaluated
+    as one ensemble per exploration depth — and are bit-for-bit equal to the
+    ``use_batch=False`` reference loop.
     """
     execution = run_execution(algorithm, initial_values, pattern, rounds)
     estimator = estimator or ValencyEstimator(
-        algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=exploration_depth
+        algorithm,
+        model,
+        suffix_rounds=suffix_rounds,
+        exploration_depth=exploration_depth,
+        use_batch=use_batch,
     )
-    return [estimator.valency_diameter(config) for config in execution.configurations]
+    return [
+        float(estimate.lower_diameter)
+        for estimate in estimator.trace(execution.configurations)
+    ]
 
 
 def certified_rate_interval(

@@ -21,17 +21,35 @@ the diameter of the sampled limits is a lower bound on ``δ_N(C)``.  The
 For convex-combination algorithms the diameter of the current outputs is an
 *upper* bound on ``δ_N(C)`` (the limit always lies in the convex hull of the
 current values), so the estimator can also report certified two-sided bounds.
+
+Two evaluation paths are available, mirroring the adversary API:
+
+* the **batched path** (``use_batch=True``, the default) enumerates all
+  sampled futures of one exploration depth as a stacked scenario ensemble —
+  per-round ``(K, n, n)`` adjacency stacks driven through the algorithm's
+  ``batch_*`` hooks — so a whole valency estimate costs a handful of array
+  operations per round instead of ``K`` Python-level executions.  Candidate
+  prefixes are *streamed* in bounded chunks (never materializing the full
+  ``|N|^depth`` product), and an active-set drops scenarios that reached an
+  exact float fixpoint from the constant-suffix loop early (valid for
+  round-invariant algorithms: a fixed point of a constant graph stays fixed).
+* the **reference path** (``use_batch=False``, or any algorithm without
+  convex-combination batch hooks) runs one ``run_from_configuration`` per
+  sampled future.
+
+Both paths produce bit-for-bit identical estimates (enforced by
+``tests/test_valency_batch.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product as iter_product
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm
+from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
 from repro.execution.engine import run_from_configuration
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
@@ -78,6 +96,16 @@ class ValencyEstimator:
         All graph sequences of this length are explored exhaustively before
         appending constant suffixes.  Depth 0 (the default) samples only the
         constant suffixes, which is sufficient for the paper's constructions.
+    use_batch:
+        Evaluate all sampled futures as stacked scenario ensembles through
+        the algorithm's batch hooks (the default).  Falls back to the
+        per-future reference loop for algorithms without convex-combination
+        batch hooks; ``use_batch=False`` forces the reference loop.
+    scenario_chunk:
+        Upper bound on the number of stacked scenarios per batched pass.
+        Exhaustive prefixes are streamed in chunks respecting this bound, so
+        peak memory stays ``O(scenario_chunk · n²)`` regardless of
+        ``|N|^depth``.
     """
 
     def __init__(
@@ -86,15 +114,21 @@ class ValencyEstimator:
         model: NetworkModel,
         suffix_rounds: int = 60,
         exploration_depth: int = 0,
+        use_batch: bool = True,
+        scenario_chunk: int = 4096,
     ) -> None:
         if suffix_rounds < 1:
             raise ValueError(f"suffix_rounds must be >= 1, got {suffix_rounds}")
         if exploration_depth < 0:
             raise ValueError(f"exploration_depth must be >= 0, got {exploration_depth}")
+        if scenario_chunk < 1:
+            raise ValueError(f"scenario_chunk must be >= 1, got {scenario_chunk}")
         self._algorithm = algorithm
         self._model = model
         self._suffix_rounds = suffix_rounds
         self._exploration_depth = exploration_depth
+        self._use_batch = use_batch
+        self._scenario_chunk = scenario_chunk
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -102,23 +136,14 @@ class ValencyEstimator:
 
     def limit_estimates(self, configuration: Configuration) -> np.ndarray:
         """Estimated reachable limits from ``configuration`` (one row per sampled future)."""
-        limits: List[np.ndarray] = []
-        for prefix in self._prefixes():
-            start = configuration
-            if prefix:
-                start, _ = run_from_configuration(self._algorithm, configuration, list(prefix))
-            for graph in self._model:
-                limits.append(self._constant_suffix_limit(start, graph))
-        return np.vstack(limits)
+        if self._batchable():
+            return self._limit_estimates_batch([configuration])[0]
+        return self._limit_estimates_reference(configuration)
 
     def estimate(self, configuration: Configuration) -> ValencyEstimate:
         """Full estimate (limits plus certified lower/upper diameter bounds)."""
         limits = self.limit_estimates(configuration)
-        lower = diameter(limits)
-        upper: Optional[float] = None
-        if self._algorithm.is_convex_combination():
-            upper = configuration.output_diameter()
-        return ValencyEstimate(limits=limits, lower_diameter=lower, upper_diameter=upper)
+        return self._estimate_from_limits(configuration, limits)
 
     def valency_diameter(self, configuration: Configuration) -> float:
         """Lower estimate of ``δ_N(C)`` (diameter of the sampled reachable limits)."""
@@ -136,6 +161,13 @@ class ValencyEstimator:
         the same limit (up to ``tolerance``), which is precisely how Lemma 7
         establishes the intersection.
         """
+        if self._batchable():
+            limits_a = self._constant_suffix_limits_batch(config_a)
+            limits_b = self._constant_suffix_limits_batch(config_b)
+            return any(
+                float(np.linalg.norm(limits_a[index] - limits_b[index])) <= tolerance
+                for index in range(limits_a.shape[0])
+            )
         for graph in self._model:
             limit_a = self._constant_suffix_limit(config_a, graph)
             limit_b = self._constant_suffix_limit(config_b, graph)
@@ -146,12 +178,43 @@ class ValencyEstimator:
     def trace(
         self, configurations: Sequence[Configuration]
     ) -> List[ValencyEstimate]:
-        """Valency estimates along a sequence of configurations (e.g. an execution)."""
+        """Valency estimates along a sequence of configurations (e.g. an execution).
+
+        On the batched path, round-invariant algorithms evaluate the futures
+        of *all* configurations as one stacked ensemble per exploration
+        depth; other algorithms batch each configuration's futures
+        separately.
+        """
+        configurations = list(configurations)
+        if not configurations:
+            return []
+        if self._batchable():
+            if self._algorithm.round_invariant() and len(configurations) > 1:
+                per_config = self._limit_estimates_batch(configurations)
+            else:
+                per_config = [
+                    self._limit_estimates_batch([configuration])[0]
+                    for configuration in configurations
+                ]
+            return [
+                self._estimate_from_limits(configuration, limits)
+                for configuration, limits in zip(configurations, per_config)
+            ]
         return [self.estimate(c) for c in configurations]
 
     # ------------------------------------------------------------------ #
-    # Internal helpers
+    # Reference path
     # ------------------------------------------------------------------ #
+
+    def _limit_estimates_reference(self, configuration: Configuration) -> np.ndarray:
+        limits: List[np.ndarray] = []
+        for prefix in self._prefixes():
+            start = configuration
+            if prefix:
+                start, _ = run_from_configuration(self._algorithm, configuration, list(prefix))
+            for graph in self._model:
+                limits.append(self._constant_suffix_limit(start, graph))
+        return np.vstack(limits)
 
     def _prefixes(self) -> Iterable[Sequence[CommunicationGraph]]:
         if self._exploration_depth == 0:
@@ -172,3 +235,144 @@ class ValencyEstimator:
             self._algorithm, configuration, [graph] * self._suffix_rounds
         )
         return final.outputs.mean(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+
+    def _batchable(self) -> bool:
+        """Whether the stacked-ensemble path applies.
+
+        The batched path rebuilds algorithm state from configuration outputs,
+        which is exact only for memoryless convex-combination algorithms with
+        batch hooks; anything else silently takes the reference loop
+        (mirroring the adversaries' ``use_batch`` fallback).
+        """
+        return (
+            self._use_batch
+            and isinstance(self._algorithm, ConvexCombinationAlgorithm)
+            and self._algorithm.supports_batch()
+        )
+
+    def _prefix_chunks(
+        self, depth: int, chunk_size: int
+    ) -> Iterator[List[Tuple[CommunicationGraph, ...]]]:
+        """Stream the depth-``depth`` prefixes in chunks of at most ``chunk_size``.
+
+        The ``itertools.product`` iterator is consumed lazily, so the full
+        ``|N|^depth`` candidate list is never materialized — peak memory is
+        one chunk of prefix tuples plus its stacked adjacency tensors.
+        """
+        if depth == 0:
+            yield [()]
+            return
+        graphs = list(self._model)
+        chunk: List[Tuple[CommunicationGraph, ...]] = []
+        for combo in iter_product(graphs, repeat=depth):
+            chunk.append(combo)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def _limit_estimates_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> List[np.ndarray]:
+        """Batched limit estimates, one ``(K, d)`` array per configuration.
+
+        Scenario order matches the reference loop exactly: depth-ascending
+        prefixes (``itertools.product`` order) with the model's constant
+        suffix graphs innermost.  When several configurations are stacked
+        (round-invariant algorithms), each chunk runs a
+        ``(R · P · M, n, n)`` adjacency ensemble where ``R`` is the number of
+        configurations, ``P`` the prefix-chunk size and ``M`` the model size.
+        """
+        model_graphs = list(self._model)
+        model_count = len(model_graphs)
+        config_count = len(configurations)
+        outputs0 = np.stack(
+            [np.asarray(configuration.outputs, dtype=float) for configuration in configurations]
+        )  # (R, n, d)
+        base_round = configurations[0].round_number
+        prefix_chunk_size = max(1, self._scenario_chunk // max(1, config_count * model_count))
+        collected: List[List[np.ndarray]] = [[] for _ in range(config_count)]
+
+        for depth in range(self._exploration_depth + 1):
+            for prefix_chunk in self._prefix_chunks(depth, prefix_chunk_size):
+                prefix_count = len(prefix_chunk)
+                # (R · P, n, d), configuration-major then prefix.
+                values = np.repeat(outputs0, prefix_count, axis=0)
+                for offset in range(depth):
+                    stack = np.stack(
+                        [prefix[offset].adjacency for prefix in prefix_chunk]
+                    )  # (P, n, n)
+                    adjacency = np.tile(stack, (config_count, 1, 1))
+                    values = self._algorithm.batch_transition(
+                        values, adjacency, base_round + 1 + offset
+                    )
+                # Expand by the constant-suffix graphs: (R · P · M, n, d).
+                values = np.repeat(values, model_count, axis=0)
+                suffix_stack = np.tile(
+                    np.stack([graph.adjacency for graph in model_graphs]),
+                    (config_count * prefix_count, 1, 1),
+                )
+                finals = self._run_constant_suffix(values, suffix_stack, base_round + depth)
+                limits = finals.mean(axis=1)  # (R · P · M, d)
+                per_config = limits.reshape(config_count, prefix_count * model_count, -1)
+                for index in range(config_count):
+                    collected[index].append(per_config[index])
+        return [np.vstack(chunks) for chunks in collected]
+
+    def _constant_suffix_limits_batch(self, configuration: Configuration) -> np.ndarray:
+        """Limits of the ``M`` constant suffixes from one configuration, ``(M, d)``."""
+        model_graphs = list(self._model)
+        outputs = np.asarray(configuration.outputs, dtype=float)
+        values = np.repeat(outputs[None, :, :], len(model_graphs), axis=0)
+        suffix_stack = np.stack([graph.adjacency for graph in model_graphs])
+        finals = self._run_constant_suffix(values, suffix_stack, configuration.round_number)
+        return finals.mean(axis=1)
+
+    def _run_constant_suffix(
+        self, values: np.ndarray, suffix_adjacency: np.ndarray, start_round: int
+    ) -> np.ndarray:
+        """Run ``suffix_rounds`` constant-graph rounds on a ``(K, n, d)`` ensemble.
+
+        Maintains an active set: scenarios whose outputs stop changing
+        *exactly* (float fixpoint under their constant graph) are retired
+        early — valid for round-invariant algorithms, where a fixed point of
+        a constant graph is fixed forever, so the early exit is bit-for-bit
+        equivalent to running the remaining rounds.
+        """
+        finals = np.array(values, dtype=float)
+        current = finals
+        adjacency = suffix_adjacency
+        alive = np.arange(values.shape[0])
+        allow_drop = self._algorithm.round_invariant()
+        for offset in range(self._suffix_rounds):
+            new_values = self._algorithm.batch_transition(
+                current, adjacency, start_round + 1 + offset
+            )
+            if allow_drop and offset < self._suffix_rounds - 1:
+                unchanged = (new_values == current).all(axis=(-2, -1))
+                if unchanged.any():
+                    finals[alive[unchanged]] = new_values[unchanged]
+                    keep = ~unchanged
+                    alive = alive[keep]
+                    current = new_values[keep]
+                    adjacency = adjacency[keep]
+                    if alive.size == 0:
+                        return finals
+                    continue
+            current = new_values
+        finals[alive] = current
+        return finals
+
+    def _estimate_from_limits(
+        self, configuration: Configuration, limits: np.ndarray
+    ) -> ValencyEstimate:
+        lower = diameter(limits)
+        upper: Optional[float] = None
+        if self._algorithm.is_convex_combination():
+            upper = configuration.output_diameter()
+        return ValencyEstimate(limits=limits, lower_diameter=lower, upper_diameter=upper)

@@ -26,7 +26,19 @@ from repro.graphs.generators import (
     random_nonsplit_graph,
     random_rooted_graph,
 )
-from repro.graphs.products import power, product, product_sequence
+from repro.graphs.packed import (
+    in_neighborhood_ids,
+    is_nonsplit_stack,
+    is_rooted_stack,
+    is_strongly_connected_stack,
+    pack_adjacency_rows,
+    product_sequence_stack,
+    product_stack,
+    reachability_stack,
+    roots_stack,
+    stack_adjacencies,
+)
+from repro.graphs.products import power, product, product_sequence, product_sequence_batch
 from repro.graphs.properties import (
     is_complete,
     is_nonsplit,
@@ -40,7 +52,9 @@ from repro.graphs.relations import (
     alpha_diameter,
     alpha_related,
     alpha_related_union,
+    alpha_relation_matrix,
     alpha_star_related,
+    alpha_witness_tensor,
     beta_classes,
     is_source_incompatible,
 )
@@ -68,6 +82,17 @@ __all__ = [
     "power",
     "product",
     "product_sequence",
+    "product_sequence_batch",
+    "stack_adjacencies",
+    "pack_adjacency_rows",
+    "in_neighborhood_ids",
+    "product_stack",
+    "product_sequence_stack",
+    "reachability_stack",
+    "roots_stack",
+    "is_rooted_stack",
+    "is_nonsplit_stack",
+    "is_strongly_connected_stack",
     "is_complete",
     "is_nonsplit",
     "is_rooted",
@@ -78,7 +103,9 @@ __all__ = [
     "alpha_diameter",
     "alpha_related",
     "alpha_related_union",
+    "alpha_relation_matrix",
     "alpha_star_related",
+    "alpha_witness_tensor",
     "beta_classes",
     "is_source_incompatible",
     "asymptotic_consensus_solvable",

@@ -1,0 +1,139 @@
+"""Bitset-packed kernels over stacks of communication graphs.
+
+Every structural analysis the certification layer needs — graph products,
+reachability, roots, rootedness, non-splitness, in-neighborhood equality —
+is a boolean computation on adjacency matrices.  This module runs them over
+whole ``(K, n, n)`` *stacks* of graphs at once: one batched boolean matmul
+or one packed row comparison replaces ``K`` (or ``K²``) Python-level calls.
+
+Two representations are used:
+
+* the **dense stack** — a boolean ``(K, n, n)`` tensor
+  (:func:`stack_adjacencies`), on which products and reachability are
+  batched ``@`` operations; and
+* the **packed stack** — rows packed into uint8 ``(K, n, ceil(n/8))``
+  tensors via :func:`repro.types.pack_bool_rows`
+  (:func:`pack_adjacency_rows`), on which row-equality questions (the α
+  relation's ``In_i(G) = In_i(H)``) become byte comparisons, 8x denser than
+  bool and amenable to :func:`repro.types.packed_row_ids` deduplication.
+
+All kernels are exact boolean computations, so their results are identical
+to the per-graph reference implementations in :mod:`repro.graphs.properties`
+and :mod:`repro.graphs.products` (enforced by
+``tests/test_packed_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import CommunicationGraph
+from repro.types import pack_bool_rows, packed_row_ids
+
+
+def stack_adjacencies(graphs: Sequence[CommunicationGraph]) -> np.ndarray:
+    """The boolean ``(K, n, n)`` adjacency tensor of a non-empty graph sequence."""
+    graphs = list(graphs)
+    if not graphs:
+        raise GraphError("stack_adjacencies needs at least one graph")
+    n = graphs[0].n
+    for graph in graphs:
+        if graph.n != n:
+            raise GraphError(
+                f"all stacked graphs must share the agent count; got {graph.n} and {n}"
+            )
+    return np.stack([graph.adjacency for graph in graphs])
+
+
+def pack_adjacency_rows(stack: np.ndarray) -> np.ndarray:
+    """Pack the sender axis of a ``(..., n, n)`` stack into ``(..., n, ceil(n/8))`` bytes.
+
+    Row ``[..., i, :]`` of the result is the packed out-neighborhood of agent
+    ``i``; pack the transpose (``stack.swapaxes(-1, -2)``) to get packed
+    in-neighborhoods instead.
+    """
+    return pack_bool_rows(np.asarray(stack, dtype=bool))
+
+
+def in_neighborhood_ids(stack: np.ndarray) -> np.ndarray:
+    """Integer ids of per-agent in-neighborhoods across a ``(K, n, n)`` stack.
+
+    ``result[k, i] == result[m, i]`` iff agent ``i`` has the same in-neighbor
+    set in graphs ``k`` and ``m`` — the vectorized form of the α relation's
+    per-root test ``In_i(G) = In_i(H)``.
+    """
+    stack = np.asarray(stack, dtype=bool)
+    packed_in = pack_adjacency_rows(stack.swapaxes(-1, -2))
+    return packed_row_ids(packed_in)
+
+
+def product_stack(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Batched graph product: ``result[k] = first[k] ∘ second[k]``.
+
+    With ``adj[i, j]`` meaning edge ``i -> j``, the product is the boolean
+    matrix product, evaluated for a whole ``(K, n, n)`` stack in one
+    batched matmul.
+    """
+    return np.asarray(first, dtype=bool) @ np.asarray(second, dtype=bool)
+
+
+def product_sequence_stack(round_stacks: Sequence[np.ndarray]) -> np.ndarray:
+    """Left-to-right product of per-round ``(K, n, n)`` stacks.
+
+    ``round_stacks[t][k]`` is the round-``t`` adjacency of candidate ``k``;
+    the result's ``k``-th slice is the product ``G_1^k ∘ ... ∘ G_T^k``.  This
+    is the batched counterpart of
+    :func:`repro.graphs.products.product_sequence` over candidate stacks.
+    """
+    round_stacks = list(round_stacks)
+    if not round_stacks:
+        raise GraphError("product_sequence_stack needs at least one round")
+    result = np.asarray(round_stacks[0], dtype=bool)
+    for stack in round_stacks[1:]:
+        result = result @ np.asarray(stack, dtype=bool)
+    return result
+
+
+def reachability_stack(stack: np.ndarray) -> np.ndarray:
+    """Batched transitive closure: ``result[k, i, j]`` iff a path ``i -> j`` in graph ``k``.
+
+    Repeated boolean squaring, exactly mirroring
+    :func:`repro.graphs.properties.reachability_matrix` (self-loops make the
+    starting matrix reflexive, so ``O(log n)`` squarings cover all paths).
+    """
+    closure = np.array(stack, dtype=bool)
+    n = closure.shape[-1]
+    steps = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    for _ in range(steps):
+        closure = closure | (closure @ closure)
+    return closure
+
+
+def roots_stack(stack: np.ndarray) -> np.ndarray:
+    """Batched root sets: boolean ``(K, n)`` with ``result[k, i]`` iff ``i ∈ R(G_k)``."""
+    return reachability_stack(stack).all(axis=-1)
+
+
+def is_rooted_stack(stack: np.ndarray) -> np.ndarray:
+    """Batched rootedness: ``(K,)`` booleans, ``result[k]`` iff ``R(G_k)`` is non-empty."""
+    return roots_stack(stack).any(axis=-1)
+
+
+def is_nonsplit_stack(stack: np.ndarray) -> np.ndarray:
+    """Batched non-splitness: ``(K,)`` booleans.
+
+    ``(Aᵀ A)[i, j]`` is true iff agents ``i`` and ``j`` have a common
+    in-neighbor, so a graph is non-split iff that boolean Gram matrix is all
+    true — one batched matmul for the whole stack.
+    """
+    adjacency = np.asarray(stack, dtype=bool)
+    common = adjacency.swapaxes(-1, -2) @ adjacency
+    return common.all(axis=(-2, -1))
+
+
+def is_strongly_connected_stack(stack: np.ndarray) -> np.ndarray:
+    """Batched strong connectivity: ``(K,)`` booleans."""
+    return reachability_stack(stack).all(axis=(-2, -1))

@@ -16,8 +16,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.exceptions import GraphError
 from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.packed import product_sequence_stack, stack_adjacencies
 from repro.graphs.properties import is_nonsplit
 
 
@@ -50,6 +53,33 @@ def product_sequence(graphs: Sequence[CommunicationGraph]) -> CommunicationGraph
     for g in graphs[1:]:
         result = product(result, g)
     return result
+
+
+def product_sequence_batch(
+    sequences: Sequence[Sequence[CommunicationGraph]],
+) -> np.ndarray:
+    """Products of ``K`` candidate graph sequences as batched boolean matmuls.
+
+    ``sequences`` holds ``K`` non-empty graph sequences of one common length
+    ``T``; the result is the boolean ``(K, n, n)`` tensor whose ``k``-th
+    slice equals ``product_sequence(sequences[k]).adjacency``.  Each round
+    becomes one stacked ``(K, n, n) @ (K, n, n)`` matmul, so evaluating a
+    whole candidate set costs ``T`` array operations instead of ``K · T``
+    Python-level products.
+    """
+    candidate_sequences = [list(sequence) for sequence in sequences]
+    if not candidate_sequences:
+        raise GraphError("product_sequence_batch needs at least one sequence")
+    lengths = {len(sequence) for sequence in candidate_sequences}
+    if len(lengths) != 1 or 0 in lengths:
+        raise GraphError(
+            "product_sequence_batch needs candidate sequences sharing one non-zero length"
+        )
+    rounds = [
+        stack_adjacencies([sequence[t] for sequence in candidate_sequences])
+        for t in range(lengths.pop())
+    ]
+    return product_sequence_stack(rounds)
 
 
 def power(graph: CommunicationGraph, exponent: int) -> CommunicationGraph:

@@ -79,12 +79,10 @@ def is_nonsplit(graph: CommunicationGraph) -> bool:
     omissions) and admit the midpoint algorithm with contraction rate 1/2.
     """
     adj = graph.adjacency
-    n = graph.n
-    for i in range(n):
-        for j in range(i + 1, n):
-            if not bool(np.any(adj[:, i] & adj[:, j])):
-                return False
-    return True
+    # (Aᵀ A)[i, j] is true iff i and j share an in-neighbor; non-split means
+    # the whole boolean Gram matrix is true (one matmul instead of the
+    # O(n²) pairwise Python loop).
+    return bool((adj.T @ adj).all())
 
 
 def is_complete(graph: CommunicationGraph) -> bool:

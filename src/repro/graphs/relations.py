@@ -29,9 +29,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.exceptions import ModelError
 from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.packed import (
+    in_neighborhood_ids,
+    roots_stack,
+    stack_adjacencies,
+)
 from repro.graphs.properties import roots
+from repro.types import pack_bool_rows, packed_row_ids
 
 
 def _check_model(graphs: Sequence[CommunicationGraph]) -> List[CommunicationGraph]:
@@ -84,22 +92,112 @@ def alpha_related_union(
     return union_g == union_h
 
 
+def alpha_witness_tensor(
+    graphs: Sequence[CommunicationGraph],
+    witnesses: Optional[Sequence[CommunicationGraph]] = None,
+    use_union_form: bool = False,
+) -> np.ndarray:
+    """The per-witness α relation as a boolean ``(W, G, G)`` tensor.
+
+    ``result[w, g, h]`` is true iff ``graphs[g] α_{N,K} graphs[h]`` with
+    witness ``K = witnesses[w]`` (witnesses default to ``graphs``).  The
+    whole tensor is computed without any per-pair Python work:
+
+    * witness roots come from one batched reachability pass
+      (:func:`repro.graphs.packed.roots_stack`);
+    * per-agent in-neighborhoods are packed into bytes and deduplicated into
+      integer ids, so ``In_i(G) = In_i(H)`` for all pairs and agents is one
+      integer-comparison broadcast; and
+    * the per-root quantification over each witness's root set is one
+      boolean matmul against the root masks.
+
+    Witnesses without roots relate nothing (their slice is all false),
+    mirroring :func:`alpha_related`.  The β-refinement reuses sub-blocks of
+    this tensor, which is why it is exposed rather than just the any-witness
+    matrix.
+    """
+    graphs = _check_model(graphs)
+    witnesses = list(witnesses) if witnesses is not None else graphs
+    if not witnesses:
+        return np.zeros((0, len(graphs), len(graphs)), dtype=bool)
+    n = graphs[0].n
+    for witness in witnesses:
+        if witness.n != n:
+            raise ModelError("witnesses must have the same number of agents as the model")
+    graph_stack = stack_adjacencies(graphs)
+    witness_stack = stack_adjacencies(witnesses)
+    root_mask = roots_stack(witness_stack)  # (W, n)
+    valid = root_mask.any(axis=-1)  # (W,)
+
+    if use_union_form:
+        # union_in[g, w, s] iff some root i of witness w hears s in graph g:
+        # one broadcast boolean matmul (W, n) x (G, n, n).
+        in_neighborhoods = graph_stack.swapaxes(-1, -2)  # (G, agent, sender)
+        unions = np.matmul(root_mask[None, :, :], in_neighborhoods)  # (G, W, n)
+        union_ids = packed_row_ids(pack_bool_rows(unions)).T  # (W, G)
+        related = union_ids[:, :, None] == union_ids[:, None, :]  # (W, G, G)
+    else:
+        ids = in_neighborhood_ids(graph_stack)  # (G, n)
+        differs = ids[:, None, :] != ids[None, :, :]  # (G, G, n)
+        # any_viol[g, h, w]: some root of witness w distinguishes g from h.
+        any_violation = differs @ root_mask.swapaxes(0, 1)  # (G, G, W)
+        related = np.moveaxis(~any_violation, -1, 0)  # (W, G, G)
+    return related & valid[:, None, None]
+
+
+def alpha_relation_matrix(
+    graphs: Sequence[CommunicationGraph],
+    witnesses: Optional[Sequence[CommunicationGraph]] = None,
+    use_union_form: bool = False,
+) -> np.ndarray:
+    """The one-step α relation as a boolean ``(G, G)`` matrix (any witness)."""
+    tensor = alpha_witness_tensor(graphs, witnesses=witnesses, use_union_form=use_union_form)
+    return tensor.any(axis=0)
+
+
+def _unique_graphs(graphs: Sequence[CommunicationGraph]) -> List[CommunicationGraph]:
+    """First occurrences of the graphs, matching the reference code's dict keying."""
+    return list(dict.fromkeys(graphs))
+
+
+def _components_from_matrix(
+    graphs: Sequence[CommunicationGraph], matrix: np.ndarray
+) -> List[FrozenSet[CommunicationGraph]]:
+    """Connected components of a symmetric boolean relation matrix.
+
+    The transitive closure by repeated boolean squaring makes component
+    membership a row-equality question; components are emitted in order of
+    their first member, matching the reference BFS.
+    """
+    return [
+        frozenset(graphs[i] for i in component) for component in _index_components(matrix)
+    ]
+
+
 def alpha_step_graph(
     graphs: Sequence[CommunicationGraph],
     witnesses: Optional[Sequence[CommunicationGraph]] = None,
     use_union_form: bool = False,
+    use_packed: bool = True,
 ) -> Dict[CommunicationGraph, Set[CommunicationGraph]]:
     """The one-step α relation on ``graphs`` as an adjacency mapping.
 
     ``result[G]`` contains every ``H`` such that ``G α_{N,K} H`` for some
     witness ``K`` (witnesses default to ``graphs`` themselves, i.e. the
     network model).  The relation is symmetric, and reflexive on every graph
-    for which some witness exists.
+    for which some witness exists.  ``use_packed`` (the default) computes the
+    relation through the vectorized :func:`alpha_relation_matrix`;
+    ``use_packed=False`` keeps the per-pair reference loop.
     """
     graphs = _check_model(graphs)
     witnesses = list(witnesses) if witnesses is not None else graphs
-    related = alpha_related_union if use_union_form else alpha_related
     adjacency: Dict[CommunicationGraph, Set[CommunicationGraph]] = {g: set() for g in graphs}
+    if use_packed:
+        matrix = alpha_relation_matrix(graphs, witnesses=witnesses, use_union_form=use_union_form)
+        for idx_g, idx_h in zip(*np.nonzero(matrix)):
+            adjacency[graphs[idx_g]].add(graphs[idx_h])
+        return adjacency
+    related = alpha_related_union if use_union_form else alpha_related
     for idx_g, g in enumerate(graphs):
         for h in graphs[idx_g:]:
             if any(related(g, h, k) for k in witnesses):
@@ -113,9 +211,10 @@ def alpha_star_related(
     graph_g: CommunicationGraph,
     graph_h: CommunicationGraph,
     use_union_form: bool = False,
+    use_packed: bool = True,
 ) -> bool:
     """Whether ``G α*_N H`` (transitive closure of the one-step α relation)."""
-    classes = alpha_classes(graphs, use_union_form=use_union_form)
+    classes = alpha_classes(graphs, use_union_form=use_union_form, use_packed=use_packed)
     for cls in classes:
         if graph_g in cls and graph_h in cls:
             return True
@@ -123,16 +222,30 @@ def alpha_star_related(
 
 
 def alpha_classes(
-    graphs: Sequence[CommunicationGraph], use_union_form: bool = False
+    graphs: Sequence[CommunicationGraph],
+    use_union_form: bool = False,
+    use_packed: bool = True,
 ) -> List[FrozenSet[CommunicationGraph]]:
-    """The equivalence classes of ``α*_N`` (connected components of the α step graph)."""
+    """The equivalence classes of ``α*_N`` (connected components of the α step graph).
+
+    The default packed path computes the whole one-step relation as a
+    boolean matrix (no per-pair Python set comparisons) and extracts
+    components by boolean closure; ``use_packed=False`` keeps the reference
+    per-pair BFS.
+    """
     graphs = _check_model(graphs)
-    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form)
+    if use_packed:
+        unique = _unique_graphs(graphs)
+        matrix = alpha_relation_matrix(unique, use_union_form=use_union_form)
+        return _components_from_matrix(unique, matrix)
+    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form, use_packed=False)
     return _connected_components(graphs, adjacency)
 
 
 def beta_classes(
-    graphs: Sequence[CommunicationGraph], use_union_form: bool = False
+    graphs: Sequence[CommunicationGraph],
+    use_union_form: bool = False,
+    use_packed: bool = True,
 ) -> List[FrozenSet[CommunicationGraph]]:
     """The β_N-classes of Definition 16, via partition refinement.
 
@@ -142,23 +255,69 @@ def beta_classes(
     closure property (any two members are α-chain connected through members
     and witnesses of the same class), and since splits only happen when the
     closure property fails, the fixpoint is the coarsest such refinement.
+
+    On the packed path the per-witness α tensor is computed once and every
+    refinement step just slices it, so no α relations are ever recomputed.
     """
     graphs = _check_model(graphs)
+    if use_packed:
+        unique = _unique_graphs(graphs)
+        tensor = alpha_witness_tensor(unique, use_union_form=use_union_form)
+        matrix = tensor.any(axis=0)
+        index_partition: List[np.ndarray] = [
+            np.asarray(sorted(indices), dtype=int)
+            for indices in _index_components(matrix)
+        ]
+        changed = True
+        while changed:
+            changed = False
+            refined: List[np.ndarray] = []
+            for class_indices in index_partition:
+                sub = tensor[np.ix_(class_indices, class_indices, class_indices)].any(axis=0)
+                components = _index_components(sub)
+                if len(components) > 1:
+                    changed = True
+                refined.extend(class_indices[np.asarray(sorted(c), dtype=int)] for c in components)
+            index_partition = refined
+        return [frozenset(unique[i] for i in indices) for indices in index_partition]
     partition: List[List[CommunicationGraph]] = [
-        list(cls) for cls in alpha_classes(graphs, use_union_form=use_union_form)
+        list(cls)
+        for cls in alpha_classes(graphs, use_union_form=use_union_form, use_packed=False)
     ]
     changed = True
     while changed:
         changed = False
         refined: List[List[CommunicationGraph]] = []
         for cls in partition:
-            adjacency = alpha_step_graph(cls, witnesses=cls, use_union_form=use_union_form)
+            adjacency = alpha_step_graph(
+                cls, witnesses=cls, use_union_form=use_union_form, use_packed=False
+            )
             components = _connected_components(cls, adjacency)
             if len(components) > 1:
                 changed = True
             refined.extend([list(c) for c in components])
         partition = refined
     return [frozenset(cls) for cls in partition]
+
+
+def _index_components(matrix: np.ndarray) -> List[List[int]]:
+    """Connected components of a symmetric boolean matrix, as index lists."""
+    count = matrix.shape[0]
+    closure = matrix | np.eye(count, dtype=bool)
+    while True:
+        expanded = closure | (closure @ closure)
+        if np.array_equal(expanded, closure):
+            break
+        closure = expanded
+    components: List[List[int]] = []
+    seen = np.zeros(count, dtype=bool)
+    for index in range(count):
+        if seen[index]:
+            continue
+        members = closure[index]
+        seen |= members
+        components.append(np.nonzero(members)[0].tolist())
+    return components
 
 
 def is_source_incompatible(graphs: Sequence[CommunicationGraph]) -> bool:
@@ -175,6 +334,7 @@ def is_source_incompatible(graphs: Sequence[CommunicationGraph]) -> bool:
 def alpha_diameter(
     graphs: Sequence[CommunicationGraph],
     use_union_form: bool = False,
+    use_packed: bool = True,
 ) -> float:
     """The α-diameter ``D`` of a network model (Definition 22).
 
@@ -184,9 +344,30 @@ def alpha_diameter(
     disconnected.  Models with a single graph have diameter 1 when the graph
     is α-related to itself (which holds whenever the model has a rooted
     witness) — matching the paper's convention ``D >= 1``.
+
+    The packed path replaces the per-source BFS with a simultaneous
+    frontier expansion on the relation matrix (one boolean matmul per
+    distance level).
     """
     graphs = _check_model(graphs)
-    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form)
+    if use_packed:
+        unique = _unique_graphs(graphs)
+        matrix = alpha_relation_matrix(unique, use_union_form=use_union_form)
+        count = len(unique)
+        reached = np.eye(count, dtype=bool)
+        frontier = reached.copy()
+        diameter = 1  # Definition 22 requires D >= 1.
+        level = 0
+        while frontier.any():
+            level += 1
+            frontier = (frontier @ matrix) & ~reached
+            if frontier.any():
+                diameter = max(diameter, level)
+                reached |= frontier
+        if not reached.all():
+            return float("inf")
+        return float(diameter)
+    adjacency = alpha_step_graph(graphs, use_union_form=use_union_form, use_packed=False)
     diameter = 1  # Definition 22 requires D >= 1.
     for source in graphs:
         distances = _bfs_distances(source, graphs, adjacency)

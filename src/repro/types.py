@@ -121,6 +121,81 @@ def pairwise_diameters(outputs: np.ndarray) -> np.ndarray:
     return dists.max(axis=(-1, -2))
 
 
+# --------------------------------------------------------------------------- #
+# Packed-bit kernels
+# --------------------------------------------------------------------------- #
+#
+# Boolean rows (in-neighborhoods, receive masks) packed into uint8 via
+# ``np.packbits`` are 8x denser than bool arrays, so row comparisons and
+# first/last-set-bit scans over whole graph or mask stacks touch an eighth of
+# the memory.  These kernels are shared by the bitset-packed graph layer
+# (:mod:`repro.graphs.packed`) and the packed masked-reduction path of
+# :mod:`repro.algorithms.base`.
+
+#: For a byte value, the index (0 = most significant bit, packbits order) of
+#: its first set bit; 8 for the zero byte.
+_FIRST_BIT_IN_BYTE = np.full(256, 8, dtype=np.int64)
+#: For a byte value, the index of its last set bit; -1 for the zero byte.
+_LAST_BIT_IN_BYTE = np.full(256, -1, dtype=np.int64)
+for _byte in range(1, 256):
+    _bits = [_i for _i in range(8) if _byte & (1 << (7 - _i))]
+    _FIRST_BIT_IN_BYTE[_byte] = _bits[0]
+    _LAST_BIT_IN_BYTE[_byte] = _bits[-1]
+del _byte, _bits
+
+
+def pack_bool_rows(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(..., m)`` array into uint8 ``(..., ceil(m/8))`` rows.
+
+    Element 0 of a row maps to the most significant bit of byte 0 (numpy's
+    ``packbits`` big-bit order), so lexicographic byte order preserves the
+    first/last-set-bit structure :func:`packed_first_true` and
+    :func:`packed_last_true` rely on.
+    """
+    return np.packbits(np.asarray(mask, dtype=bool), axis=-1)
+
+
+def packed_first_true(packed: np.ndarray, length: int) -> np.ndarray:
+    """Index of the first set bit along the last (packed) axis.
+
+    ``packed`` is a uint8 ``(..., nb)`` array produced by
+    :func:`pack_bool_rows` from rows of ``length`` booleans; rows with no set
+    bit map to the sentinel ``length``.  One byte-level ``argmax`` plus a
+    256-entry table lookup replaces a full boolean scan.
+    """
+    nonzero = packed != 0
+    has_bit = nonzero.any(axis=-1)
+    first_byte = nonzero.argmax(axis=-1)
+    byte_value = np.take_along_axis(packed, first_byte[..., None], axis=-1)[..., 0]
+    index = first_byte * 8 + _FIRST_BIT_IN_BYTE[byte_value]
+    return np.where(has_bit, index, length)
+
+
+def packed_last_true(packed: np.ndarray, length: int) -> np.ndarray:
+    """Index of the last set bit along the last (packed) axis (-1 if none set)."""
+    nonzero = packed != 0
+    has_bit = nonzero.any(axis=-1)
+    nb = packed.shape[-1]
+    last_byte = nb - 1 - nonzero[..., ::-1].argmax(axis=-1)
+    byte_value = np.take_along_axis(packed, last_byte[..., None], axis=-1)[..., 0]
+    index = last_byte * 8 + _LAST_BIT_IN_BYTE[byte_value]
+    return np.where(has_bit, index, -1)
+
+
+def packed_row_ids(packed: np.ndarray) -> np.ndarray:
+    """Map packed rows to small integer ids (equal rows get equal ids).
+
+    ``packed`` is interpreted as a stack of rows over its last axis; the
+    result drops that axis.  Built on ``np.unique`` over the row bytes, this
+    turns all-pairs row-equality tests (``O(K² · nb)`` byte comparisons) into
+    an ``O(K log K)`` sort plus integer comparisons — the core trick behind
+    the vectorized α-relation.
+    """
+    rows = np.ascontiguousarray(packed).reshape(-1, packed.shape[-1])
+    _, inverse = np.unique(rows, axis=0, return_inverse=True)
+    return inverse.reshape(packed.shape[:-1])
+
+
 def running_argmax(values: Iterable[float], tolerance: float = 1e-15) -> int:
     """Index selected by the adversaries' strict-improvement scan.
 

@@ -11,6 +11,7 @@ import pytest
 from repro.algorithms import MeanAlgorithm, MidpointAlgorithm
 from repro.asynchrony import (
     AsynchronousSimulator,
+    OutputSample,
     CrashFault,
     CrashSchedule,
     MinRelayAlgorithm,
@@ -184,3 +185,59 @@ class TestMinRelay:
         agreement = execution.agreement_time(1e-12)
         assert agreement is not None
         assert agreement <= 1 + 1 + 1e-9  # f + 1 with unit worst-case delays
+
+
+class TestSortedSampleCacheInvalidation:
+    """Regression tests: `_sorted_samples` must notice post-run mutations."""
+
+    def _execution(self):
+        return _run(
+            RoundBasedAsyncAlgorithm(MidpointAlgorithm()), [0.0, 2.0, 8.0], f=1,
+            delay_scheduler=RandomDelayScheduler(seed=5), max_time=6.0,
+        )
+
+    def test_in_place_time_mutation_invalidates_cache(self):
+        execution = self._execution()
+        before = execution.outputs_at(execution.final_time).copy()
+        assert before is not None  # primes the sorted cache
+        # Move every post-initial update past the horizon: queries before the
+        # horizon must now see the initial values, not the stale sorted order.
+        for sample in execution.samples:
+            if sample.time > 0.0:
+                sample.time = execution.final_time + 100.0
+        outputs = execution.outputs_at(execution.final_time)
+        initial = np.vstack([
+            [sample.value for sample in execution.samples if sample.time == 0.0 and sample.agent == agent][0]
+            for agent in range(execution.n)
+        ])
+        np.testing.assert_array_equal(outputs, initial)
+
+    def test_same_length_replacement_invalidates_cache(self):
+        execution = self._execution()
+        execution.outputs_at(1.0)  # primes the cache
+        replacement = OutputSample(time=0.5, agent=0, value=np.array([123.0]))
+        execution.samples[-1] = replacement
+        # Oracle: a fresh stable sort of the mutated list.  A stale cache
+        # (length-only invalidation) would replay the old sorted order and
+        # miss the replacement.
+        expected = execution.final_outputs.copy()
+        for sample in sorted(execution.samples, key=lambda s: s.time):
+            if sample.time <= 1.0:
+                expected[sample.agent] = sample.value
+        np.testing.assert_array_equal(execution.outputs_at(1.0), expected)
+        assert expected[0, 0] == 123.0
+        assert any(s is replacement for s in execution._sorted_samples())
+
+    def test_append_still_invalidates_cache(self):
+        execution = self._execution()
+        execution.agreement_time(1e-9)  # primes the cache
+        execution.samples.append(
+            OutputSample(time=execution.final_time + 1.0, agent=0, value=np.array([55.0]))
+        )
+        assert execution._sorted_samples()[-1].time == execution.final_time + 1.0
+
+    def test_unchanged_samples_reuse_the_cached_sort(self):
+        execution = self._execution()
+        first = execution._sorted_samples()
+        second = execution._sorted_samples()
+        assert first is second

@@ -1,0 +1,302 @@
+"""Seeded-random equivalence of the bitset-packed graph kernels.
+
+Every packed/stacked kernel must agree exactly with its per-graph reference:
+products over random graph stacks, reachability/roots/rootedness/non-split
+over stacks, the α relation matrix against per-pair ``alpha_related`` calls,
+α/β classes and the α-diameter against the per-pair reference path, and the
+packed masked reductions against the dense path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    masked_min,
+    masked_min_max,
+    masked_reduction_impl,
+    set_masked_reduction_impl,
+)
+from repro.exceptions import AlgorithmError, GraphError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.families import complete_graph, deaf_family, psi_family, two_agent_graphs
+from repro.graphs.generators import random_graph, random_nonsplit_graph, random_rooted_graph
+from repro.graphs.packed import (
+    in_neighborhood_ids,
+    is_nonsplit_stack,
+    is_rooted_stack,
+    is_strongly_connected_stack,
+    product_sequence_stack,
+    product_stack,
+    reachability_stack,
+    roots_stack,
+    stack_adjacencies,
+)
+from repro.graphs.products import product, product_sequence, product_sequence_batch
+from repro.graphs.properties import (
+    is_nonsplit,
+    is_rooted,
+    is_strongly_connected,
+    reachability_matrix,
+    roots,
+)
+from repro.graphs.relations import (
+    alpha_classes,
+    alpha_diameter,
+    alpha_related,
+    alpha_related_union,
+    alpha_relation_matrix,
+    alpha_step_graph,
+    alpha_witness_tensor,
+    beta_classes,
+)
+from repro.types import pack_bool_rows, packed_first_true, packed_last_true, packed_row_ids
+
+
+def _random_stack(n, count, seed, probability=0.4):
+    rng = np.random.default_rng(seed)
+    return [random_graph(n, rng, probability) for _ in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# Bit kernels in types.py
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("length", [1, 7, 8, 9, 31, 64, 65])
+def test_packed_first_last_true_match_dense_scan(length):
+    rng = np.random.default_rng(length)
+    rows = rng.random((40, length)) < 0.2
+    rows[0] = False  # an all-false row exercises the sentinels
+    rows[1] = True
+    packed = pack_bool_rows(rows)
+    first = packed_first_true(packed, length)
+    last = packed_last_true(packed, length)
+    for row, f, l in zip(rows, first, last):
+        hits = np.nonzero(row)[0]
+        assert f == (hits[0] if hits.size else length)
+        assert l == (hits[-1] if hits.size else -1)
+
+
+def test_packed_row_ids_group_equal_rows():
+    rows = np.array([[1, 0, 1], [0, 1, 1], [1, 0, 1], [0, 0, 0]], dtype=bool)
+    ids = packed_row_ids(pack_bool_rows(rows))
+    assert ids[0] == ids[2]
+    assert len({int(ids[0]), int(ids[1]), int(ids[3])}) == 3
+
+
+# --------------------------------------------------------------------------- #
+# Stacked structural kernels
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("seed,n,count", [(0, 4, 6), (1, 7, 10), (2, 12, 5), (3, 33, 4)])
+def test_stacked_structure_kernels_match_scalar(seed, n, count):
+    rng = np.random.default_rng(seed)
+    graphs = (
+        [random_graph(n, rng, 0.25) for _ in range(count)]
+        + [random_rooted_graph(n, rng) for _ in range(2)]
+        + [random_nonsplit_graph(n, rng) for _ in range(2)]
+    )
+    stack = stack_adjacencies(graphs)
+    reach = reachability_stack(stack)
+    for index, graph in enumerate(graphs):
+        assert np.array_equal(reach[index], reachability_matrix(graph))
+        assert frozenset(np.nonzero(roots_stack(stack)[index])[0].tolist()) == roots(graph)
+    assert np.array_equal(is_rooted_stack(stack), [is_rooted(g) for g in graphs])
+    assert np.array_equal(is_nonsplit_stack(stack), [is_nonsplit(g) for g in graphs])
+    assert np.array_equal(
+        is_strongly_connected_stack(stack), [is_strongly_connected(g) for g in graphs]
+    )
+
+
+def test_in_neighborhood_ids_match_in_neighbors():
+    graphs = _random_stack(6, 8, seed=9)
+    ids = in_neighborhood_ids(stack_adjacencies(graphs))
+    for gi, g in enumerate(graphs):
+        for hi, h in enumerate(graphs):
+            for agent in range(6):
+                assert (ids[gi, agent] == ids[hi, agent]) == (
+                    g.in_neighbors(agent) == h.in_neighbors(agent)
+                )
+
+
+def test_product_stack_matches_product():
+    first = _random_stack(5, 7, seed=4)
+    second = _random_stack(5, 7, seed=5)
+    batched = product_stack(stack_adjacencies(first), stack_adjacencies(second))
+    for index in range(7):
+        assert np.array_equal(batched[index], product(first[index], second[index]).adjacency)
+
+
+def test_product_sequence_batch_matches_sequential_products():
+    sequences = [_random_stack(6, 5, seed=20 + i) for i in range(9)]
+    batched = product_sequence_batch(sequences)
+    for index, sequence in enumerate(sequences):
+        assert np.array_equal(batched[index], product_sequence(sequence).adjacency)
+
+
+def test_product_sequence_batch_rejects_ragged_input():
+    graphs = _random_stack(4, 3, seed=0)
+    with pytest.raises(GraphError):
+        product_sequence_batch([])
+    with pytest.raises(GraphError):
+        product_sequence_batch([graphs, graphs[:2]])
+
+
+def test_product_sequence_stack_needs_a_round():
+    with pytest.raises(GraphError):
+        product_sequence_stack([])
+
+
+def test_stack_adjacencies_validates():
+    with pytest.raises(GraphError):
+        stack_adjacencies([])
+    with pytest.raises(GraphError):
+        stack_adjacencies([complete_graph(3), complete_graph(4)])
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized α machinery vs per-pair reference
+# --------------------------------------------------------------------------- #
+
+def _models():
+    rng = np.random.default_rng(11)
+    return [
+        psi_family(4),
+        psi_family(6),
+        deaf_family(complete_graph(5)),
+        list(two_agent_graphs()),
+        [random_graph(5, rng, 0.35) for _ in range(9)],
+        [random_rooted_graph(6, rng) for _ in range(7)],
+    ]
+
+
+@pytest.mark.parametrize("use_union_form", [False, True])
+def test_alpha_relation_matrix_matches_pairwise_reference(use_union_form):
+    related = alpha_related_union if use_union_form else alpha_related
+    for graphs in _models():
+        matrix = alpha_relation_matrix(graphs, use_union_form=use_union_form)
+        for gi, g in enumerate(graphs):
+            for hi, h in enumerate(graphs):
+                expected = any(related(g, h, witness) for witness in graphs)
+                assert bool(matrix[gi, hi]) == expected
+
+
+def test_alpha_witness_tensor_matches_per_witness_reference():
+    for graphs in _models()[:4]:
+        tensor = alpha_witness_tensor(graphs)
+        for wi, witness in enumerate(graphs):
+            for gi, g in enumerate(graphs):
+                for hi, h in enumerate(graphs):
+                    assert bool(tensor[wi, gi, hi]) == alpha_related(g, h, witness)
+
+
+@pytest.mark.parametrize("use_union_form", [False, True])
+def test_alpha_step_graph_packed_equals_reference(use_union_form):
+    for graphs in _models():
+        packed = alpha_step_graph(graphs, use_union_form=use_union_form)
+        reference = alpha_step_graph(graphs, use_union_form=use_union_form, use_packed=False)
+        assert packed == reference
+
+
+@pytest.mark.parametrize("use_union_form", [False, True])
+def test_alpha_and_beta_classes_packed_equal_reference(use_union_form):
+    for graphs in _models():
+        assert set(alpha_classes(graphs, use_union_form=use_union_form)) == set(
+            alpha_classes(graphs, use_union_form=use_union_form, use_packed=False)
+        )
+        assert set(beta_classes(graphs, use_union_form=use_union_form)) == set(
+            beta_classes(graphs, use_union_form=use_union_form, use_packed=False)
+        )
+
+
+@pytest.mark.parametrize("use_union_form", [False, True])
+def test_alpha_diameter_packed_equals_reference(use_union_form):
+    for graphs in _models():
+        assert alpha_diameter(graphs, use_union_form=use_union_form) == alpha_diameter(
+            graphs, use_union_form=use_union_form, use_packed=False
+        )
+
+
+def test_alpha_diameter_packed_disconnected_is_infinite():
+    # Two isolated-in-neighborhood worlds that no witness connects: deaf
+    # variants with *different* base graphs that never share in-neighborhoods.
+    g1 = CommunicationGraph(4, edges=[(0, 1), (1, 2), (2, 3)], name="chain")
+    g2 = complete_graph(4)
+    value = alpha_diameter([g1, g2])
+    assert value == alpha_diameter([g1, g2], use_packed=False)
+
+
+def test_alpha_classes_psi32_vectorized_matches_reference():
+    graphs = psi_family(32)
+    assert set(alpha_classes(graphs)) == set(alpha_classes(graphs, use_packed=False))
+    assert set(beta_classes(graphs)) == set(beta_classes(graphs, use_packed=False))
+    assert alpha_diameter(graphs) == alpha_diameter(graphs, use_packed=False)
+
+
+# --------------------------------------------------------------------------- #
+# Packed masked reductions vs dense, bit-for-bit
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("shape", [(5, 40, 1), (3, 33, 2), (7, 16, 3), (2, 3, 65, 1)])
+def test_packed_masked_reduction_matches_dense(shape):
+    *lead, n, d = shape
+    rng = np.random.default_rng(sum(shape))
+    values = rng.normal(size=(*lead, n, d))
+    adjacency = rng.random((*lead, n, n)) < 0.3
+    diag = np.arange(n)
+    adjacency[..., diag, diag] = True
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(adjacency, values)
+    with masked_reduction_impl("packed"):
+        lo_packed, hi_packed = masked_min_max(adjacency, values)
+    assert np.array_equal(lo_dense, lo_packed)
+    assert np.array_equal(hi_dense, hi_packed)
+
+
+def test_packed_masked_reduction_handles_empty_in_neighborhoods():
+    rng = np.random.default_rng(3)
+    adjacency = np.zeros((4, 10, 10), dtype=bool)
+    adjacency[:, 2, :] = True  # only agent 2 sends; most receivers hear one sender
+    values = rng.normal(size=(4, 10, 1))
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(adjacency, values)
+    with masked_reduction_impl("packed"):
+        lo_packed, hi_packed = masked_min_max(adjacency, values)
+    assert np.array_equal(lo_dense, lo_packed)
+    assert np.array_equal(hi_dense, hi_packed)
+
+
+def test_packed_masked_reduction_nan_values_fall_back_to_dense():
+    values = np.array([[[0.0], [np.nan], [2.0]]])
+    adjacency = np.ones((1, 3, 3), dtype=bool)
+    with masked_reduction_impl("packed"):
+        lo = masked_min(adjacency, values)
+    with masked_reduction_impl("dense"):
+        lo_dense = masked_min(adjacency, values)
+    assert np.array_equal(np.isnan(lo), np.isnan(lo_dense))
+
+
+def test_packed_masked_reduction_auto_fires_on_large_stacks():
+    # Above the auto threshold the packed path must still be bit-for-bit.
+    rng = np.random.default_rng(8)
+    values = rng.normal(size=(48, 160, 1))
+    adjacency = rng.random((48, 160, 160)) < 0.1
+    diag = np.arange(160)
+    adjacency[:, diag, diag] = True
+    with masked_reduction_impl("auto"):
+        lo_auto, hi_auto = masked_min_max(adjacency, values)
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(adjacency, values)
+    assert np.array_equal(lo_auto, lo_dense)
+    assert np.array_equal(hi_auto, hi_dense)
+
+
+def test_masked_reduction_impl_validation_and_restore():
+    with pytest.raises(AlgorithmError):
+        set_masked_reduction_impl("bogus")
+    with masked_reduction_impl("packed"):
+        pass  # restored on exit
+    values = np.zeros((2, 3, 1))
+    adjacency = np.ones((2, 3, 3), dtype=bool)
+    assert masked_min(adjacency, values).shape == (2, 3, 1)

@@ -1,0 +1,228 @@
+"""Batch-vs-reference equivalence of the valency/contraction certification engine.
+
+The batched :class:`~repro.core.valency.ValencyEstimator` must produce
+bit-for-bit identical estimates to the per-sequence reference loop
+(``use_batch=False``): identical ``limits`` arrays, identical diameter
+bounds, identical traces, identical intersection verdicts — across
+algorithms, models, exploration depths, value dimensions and streaming
+chunk sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AmortizedMidpointAlgorithm,
+    MeanAlgorithm,
+    MidpointAlgorithm,
+    SelfWeightedAveraging,
+    TwoAgentThirdsAlgorithm,
+)
+from repro.analysis import run_certification_sweep
+from repro.core.adversary import GreedyDiameterAdversary, PsiBlockAdversary
+from repro.core.contraction import valency_contraction_trace
+from repro.core.valency import ValencyEstimator
+from repro.execution.engine import initial_configuration, run_execution
+from repro.models.standard import deaf_model, psi_model, two_agent_model
+
+
+def _estimators(algorithm, model, **kwargs):
+    batched = ValencyEstimator(algorithm, model, use_batch=True, **kwargs)
+    reference = ValencyEstimator(algorithm, model, use_batch=False, **kwargs)
+    return batched, reference
+
+
+CASES = [
+    (MidpointAlgorithm(), deaf_model(n=5), np.linspace(0.0, 1.0, 5), 0),
+    (MidpointAlgorithm(), deaf_model(n=5), np.linspace(0.0, 1.0, 5), 2),
+    (MeanAlgorithm(), psi_model(4), np.linspace(0.0, 1.0, 4), 1),
+    (TwoAgentThirdsAlgorithm(), two_agent_model(), [0.0, 1.0], 2),
+    (SelfWeightedAveraging(0.3), deaf_model(n=4), np.linspace(-1.0, 1.0, 4), 1),
+]
+
+
+@pytest.mark.parametrize("algorithm,model,values,depth", CASES)
+def test_limit_estimates_bit_for_bit(algorithm, model, values, depth):
+    configuration = initial_configuration(algorithm, values)
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=40, exploration_depth=depth
+    )
+    limits_batched = batched.limit_estimates(configuration)
+    limits_reference = reference.limit_estimates(configuration)
+    assert limits_batched.shape == limits_reference.shape
+    assert np.array_equal(limits_batched, limits_reference)
+
+
+@pytest.mark.parametrize("algorithm,model,values,depth", CASES)
+def test_estimate_bounds_bit_for_bit(algorithm, model, values, depth):
+    configuration = initial_configuration(algorithm, values)
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=30, exploration_depth=depth
+    )
+    estimate_batched = batched.estimate(configuration)
+    estimate_reference = reference.estimate(configuration)
+    assert estimate_batched.lower_diameter == estimate_reference.lower_diameter
+    assert estimate_batched.upper_diameter == estimate_reference.upper_diameter
+    assert batched.valency_diameter(configuration) == reference.valency_diameter(
+        configuration
+    )
+
+
+@pytest.mark.parametrize("chunk", [1, 3, 7, 4096])
+def test_streamed_prefix_chunks_do_not_change_results(chunk):
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=4)
+    configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
+    batched = ValencyEstimator(
+        algorithm, model, suffix_rounds=25, exploration_depth=2, scenario_chunk=chunk
+    )
+    reference = ValencyEstimator(
+        algorithm, model, suffix_rounds=25, exploration_depth=2, use_batch=False
+    )
+    assert np.array_equal(
+        batched.limit_estimates(configuration), reference.limit_estimates(configuration)
+    )
+
+
+def test_multidimensional_values_bit_for_bit():
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=4)
+    rng = np.random.default_rng(0)
+    configuration = initial_configuration(algorithm, rng.uniform(-1.0, 1.0, size=(4, 3)))
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=35, exploration_depth=1
+    )
+    assert np.array_equal(
+        batched.limit_estimates(configuration), reference.limit_estimates(configuration)
+    )
+
+
+def test_active_set_dropping_is_bit_for_bit():
+    # Long suffixes force exact float fixpoints, so the active set actually
+    # drops scenarios mid-run; results must stay identical to the full run.
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=5)
+    configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 5))
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=200, exploration_depth=1
+    )
+    assert np.array_equal(
+        batched.limit_estimates(configuration), reference.limit_estimates(configuration)
+    )
+
+
+def test_trace_stacked_configurations_bit_for_bit():
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=5)
+    execution = run_execution(
+        algorithm, np.linspace(0.0, 1.0, 5), GreedyDiameterAdversary(model), 6
+    )
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=40, exploration_depth=1
+    )
+    trace_batched = batched.trace(execution.configurations)
+    trace_reference = reference.trace(execution.configurations)
+    assert len(trace_batched) == len(trace_reference)
+    for estimate_b, estimate_r in zip(trace_batched, trace_reference):
+        assert np.array_equal(estimate_b.limits, estimate_r.limits)
+        assert estimate_b.lower_diameter == estimate_r.lower_diameter
+        assert estimate_b.upper_diameter == estimate_r.upper_diameter
+
+
+def test_trace_empty_and_contraction_trace_equivalence():
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=4)
+    batched, _ = _estimators(algorithm, model, suffix_rounds=10)
+    assert batched.trace([]) == []
+    trace_batched = valency_contraction_trace(
+        algorithm,
+        model,
+        GreedyDiameterAdversary(model),
+        np.linspace(0.0, 1.0, 4),
+        rounds=5,
+        suffix_rounds=30,
+        exploration_depth=1,
+        use_batch=True,
+    )
+    trace_reference = valency_contraction_trace(
+        algorithm,
+        model,
+        GreedyDiameterAdversary(model),
+        np.linspace(0.0, 1.0, 4),
+        rounds=5,
+        suffix_rounds=30,
+        exploration_depth=1,
+        use_batch=False,
+    )
+    assert trace_batched == trace_reference
+
+
+def test_valencies_intersect_matches_reference():
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=5)
+    config_a = initial_configuration(algorithm, np.linspace(0.0, 1.0, 5))
+    config_b = initial_configuration(algorithm, np.linspace(0.2, 1.2, 5))
+    for tolerance in (1e-9, 1e-3, 0.5, 2.0):
+        batched, reference = _estimators(algorithm, model, suffix_rounds=50)
+        assert batched.valencies_intersect(
+            config_a, config_b, tolerance
+        ) == reference.valencies_intersect(config_a, config_b, tolerance)
+
+
+def test_stateful_algorithm_falls_back_to_reference_path():
+    # The amortized midpoint carries state beyond its outputs, so the batched
+    # estimator must silently take the reference loop and agree exactly.
+    algorithm = AmortizedMidpointAlgorithm()
+    model = psi_model(4)
+    configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
+    batched, reference = _estimators(algorithm, model, suffix_rounds=12)
+    assert not batched._batchable()
+    assert np.array_equal(
+        batched.limit_estimates(configuration), reference.limit_estimates(configuration)
+    )
+
+
+def test_mid_execution_configurations_bit_for_bit():
+    # Non-zero round numbers exercise the round bookkeeping of the batch path.
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=4)
+    execution = run_execution(
+        algorithm, np.linspace(0.0, 1.0, 4), GreedyDiameterAdversary(model), 4
+    )
+    configuration = execution.configurations[-1]
+    assert configuration.round_number == 4
+    batched, reference = _estimators(
+        algorithm, model, suffix_rounds=30, exploration_depth=1
+    )
+    assert np.array_equal(
+        batched.limit_estimates(configuration), reference.limit_estimates(configuration)
+    )
+
+
+def test_estimator_parameter_validation():
+    algorithm, model = MidpointAlgorithm(), deaf_model(n=4)
+    with pytest.raises(ValueError):
+        ValencyEstimator(algorithm, model, suffix_rounds=0)
+    with pytest.raises(ValueError):
+        ValencyEstimator(algorithm, model, exploration_depth=-1)
+    with pytest.raises(ValueError):
+        ValencyEstimator(algorithm, model, scenario_chunk=0)
+
+
+def test_certification_sweep_certifies_theorems():
+    rows = run_certification_sweep(sizes=(4,), rounds=10, suffix_rounds=25)
+    names = [row["name"] for row in rows]
+    assert any("thm1" in name for name in names)
+    assert any("thm2" in name for name in names)
+    assert any("thm3" in name for name in names)
+    for row in rows:
+        assert {"paper", "output_rate", "valency_lower_rate", "certified"} <= set(row)
+        assert row["certified"], row
+    # The Ψ rows carry the packed α-diameter of the model.
+    psi_rows = [row for row in rows if "thm3" in row["name"]]
+    assert all(row["alpha_diameter"] >= 1.0 for row in psi_rows)
+
+
+def test_certification_sweep_batch_matches_reference():
+    batched = run_certification_sweep(sizes=(4,), rounds=8, suffix_rounds=20, use_batch=True)
+    reference = run_certification_sweep(
+        sizes=(4,), rounds=8, suffix_rounds=20, use_batch=False
+    )
+    for row_b, row_r in zip(batched, reference):
+        assert row_b["output_rate"] == row_r["output_rate"]
+        assert row_b["valency_lower_rate"] == row_r["valency_lower_rate"]

@@ -29,6 +29,12 @@ _TIMING_PAIRS = (
     ("loop_s", "batched_s"),
 )
 
+#: The repro.api facade must compile to a direct engine call plus negligible
+#: dispatch; its entries are gated against a tight 5% bound instead of the
+#: slack fast-path threshold.
+_FACADE_PAIR = ("direct_s", "facade_s")
+_FACADE_MAX_SLOWDOWN = 1.05
+
 #: Benchmarks every payload must contain: the fast-path gate is meaningless
 #: if a regression silently removes an entry, so missing families fail too.
 #: The valency/contraction/alpha entries carry old_s/new_s and are therefore
@@ -45,10 +51,19 @@ _REQUIRED_BENCHMARKS = (
     "alpha_classes",
     "masked_reduction_memory",
     "packed_masked_reduction",
+    "facade_overhead",
 )
 
 
-def check(payload: dict, max_slowdown: float) -> list:
+def _entry_detail(entry: dict) -> str:
+    return ", ".join(
+        f"{key}={entry[key]}"
+        for key in ("route", "algorithm", "n", "B", "rounds", "model_size", "d")
+        if key in entry
+    )
+
+
+def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACADE_MAX_SLOWDOWN) -> list:
     """Return a list of human-readable violations found in ``payload``."""
     violations = []
     present = {entry.get("benchmark") for entry in payload.get("results", [])}
@@ -65,16 +80,23 @@ def check(payload: dict, max_slowdown: float) -> list:
             slowdown = new_s / old_s
             if slowdown > max_slowdown:
                 label = entry.get("benchmark", "?")
-                detail = ", ".join(
-                    f"{key}={entry[key]}"
-                    for key in ("algorithm", "n", "B", "rounds", "model_size", "d")
-                    if key in entry
-                )
                 violations.append(
-                    f"{label} ({detail}): {new_key}={new_s:.6f}s is "
+                    f"{label} ({_entry_detail(entry)}): {new_key}={new_s:.6f}s is "
                     f"{slowdown:.2f}x slower than {old_key}={old_s:.6f}s "
                     f"(limit {max_slowdown:.2f}x)"
                 )
+        direct_key, facade_key = _FACADE_PAIR
+        if direct_key in entry and facade_key in entry:
+            direct_s, facade_s = entry[direct_key], entry[facade_key]
+            if direct_s > 0:
+                slowdown = facade_s / direct_s
+                if slowdown > facade_max_slowdown:
+                    violations.append(
+                        f"facade_overhead ({_entry_detail(entry)}): "
+                        f"{facade_key}={facade_s:.6f}s is {slowdown:.3f}x the direct "
+                        f"engine call {direct_key}={direct_s:.6f}s "
+                        f"(limit {facade_max_slowdown:.2f}x)"
+                    )
     return violations
 
 
@@ -87,14 +109,23 @@ def main() -> int:
         default=2.0,
         help="fail when a new/fast timing exceeds this multiple of the old one",
     )
+    parser.add_argument(
+        "--facade-max-slowdown",
+        type=float,
+        default=_FACADE_MAX_SLOWDOWN,
+        help="fail when the Study facade exceeds this multiple of the direct engine call",
+    )
     args = parser.parse_args()
 
     payload = json.loads(Path(args.path).read_text())
-    violations = check(payload, args.max_slowdown)
+    violations = check(payload, args.max_slowdown, args.facade_max_slowdown)
     checked = sum(
         1
         for entry in payload.get("results", [])
-        if any(old in entry and new in entry for old, new in _TIMING_PAIRS)
+        if any(
+            old in entry and new in entry
+            for old, new in _TIMING_PAIRS + (_FACADE_PAIR,)
+        )
     )
     if violations:
         print(f"FAIL: {len(violations)} fast-path slowdown(s) in {args.path}:")

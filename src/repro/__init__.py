@@ -1,0 +1,46 @@
+"""Reproduction of Függer–Nowak–Schwarz, PODC'18 (asymptotic consensus).
+
+The package's front door is the declarative :mod:`repro.api` facade::
+
+    from repro import Study, EngineConfig
+
+    result = Study(
+        algorithm=..., initial_values=..., pattern=..., rounds=...,
+        config=EngineConfig(use_fast_path=True),
+    ).run()
+
+Everything the facade compiles to remains directly importable from the
+subpackages (:mod:`repro.execution`, :mod:`repro.core`,
+:mod:`repro.algorithms`, :mod:`repro.graphs`, :mod:`repro.models`,
+:mod:`repro.asynchrony`, :mod:`repro.analysis`).
+"""
+
+from repro.api import (
+    CertifySpec,
+    EngineConfig,
+    ScenarioSpec,
+    Study,
+    StudyCertificates,
+    StudyProvenance,
+    StudyResult,
+)
+from repro.config import current_engine_config
+from repro.exceptions import (
+    ConfigError,
+    EnsembleShapeError,
+    ReproError,
+)
+
+__all__ = [
+    "CertifySpec",
+    "ConfigError",
+    "EngineConfig",
+    "EnsembleShapeError",
+    "ReproError",
+    "ScenarioSpec",
+    "Study",
+    "StudyCertificates",
+    "StudyProvenance",
+    "StudyResult",
+    "current_engine_config",
+]

@@ -33,6 +33,7 @@ from repro.algorithms.base import (
     Algorithm,
     ConvexCombinationAlgorithm,
     get_masked_reduction_chunks,
+    get_masked_reduction_impl,
     masked_max,
     masked_min,
     masked_min_max,
@@ -59,6 +60,7 @@ __all__ = [
     "get_masked_reduction_chunks",
     "masked_reduction_chunks",
     "set_masked_reduction_impl",
+    "get_masked_reduction_impl",
     "masked_reduction_impl",
     "MidpointAlgorithm",
     "AmortizedMidpointAlgorithm",

@@ -15,7 +15,7 @@ contraction rate of ``(1/2)^{1/(n-1)}`` — asymptotically matching the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -183,6 +183,30 @@ class AmortizedMidpointAlgorithm(Algorithm):
             phase_max=fn(batch_state.phase_max),
             rounds_into_phase=batch_state.rounds_into_phase,
             phase_length=batch_state.phase_length,
+        )
+
+    def supports_batch_state(self) -> bool:
+        return True
+
+    def batch_state_from_states(
+        self, states: Sequence[AmortizedMidpointState]
+    ) -> AmortizedMidpointBatchState:
+        states = tuple(states)
+        if not states:
+            raise AlgorithmError("cannot restore a batch state from zero agent states")
+        phase_positions = {state.rounds_into_phase for state in states}
+        phase_lengths = {state.phase_length for state in states}
+        if len(phase_positions) != 1 or len(phase_lengths) != 1:
+            raise AlgorithmError(
+                "amortized-midpoint agents must be in lockstep to restore a batch state; "
+                f"got phase positions {sorted(phase_positions)} and lengths {sorted(phase_lengths)}"
+            )
+        return AmortizedMidpointBatchState(
+            value=np.stack([as_value(state.value) for state in states]),
+            phase_min=np.stack([as_value(state.phase_min) for state in states]),
+            phase_max=np.stack([as_value(state.phase_max) for state in states]),
+            rounds_into_phase=phase_positions.pop(),
+            phase_length=phase_lengths.pop(),
         )
 
     def batch_states(self, batch_state: AmortizedMidpointBatchState) -> Tuple[AmortizedMidpointState, ...]:

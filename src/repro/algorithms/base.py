@@ -21,28 +21,97 @@ Two levels of generality are provided:
 from __future__ import annotations
 
 import math
+import threading
+import warnings
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, EnsembleShapeError
 from repro.types import as_value, pack_bool_rows, packed_first_true, packed_last_true
 
 #: A chunk setting: "auto" (heuristic), "dense" (never chunk this axis), or a
 #: positive block size.
 ChunkSetting = Union[str, int]
 
-#: Module-level chunking configuration of the masked reductions, keyed by
-#: axis: "batch" chunks the leading (scenario) axis, "receivers" the receiver
-#: axis of the output.  See :func:`set_masked_reduction_chunks`.
-_REDUCTION_CHUNKS: Dict[str, ChunkSetting] = {"batch": "auto", "receivers": "auto"}
+
+class _ReductionSettings(threading.local):
+    """Per-thread masked-reduction configuration.
+
+    Each thread starts from the defaults; overrides applied in one thread
+    (via the context managers or :class:`repro.config.EngineConfig`) never
+    leak into another, so concurrent studies can run under different
+    configurations.
+    """
+
+    def __init__(self) -> None:
+        #: Chunking of the masked reductions, keyed by axis: "batch" chunks
+        #: the leading (scenario) axis, "receivers" the receiver axis.
+        self.chunks: Dict[str, ChunkSetting] = {"batch": "auto", "receivers": "auto"}
+        #: Implementation selector for the *general* masked-reduction case
+        #: (per-lead value tensors, where the shared-values sort-and-scan
+        #: cannot fire): "auto" picks the packed-bit path for large d<=2
+        #: stacks, "dense" never packs, "packed" always packs when applicable.
+        self.impl: str = "auto"
+
+
+_REDUCTION_SETTINGS = _ReductionSettings()
 
 #: In "auto" mode, dense intermediates up to this many elements skip chunking
 #: (1M float64 elements = 8 MiB); anything larger is computed in blocks whose
 #: intermediate stays below this limit.
 _AUTO_DENSE_ELEMENT_LIMIT = 1 << 20
+
+#: Names whose deprecation warning has already fired (once per process).
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated_once(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _validate_chunk_setting(key: str, value: ChunkSetting) -> None:
+    if isinstance(value, str):
+        if value not in ("auto", "dense"):
+            raise AlgorithmError(
+                f"chunk setting for {key!r} must be 'auto', 'dense' or a positive int, got {value!r}"
+            )
+    elif (
+        isinstance(value, bool)
+        or not isinstance(value, (int, np.integer))
+        or value < 1
+    ):
+        raise AlgorithmError(
+            f"chunk setting for {key!r} must be 'auto', 'dense' or a positive int, got {value!r}"
+        )
+
+
+def _apply_masked_reduction_chunks(
+    batch: ChunkSetting = "auto", receivers: ChunkSetting = "auto"
+) -> None:
+    """Validate and install a chunk configuration (no deprecation warning)."""
+    for key, value in (("batch", batch), ("receivers", receivers)):
+        _validate_chunk_setting(key, value)
+    _REDUCTION_SETTINGS.chunks["batch"] = batch
+    _REDUCTION_SETTINGS.chunks["receivers"] = receivers
+
+
+def _apply_masked_reduction_impl(general: str = "auto") -> None:
+    """Validate and install a reduction-impl selector (no deprecation warning)."""
+    if general not in ("auto", "dense", "packed"):
+        raise AlgorithmError(
+            f"reduction impl must be 'auto', 'dense' or 'packed', got {general!r}"
+        )
+    _REDUCTION_SETTINGS.impl = general
 
 
 def set_masked_reduction_chunks(
@@ -50,79 +119,88 @@ def set_masked_reduction_chunks(
 ) -> None:
     """Configure how :func:`masked_min`/:func:`masked_max` block their work.
 
+    .. deprecated::
+        Mutating the configuration in place is deprecated; use the
+        exception-safe :func:`masked_reduction_chunks` context manager or a
+        :class:`repro.config.EngineConfig` scope instead.
+
     Each axis accepts ``"auto"`` (chunk only when the dense ``(B, n, n, d)``
     intermediate would be large), ``"dense"`` (never chunk this axis), or a
     positive integer block size.  Chunked and dense evaluations are bit-for-bit
     identical; chunking only bounds peak memory to ``O(chunk · n · d)``.
+    The configuration is thread-local.
     """
-    for key, value in (("batch", batch), ("receivers", receivers)):
-        if isinstance(value, str):
-            if value not in ("auto", "dense"):
-                raise AlgorithmError(
-                    f"chunk setting for {key!r} must be 'auto', 'dense' or a positive int, got {value!r}"
-                )
-        elif (
-            isinstance(value, bool)
-            or not isinstance(value, (int, np.integer))
-            or value < 1
-        ):
-            raise AlgorithmError(
-                f"chunk setting for {key!r} must be 'auto', 'dense' or a positive int, got {value!r}"
-            )
-    _REDUCTION_CHUNKS["batch"] = batch
-    _REDUCTION_CHUNKS["receivers"] = receivers
+    _warn_deprecated_once(
+        "set_masked_reduction_chunks",
+        "the masked_reduction_chunks(...) context manager or repro.config.EngineConfig "
+        "(note: the configuration is thread-local — this call only affects the "
+        "calling thread)",
+    )
+    _apply_masked_reduction_chunks(batch=batch, receivers=receivers)
 
 
 def get_masked_reduction_chunks() -> Dict[str, ChunkSetting]:
-    """The current chunk configuration (a copy)."""
-    return dict(_REDUCTION_CHUNKS)
-
-
-#: Implementation selector for the *general* masked-reduction case (per-lead
-#: value tensors, where the shared-values sort-and-scan cannot fire):
-#: ``"auto"`` picks the packed-bit path for large d<=2 stacks, ``"dense"``
-#: never packs, ``"packed"`` always packs when applicable.
-_REDUCTION_IMPL: Dict[str, str] = {"general": "auto"}
+    """The current thread's chunk configuration (a copy)."""
+    return dict(_REDUCTION_SETTINGS.chunks)
 
 
 def set_masked_reduction_impl(general: str = "auto") -> None:
     """Choose the implementation of the general masked-reduction case.
 
+    .. deprecated::
+        Mutating the selector in place is deprecated; use the exception-safe
+        :func:`masked_reduction_impl` context manager or a
+        :class:`repro.config.EngineConfig` scope instead.
+
     ``"auto"`` (default) routes large ``(B, n, n)`` reductions with small
     ``d`` through the packed-bit scan of :func:`repro.types.pack_bool_rows`;
     ``"dense"`` forces the dense/chunked ``np.where`` path; ``"packed"``
     forces the packed path whenever it is applicable (float values without
-    NaNs).  All implementations are bit-for-bit identical.
+    NaNs).  All implementations are bit-for-bit identical.  The selector is
+    thread-local.
     """
-    if general not in ("auto", "dense", "packed"):
-        raise AlgorithmError(
-            f"reduction impl must be 'auto', 'dense' or 'packed', got {general!r}"
-        )
-    _REDUCTION_IMPL["general"] = general
+    _warn_deprecated_once(
+        "set_masked_reduction_impl",
+        "the masked_reduction_impl(...) context manager or repro.config.EngineConfig "
+        "(note: the selector is thread-local — this call only affects the "
+        "calling thread)",
+    )
+    _apply_masked_reduction_impl(general)
+
+
+def get_masked_reduction_impl() -> str:
+    """The current thread's general masked-reduction implementation selector."""
+    return _REDUCTION_SETTINGS.impl
 
 
 @contextmanager
 def masked_reduction_impl(general: str = "auto") -> Iterator[None]:
-    """Temporarily override the general masked-reduction implementation."""
-    previous = _REDUCTION_IMPL["general"]
-    set_masked_reduction_impl(general)
+    """Temporarily override the general masked-reduction implementation.
+
+    The previous value is restored even when the body raises.
+    """
+    previous = _REDUCTION_SETTINGS.impl
+    _apply_masked_reduction_impl(general)
     try:
         yield
     finally:
-        _REDUCTION_IMPL["general"] = previous
+        _REDUCTION_SETTINGS.impl = previous
 
 
 @contextmanager
 def masked_reduction_chunks(
     batch: ChunkSetting = "auto", receivers: ChunkSetting = "auto"
 ) -> Iterator[None]:
-    """Temporarily override the masked-reduction chunk configuration."""
+    """Temporarily override the masked-reduction chunk configuration.
+
+    The previous configuration is restored even when the body raises.
+    """
     previous = get_masked_reduction_chunks()
-    set_masked_reduction_chunks(batch=batch, receivers=receivers)
+    _apply_masked_reduction_chunks(batch=batch, receivers=receivers)
     try:
         yield
     finally:
-        _REDUCTION_CHUNKS.update(previous)
+        _REDUCTION_SETTINGS.chunks.update(previous)
 
 
 def receive_mask(adjacency: np.ndarray) -> np.ndarray:
@@ -179,8 +257,8 @@ def _resolve_chunks(lead_count: int, lead0: int, n_receivers: int, n: int, d: in
     bound holds for mixed configurations too; explicit integer settings
     always take the chunked path.
     """
-    batch_cfg = _REDUCTION_CHUNKS["batch"]
-    recv_cfg = _REDUCTION_CHUNKS["receivers"]
+    batch_cfg = _REDUCTION_SETTINGS.chunks["batch"]
+    recv_cfg = _REDUCTION_SETTINGS.chunks["receivers"]
     if batch_cfg == "dense" and recv_cfg == "dense":
         return None
     limit = _AUTO_DENSE_ELEMENT_LIMIT
@@ -317,8 +395,22 @@ def _masked_extremes_packed(
 def _masked_extremes(
     adjacency: np.ndarray, values: np.ndarray, want_min: bool, want_max: bool
 ):
-    mask = receive_mask(adjacency)
+    adjacency_arr = np.asarray(adjacency)
     values = np.asarray(values)
+    if adjacency_arr.ndim < 2 or adjacency_arr.shape[-1] != adjacency_arr.shape[-2]:
+        raise EnsembleShapeError(
+            f"adjacency must be a square (..., n, n) tensor, got shape {adjacency_arr.shape}"
+        )
+    if values.ndim < 2:
+        raise EnsembleShapeError(
+            f"values must be a (..., n, d) tensor, got shape {values.shape}"
+        )
+    if values.shape[-2] != adjacency_arr.shape[-1]:
+        raise EnsembleShapeError(
+            f"adjacency tensor {adjacency_arr.shape} and value tensor {values.shape} "
+            f"disagree on the number of agents: {adjacency_arr.shape[-1]} vs {values.shape[-2]}"
+        )
+    mask = receive_mask(adjacency_arr)
     mask_lead = mask.shape[:-2]
     values_lead = values.shape[:-2]
     if not mask_lead:
@@ -326,7 +418,13 @@ def _masked_extremes(
     elif not values_lead or mask_lead == values_lead:
         lead = mask_lead
     else:
-        lead = np.broadcast_shapes(mask_lead, values_lead)
+        try:
+            lead = np.broadcast_shapes(mask_lead, values_lead)
+        except ValueError as exc:
+            raise EnsembleShapeError(
+                f"adjacency tensor {adjacency_arr.shape} and value tensor {values.shape} "
+                "have incompatible leading (scenario/candidate) axes"
+            ) from exc
     n_receivers, n = mask.shape[-2], mask.shape[-1]
     d = values.shape[-1]
     lead_count = math.prod(lead) if lead else 1
@@ -352,7 +450,7 @@ def _masked_extremes(
     # "auto" mode it fires where the dense intermediate would be chunked
     # anyway and the coordinate count is small; "packed" forces it whenever
     # the values are NaN-free (NaNs need the dense propagation semantics).
-    impl = _REDUCTION_IMPL["general"]
+    impl = _REDUCTION_SETTINGS.impl
     if impl != "dense" and (want_min or want_max):
         auto_fire = (
             impl == "packed"
@@ -547,6 +645,43 @@ class Algorithm(ABC):
             f"{self.name} has a structured batch state and must override batch_map"
         )
 
+    # ------------------------------------------------------------------ #
+    # Batch-state snapshot/restore (optional)
+    # ------------------------------------------------------------------ #
+    #
+    # :meth:`batch_states` *snapshots* an unbatched batch state into the
+    # per-agent states a Configuration records; the hooks below *restore*
+    # a batch state from such a snapshot.  Together they let the batched
+    # valency/certification engines resume stateful algorithms (e.g. the
+    # amortized midpoint's mid-phase extremes) at an arbitrary recorded
+    # configuration and fan the restored state out into a scenario ensemble
+    # via :meth:`batch_map` — instead of falling back to the per-future
+    # reference loop.
+
+    def supports_batch_state(self) -> bool:
+        """Whether batch states can be restored from recorded per-agent states.
+
+        Algorithms that return ``True`` implement
+        :meth:`batch_state_from_states` as the exact inverse of
+        :meth:`batch_states`: restoring the snapshot and resuming through
+        ``batch_transition`` must be bit-for-bit identical to resuming the
+        per-agent states through ``transition``.
+        """
+        return False
+
+    def batch_state_from_states(self, states: Sequence[Any]) -> Any:
+        """Restore an unbatched batch state from a per-agent state snapshot.
+
+        ``states`` is the tuple a :class:`~repro.execution.state.Configuration`
+        records (one opaque state per agent, as produced by
+        :meth:`batch_states` or by per-agent execution); the result is a
+        single-scenario batch state whose array leaves have shape
+        ``(n, d)``-like trailing axes, ready for :meth:`batch_map` fan-out.
+        """
+        raise NotImplementedError(
+            f"{self.name} cannot restore a batch state from per-agent states"
+        )
+
 
 class ConvexCombinationAlgorithm(Algorithm):
     """Memoryless averaging algorithms (Section 2.2).
@@ -643,6 +778,12 @@ class ConvexCombinationAlgorithm(Algorithm):
                 f"per-agent states only exist for a single scenario, got shape {batch_state.shape}"
             )
         return tuple(batch_state)
+
+    def supports_batch_state(self) -> bool:
+        return self.supports_batch()
+
+    def batch_state_from_states(self, states: Sequence[Any]) -> np.ndarray:
+        return np.stack([as_value(state) for state in states])
 
     # ------------------------------------------------------------------ #
     # Internal helpers

@@ -24,6 +24,7 @@ from repro.asynchrony import (
     RoundBasedAsyncAlgorithm,
     staggered_crash_schedule,
 )
+from repro.config import EngineConfig
 from repro.core.adversary import GreedyDiameterAdversary, PsiBlockAdversary, TwoAgentAdversary
 from repro.core.decision_times import midpoint_decision_round
 from repro.core.lower_bounds import (
@@ -175,7 +176,8 @@ def run_certification_sweep(
     rounds: int = 24,
     suffix_rounds: int = 40,
     exploration_depth: int = 0,
-    use_batch: bool = True,
+    use_batch: Optional[bool] = None,
+    config: Optional[EngineConfig] = None,
 ) -> List[Dict[str, object]]:
     """Tightness certificates for Theorems 1–3 over a grid of system sizes.
 
@@ -199,10 +201,24 @@ def run_certification_sweep(
     trace, a certified lower estimate), and ``certified`` (whether the
     interval brackets the bound up to ``tolerance``).  ``use_batch=False``
     forces every estimate through the per-sequence reference loops (used by
-    the equivalence tests; bit-for-bit identical results).
+    the equivalence tests; bit-for-bit identical results).  ``config``
+    scopes the whole sweep inside an
+    :class:`~repro.config.EngineConfig` block, consolidating all engine
+    knobs in one place.
     """
     from repro.core.contraction import certified_rate_interval, measure_contraction_rate
     from repro.core.valency import ValencyEstimator
+
+    if config is not None:
+        with config:
+            return run_certification_sweep(
+                sizes=sizes,
+                rounds=rounds,
+                suffix_rounds=suffix_rounds,
+                exploration_depth=exploration_depth,
+                use_batch=use_batch,
+                config=None,
+            )
 
     tolerance = 0.15  # finite-horizon slack on the fitted rates
     results: List[Dict[str, object]] = []

@@ -1,0 +1,538 @@
+"""The unified study facade: one declarative front door for every engine.
+
+The library grew three batched engines — single executions
+(:func:`repro.execution.run_execution`), scenario ensembles
+(:mod:`repro.execution.batch`) and the valency/contraction certification
+layer (:mod:`repro.core.valency`) — each with its own entry points and
+knobs.  :class:`Study` is the declarative builder in front of all of them:
+
+>>> from repro.api import Study, EngineConfig, CertifySpec
+>>> result = Study(
+...     algorithm=MidpointAlgorithm(),
+...     model=deaf_model(n=8),
+...     initial_values=np.linspace(0.0, 1.0, 8),
+...     adversary=GreedyDiameterAdversary(deaf_model(n=8)),
+...     rounds=30,
+...     certify=True,
+... ).run()
+>>> result.provenance.route
+'run_execution'
+>>> result.certificates.rate_interval
+(0.5..., 0.5...)
+
+A study compiles to exactly one existing engine call — ``run_execution`` for
+single scenarios, ``run_pattern_ensemble`` / ``run_ensemble`` /
+``run_adversarial_ensemble`` for stacked ``(B, n, d)`` scenario tensors —
+and is **bit-for-bit identical** to calling that engine directly with the
+same configuration (enforced by ``tests/test_api.py``).  The
+:class:`StudyResult` carries the underlying execution record, uniform
+accessors (outputs, diameters, convergence/decision rounds), optional
+valency/contraction certificates, and a :class:`StudyProvenance` stating
+which route ran and whether the vectorized/batched paths were taken.
+
+Execution knobs are bundled in :class:`~repro.config.EngineConfig`
+(re-exported here): pass one as ``Study(config=...)`` or wrap any direct
+engine calls in ``with EngineConfig(...):`` — both mean the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.config import (
+    EngineConfig,
+    current_engine_config,
+    resolve_use_fast_path,
+)
+from repro.core.contraction import fit_trace_rate
+from repro.core.valency import ValencyEstimate, ValencyEstimator
+from repro.exceptions import ConfigError, EnsembleShapeError, ExecutionError
+from repro.execution.batch import (
+    AdversarialEnsembleExecution,
+    EnsembleExecution,
+    run_adversarial_ensemble,
+    run_ensemble,
+    run_pattern_ensemble,
+)
+from repro.execution.engine import run_execution
+from repro.execution.execution import Execution
+from repro.execution.metrics import convergence_round, empirical_contraction_rate
+from repro.graphs.digraph import CommunicationGraph
+from repro.models.network_model import NetworkModel
+from repro.models.patterns import (
+    AdversarialPattern,
+    CommunicationPattern,
+    SequencePattern,
+)
+
+
+@dataclass
+class ScenarioSpec:
+    """Declarative description of what a study executes.
+
+    Exactly one communication source must be given:
+
+    * ``pattern`` — a :class:`~repro.models.patterns.CommunicationPattern`
+      (or, for ensembles, a sequence of per-scenario patterns);
+    * ``adversary`` — an adaptive
+      :class:`~repro.models.patterns.AdversarialPattern`;
+    * ``graphs`` — an explicit per-round graph list (for ensembles each
+      entry may also be a length-``B`` per-scenario graph sequence).
+
+    ``initial_values`` decides the scale: anything that stacks to a 1-D or
+    2-D array is a *single scenario* (compiled to ``run_execution``); a
+    ``(B, n, d)`` tensor or a sequence of ``B`` value matrices is an
+    *ensemble* (compiled to the batched runners).
+    """
+
+    initial_values: Any
+    rounds: Optional[int] = None
+    pattern: Union[CommunicationPattern, Sequence[CommunicationPattern], None] = None
+    graphs: Optional[Sequence[Any]] = None
+    adversary: Optional[AdversarialPattern] = None
+    record_every: int = 1
+    scenario_labels: Optional[Sequence[object]] = None
+
+    def __post_init__(self) -> None:
+        # A pattern that is actually adaptive is an adversary declaration.
+        if isinstance(self.pattern, AdversarialPattern) and self.adversary is None:
+            self.adversary = self.pattern
+            self.pattern = None
+        sources = [
+            name
+            for name, value in (
+                ("pattern", self.pattern),
+                ("graphs", self.graphs),
+                ("adversary", self.adversary),
+            )
+            if value is not None
+        ]
+        if len(sources) != 1:
+            raise ConfigError(
+                "a scenario needs exactly one of pattern=, graphs= or adversary=, "
+                f"got {sources or 'none'}"
+            )
+        if self.graphs is not None:
+            self.graphs = list(self.graphs)
+            if self.rounds is None:
+                self.rounds = len(self.graphs)
+            elif self.rounds != len(self.graphs):
+                raise ConfigError(
+                    f"rounds={self.rounds} contradicts the {len(self.graphs)}-round "
+                    "explicit graph list; omit rounds= or make them agree"
+                )
+        if self.rounds is None:
+            raise ConfigError("a scenario needs rounds= (or an explicit graph list)")
+        if self.rounds < 0:
+            raise ConfigError(f"rounds must be non-negative, got {self.rounds}")
+        if self.record_every < 1:
+            raise ConfigError(f"record_every must be >= 1, got {self.record_every}")
+
+    def is_ensemble(self) -> bool:
+        """Whether the initial values describe a stacked ``(B, n, d)`` ensemble."""
+        values = self.initial_values
+        if not isinstance(values, np.ndarray):
+            try:
+                values = np.asarray(values, dtype=float)
+            except (TypeError, ValueError) as exc:
+                raise EnsembleShapeError(
+                    "initial values must stack to a 1-D/2-D (single scenario) or "
+                    "3-D (ensemble) float array"
+                ) from exc
+        if values.ndim in (1, 2):
+            return False
+        if values.ndim == 3:
+            return True
+        raise EnsembleShapeError(
+            f"initial values must stack to a 1-D/2-D (single scenario) or 3-D "
+            f"(ensemble) array, got shape {values.shape}"
+        )
+
+
+@dataclass(frozen=True)
+class CertifySpec:
+    """What the optional certification pass of a :class:`Study` computes.
+
+    Mirrors the :class:`~repro.core.valency.ValencyEstimator` parameters;
+    ``use_batch``/``scenario_chunk`` left at ``None`` inherit from the
+    study's :class:`~repro.config.EngineConfig`.
+    """
+
+    suffix_rounds: int = 60
+    exploration_depth: int = 0
+    use_batch: Optional[bool] = None
+    scenario_chunk: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StudyProvenance:
+    """Which path a study actually took.
+
+    Attributes
+    ----------
+    route:
+        The engine entry point the study compiled to: ``"run_execution"``,
+        ``"run_ensemble"``, ``"run_pattern_ensemble"`` or
+        ``"run_adversarial_ensemble"``.
+    fast_path:
+        Whether the vectorized ``batch_*`` fast path drove the rounds.
+    batched:
+        For ensemble routes, whether the scenarios ran as one stacked
+        ensemble (``False`` = per-scenario fallback loop); ``None`` for
+        single-scenario routes.
+    config:
+        The merged :class:`~repro.config.EngineConfig` the study ran under.
+    """
+
+    route: str
+    fast_path: bool
+    batched: Optional[bool]
+    config: EngineConfig
+
+
+@dataclass
+class StudyCertificates:
+    """Valency/contraction certificates attached to a :class:`StudyResult`.
+
+    Attributes
+    ----------
+    estimates:
+        One :class:`~repro.core.valency.ValencyEstimate` per recorded
+        configuration (certified lower/upper diameter bounds).
+    valency_trace:
+        The lower diameter estimates as a plain list — the quantity the
+        lower-bound proofs control.
+    output_rate:
+        Fitted geometric decay of the output diameter (upper rate estimate;
+        ``nan`` when the execution is too short to fit).
+    rate_interval:
+        ``(lower, upper)`` certified contraction-rate interval: the fitted
+        valency-trace decay and the output rate.
+    """
+
+    estimates: List[ValencyEstimate]
+    valency_trace: List[float]
+    output_rate: float
+    rate_interval: Tuple[float, float]
+
+
+@dataclass
+class StudyResult:
+    """Uniform result of a :class:`Study` run.
+
+    Wraps the underlying engine record (an
+    :class:`~repro.execution.execution.Execution` for single scenarios, an
+    :class:`~repro.execution.batch.EnsembleExecution` for ensembles) behind
+    scale-agnostic accessors, so downstream analysis code does not care which
+    engine ran.
+    """
+
+    execution: Union[Execution, EnsembleExecution]
+    provenance: StudyProvenance
+    certificates: Optional[StudyCertificates] = None
+
+    @property
+    def is_ensemble(self) -> bool:
+        return isinstance(self.execution, EnsembleExecution)
+
+    @property
+    def rounds(self) -> int:
+        """Number of executed rounds."""
+        return self.execution.rounds
+
+    @property
+    def final_outputs(self) -> np.ndarray:
+        """Final output tensor: ``(n, d)`` single scenario, ``(B, n, d)`` ensemble."""
+        if self.is_ensemble:
+            return self.execution.final_outputs
+        return self.execution.outputs()
+
+    def diameters(self) -> np.ndarray:
+        """Recorded output diameters: ``(R,)`` single scenario, ``(R, B)`` ensemble."""
+        return self.execution.diameters()
+
+    def final_diameters(self) -> np.ndarray:
+        """Final diameters: a scalar array single scenario, ``(B,)`` ensemble."""
+        if self.is_ensemble:
+            return self.execution.final_diameters()
+        return np.asarray(self.execution.final_diameter())
+
+    def decision_rounds(self, tolerance: float) -> np.ndarray:
+        """First recorded round within ``tolerance`` agreement (-1 if never).
+
+        The decision time of the induced approximate consensus algorithm:
+        a scalar array for single scenarios, ``(B,)`` per-scenario rounds
+        for ensembles.
+        """
+        if self.is_ensemble:
+            return self.execution.convergence_rounds(tolerance)
+        hit = convergence_round(self.execution, tolerance)
+        return np.asarray(-1 if hit is None else hit)
+
+    def round_choices(self) -> List[List[CommunicationGraph]]:
+        """The adversary's committed per-round graph choices (adversarial ensembles)."""
+        if isinstance(self.execution, AdversarialEnsembleExecution):
+            return self.execution.round_choices
+        if isinstance(self.execution, Execution):
+            return [[graph] for graph in self.execution.graphs]
+        raise ExecutionError("round choices are only recorded for adversarial studies")
+
+    def __repr__(self) -> str:
+        return (
+            f"StudyResult(route={self.provenance.route}, rounds={self.rounds}, "
+            f"certified={self.certificates is not None})"
+        )
+
+
+class Study:
+    """Declarative builder compiling to the batched execution engines.
+
+    Parameters
+    ----------
+    algorithm:
+        The :class:`~repro.algorithms.base.Algorithm` under study.
+    scenario:
+        A prebuilt :class:`ScenarioSpec`; alternatively pass its fields
+        (``initial_values``, ``rounds``, ``pattern`` / ``graphs`` /
+        ``adversary``, ``record_every``, ``scenario_labels``) directly.
+    model:
+        The :class:`~repro.models.network_model.NetworkModel`; required for
+        certification.
+    certify:
+        ``True`` or a :class:`CertifySpec` to attach valency/contraction
+        certificates (single-scenario studies only).
+    config:
+        An :class:`~repro.config.EngineConfig`; the study runs inside it, so
+        every knob (fast path, batching, packed kernels, reductions) applies
+        to exactly the code the study executes.  ``None`` inherits the
+        ambient configuration.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        *,
+        scenario: Optional[ScenarioSpec] = None,
+        initial_values: Any = None,
+        rounds: Optional[int] = None,
+        pattern: Union[CommunicationPattern, Sequence[CommunicationPattern], None] = None,
+        graphs: Optional[Sequence[Any]] = None,
+        adversary: Optional[AdversarialPattern] = None,
+        record_every: int = 1,
+        scenario_labels: Optional[Sequence[object]] = None,
+        model: Optional[NetworkModel] = None,
+        certify: Union[bool, CertifySpec, None] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if not isinstance(algorithm, Algorithm):
+            raise ConfigError(
+                f"Study needs an Algorithm instance, got {type(algorithm).__name__}"
+            )
+        if scenario is not None:
+            inline_given = (
+                initial_values is not None
+                or pattern is not None
+                or graphs is not None
+                or adversary is not None
+                or rounds is not None
+                or record_every != 1
+                or scenario_labels is not None
+            )
+            if inline_given:
+                raise ConfigError(
+                    "pass either a prebuilt scenario= or the inline scenario fields "
+                    "(initial_values/rounds/pattern/graphs/adversary/record_every/"
+                    "scenario_labels), not both"
+                )
+            self._spec = scenario
+        else:
+            if initial_values is None:
+                raise ConfigError("Study needs initial_values= (or a prebuilt scenario=)")
+            self._spec = ScenarioSpec(
+                initial_values=initial_values,
+                rounds=rounds,
+                pattern=pattern,
+                graphs=graphs,
+                adversary=adversary,
+                record_every=record_every,
+                scenario_labels=scenario_labels,
+            )
+        self._algorithm = algorithm
+        self._model = model
+        if certify is True:
+            certify = CertifySpec()
+        elif certify is False:
+            certify = None
+        if certify is not None and not isinstance(certify, CertifySpec):
+            raise ConfigError(
+                f"certify must be True/False or a CertifySpec, got {type(certify).__name__}"
+            )
+        if certify is not None and model is None:
+            raise ConfigError("certification needs a network model: pass model=")
+        self._certify = certify
+        self._config = config
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        return self._spec
+
+    def run(self) -> StudyResult:
+        """Execute the study and return its :class:`StudyResult`.
+
+        The scoped :class:`~repro.config.EngineConfig` is entered around the
+        whole run (engine dispatch *and* certification), so the result is
+        bit-for-bit identical to issuing the compiled engine call inside the
+        same ``with config:`` block.
+        """
+        config = self._config if self._config is not None else EngineConfig()
+        with config:
+            execution, provenance = self._execute()
+            certificates = (
+                self._run_certification(execution) if self._certify is not None else None
+            )
+        return StudyResult(
+            execution=execution, provenance=provenance, certificates=certificates
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+
+    def _execute(self) -> Tuple[Union[Execution, EnsembleExecution], StudyProvenance]:
+        spec = self._spec
+        merged = current_engine_config()
+        if not spec.is_ensemble():
+            pattern = spec.adversary or spec.pattern
+            if pattern is None:
+                pattern = self._single_scenario_pattern(spec.graphs)
+            if not isinstance(pattern, CommunicationPattern):
+                raise ConfigError(
+                    "a single-scenario study needs one CommunicationPattern or "
+                    f"AdversarialPattern, got {type(pattern).__name__}"
+                )
+            execution = run_execution(
+                self._algorithm,
+                spec.initial_values,
+                pattern,
+                spec.rounds,
+                record_every=spec.record_every,
+            )
+            resolved = resolve_use_fast_path(None)
+            fast_path = self._algorithm.supports_batch() if resolved is None else resolved
+            return execution, StudyProvenance(
+                route="run_execution",
+                fast_path=bool(fast_path),
+                batched=None,
+                config=merged,
+            )
+
+        if spec.adversary is not None:
+            result = run_adversarial_ensemble(
+                self._algorithm,
+                spec.initial_values,
+                spec.adversary,
+                spec.rounds,
+                record_every=spec.record_every,
+                scenario_labels=spec.scenario_labels,
+            )
+            route = "run_adversarial_ensemble"
+        elif spec.pattern is not None:
+            result = run_pattern_ensemble(
+                self._algorithm,
+                spec.initial_values,
+                spec.pattern,
+                spec.rounds,
+                record_every=spec.record_every,
+                scenario_labels=spec.scenario_labels,
+            )
+            route = "run_pattern_ensemble"
+        else:
+            result = run_ensemble(
+                self._algorithm,
+                spec.initial_values,
+                spec.graphs,
+                record_every=spec.record_every,
+                scenario_labels=spec.scenario_labels,
+            )
+            route = "run_ensemble"
+        resolved = resolve_use_fast_path(None)
+        fast_path = self._algorithm.supports_batch() if resolved is None else resolved
+        return result, StudyProvenance(
+            route=route,
+            fast_path=bool(fast_path),
+            batched=result.batched,
+            config=merged,
+        )
+
+    @staticmethod
+    def _single_scenario_pattern(graphs: Sequence[Any]) -> SequencePattern:
+        graph_list = list(graphs)
+        for entry in graph_list:
+            if not isinstance(entry, CommunicationGraph):
+                raise EnsembleShapeError(
+                    "a single-scenario graph list must contain CommunicationGraph "
+                    f"entries, got {type(entry).__name__} (per-scenario graph "
+                    "sequences need stacked (B, n, d) initial values)"
+                )
+        return SequencePattern(graph_list)
+
+    # ------------------------------------------------------------------ #
+    # Certification
+    # ------------------------------------------------------------------ #
+
+    def _run_certification(
+        self, execution: Union[Execution, EnsembleExecution]
+    ) -> StudyCertificates:
+        if isinstance(execution, EnsembleExecution):
+            raise ConfigError(
+                "certification requires a single-scenario study (valency traces "
+                "need recorded per-agent configurations)"
+            )
+        certify = self._certify
+        estimator = ValencyEstimator(
+            self._algorithm,
+            self._model,
+            suffix_rounds=certify.suffix_rounds,
+            exploration_depth=certify.exploration_depth,
+            use_batch=certify.use_batch,
+            scenario_chunk=certify.scenario_chunk,
+        )
+        estimates = estimator.trace(execution.configurations)
+        trace = [float(estimate.lower_diameter) for estimate in estimates]
+        try:
+            output_rate = empirical_contraction_rate(execution)
+        except ValueError:
+            output_rate = float("nan")
+        return StudyCertificates(
+            estimates=estimates,
+            valency_trace=trace,
+            output_rate=output_rate,
+            rate_interval=(fit_trace_rate(trace), output_rate),
+        )
+
+    def __repr__(self) -> str:
+        spec = self._spec
+        source = (
+            "adversary"
+            if spec.adversary is not None
+            else ("pattern" if spec.pattern is not None else "graphs")
+        )
+        return (
+            f"Study({self._algorithm.name}, rounds={spec.rounds}, source={source}, "
+            f"ensemble={spec.is_ensemble()}, certify={self._certify is not None})"
+        )
+
+
+__all__ = [
+    "CertifySpec",
+    "EngineConfig",
+    "ScenarioSpec",
+    "Study",
+    "StudyCertificates",
+    "StudyProvenance",
+    "StudyResult",
+]

@@ -1,0 +1,269 @@
+"""Unified engine configuration: every execution knob in one declarative object.
+
+The engines grew their tuning knobs one PR at a time: ``use_fast_path`` on
+:func:`repro.execution.run_execution`, ``use_batch`` on the adversaries and
+the :class:`~repro.core.valency.ValencyEstimator`, ``use_packed`` on the
+α-relation kernels, and the module-level masked-reduction setters of
+:mod:`repro.algorithms.base`.  :class:`EngineConfig` consolidates all of them
+into a single dataclass that doubles as an exception-safe, *thread-local*
+context manager:
+
+>>> from repro.config import EngineConfig
+>>> with EngineConfig(use_fast_path=False, reduction_impl="dense"):
+...     ...  # every engine entry point inside the block sees the overrides
+
+Every field defaults to ``None``, meaning "inherit": from an enclosing
+``EngineConfig`` block if one is active, else from the library default
+(auto-select fast path, batched evaluation on, packed kernels on, ``"auto"``
+reductions, 4096-scenario valency chunks).  Entering a config applies the
+masked-reduction fields immediately (and restores the previous values on
+exit, even when the body raises); the tri-state fields are consulted lazily
+by the engine entry points through the ``resolve_*`` helpers below.
+
+Configs nest: the innermost block wins field-by-field.  The active stack is
+thread-local, so concurrent studies can run under different configurations
+without racing each other — the masked-reduction settings themselves are
+thread-local too (see :mod:`repro.algorithms.base`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import (
+    ChunkSetting,
+    _apply_masked_reduction_chunks,
+    _apply_masked_reduction_impl,
+    _validate_chunk_setting,
+    get_masked_reduction_chunks,
+    get_masked_reduction_impl,
+)
+from repro.exceptions import AlgorithmError, ConfigError
+
+#: Library defaults the ``resolve_*`` helpers fall back to when neither an
+#: explicit argument nor an active config sets a field.
+_DEFAULT_USE_BATCH = True
+_DEFAULT_USE_PACKED = True
+_DEFAULT_SCENARIO_CHUNK = 4096
+
+#: Fields that participate in the innermost-wins merge.
+_CONFIG_FIELDS = (
+    "use_fast_path",
+    "use_batch",
+    "use_packed",
+    "reduction_impl",
+    "reduction_batch_chunk",
+    "reduction_receiver_chunk",
+    "scenario_chunk",
+)
+
+
+@dataclass
+class EngineConfig:
+    """Declarative bundle of every engine execution knob.
+
+    Attributes
+    ----------
+    use_fast_path:
+        Tri-state fast-path selection of the round engine (``None`` =
+        auto-select, ``False`` = per-agent reference path, ``True`` = require
+        the vectorized path).  Consulted by every entry point that accepts a
+        ``use_fast_path`` keyword when that keyword is left at ``None``.
+    use_batch:
+        Whether adversaries, ensemble runners and the valency estimator
+        evaluate candidates/futures as stacked ensembles (default ``True``)
+        or through their per-item reference loops (``False``).
+    use_packed:
+        Whether the α/β-relation analyses use the packed witness-tensor
+        kernels (default ``True``) or the per-pair reference loops.
+    reduction_impl:
+        Implementation of the general masked-reduction case: ``"auto"``,
+        ``"dense"`` or ``"packed"`` (see
+        :func:`repro.algorithms.base.masked_reduction_impl`).
+    reduction_batch_chunk / reduction_receiver_chunk:
+        Chunk settings of the masked reductions over the leading (scenario)
+        and receiver axes: ``"auto"``, ``"dense"`` or a positive block size.
+    scenario_chunk:
+        Upper bound on the number of stacked scenarios per batched valency
+        pass (default 4096).
+    """
+
+    use_fast_path: Optional[bool] = None
+    use_batch: Optional[bool] = None
+    use_packed: Optional[bool] = None
+    reduction_impl: Optional[str] = None
+    reduction_batch_chunk: Optional[ChunkSetting] = None
+    reduction_receiver_chunk: Optional[ChunkSetting] = None
+    scenario_chunk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("use_fast_path", "use_batch", "use_packed"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, bool):
+                raise ConfigError(f"{name} must be True, False or None, got {value!r}")
+        if self.reduction_impl is not None and self.reduction_impl not in (
+            "auto",
+            "dense",
+            "packed",
+        ):
+            raise ConfigError(
+                f"reduction_impl must be 'auto', 'dense', 'packed' or None, "
+                f"got {self.reduction_impl!r}"
+            )
+        for name in ("reduction_batch_chunk", "reduction_receiver_chunk"):
+            value = getattr(self, name)
+            if value is not None:
+                try:
+                    _validate_chunk_setting(name, value)
+                except AlgorithmError as exc:
+                    raise ConfigError(str(exc)) from exc
+        if self.scenario_chunk is not None and (
+            isinstance(self.scenario_chunk, bool)
+            or not isinstance(self.scenario_chunk, int)
+            or self.scenario_chunk < 1
+        ):
+            raise ConfigError(
+                f"scenario_chunk must be a positive int or None, got {self.scenario_chunk!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Context-manager protocol
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "EngineConfig":
+        # The saved reduction snapshot lives in the *thread-local* stack
+        # entry, never on this (possibly shared) instance: one EngineConfig
+        # object entered concurrently from several threads must not pop
+        # another thread's snapshot.
+        saved = (get_masked_reduction_chunks(), get_masked_reduction_impl())
+        _ACTIVE_CONFIGS.stack.append((self, saved))
+        try:
+            if (
+                self.reduction_batch_chunk is not None
+                or self.reduction_receiver_chunk is not None
+            ):
+                current = saved[0]
+                _apply_masked_reduction_chunks(
+                    batch=(
+                        self.reduction_batch_chunk
+                        if self.reduction_batch_chunk is not None
+                        else current["batch"]
+                    ),
+                    receivers=(
+                        self.reduction_receiver_chunk
+                        if self.reduction_receiver_chunk is not None
+                        else current["receivers"]
+                    ),
+                )
+            if self.reduction_impl is not None:
+                _apply_masked_reduction_impl(self.reduction_impl)
+        except BaseException:
+            _pop_entry_for(self)
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        entry = _pop_entry_for(self)
+        if entry is not None:
+            chunks, impl = entry[1]
+            _apply_masked_reduction_chunks(
+                batch=chunks["batch"], receivers=chunks["receivers"]
+            )
+            _apply_masked_reduction_impl(impl)
+        return False
+
+
+#: A stack entry: (the entered config, the thread's reduction snapshot to
+#: restore on exit).
+_StackEntry = Tuple[EngineConfig, Tuple[dict, str]]
+
+
+class _ConfigStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[_StackEntry] = []
+
+
+_ACTIVE_CONFIGS = _ConfigStack()
+
+
+def _pop_entry_for(config: EngineConfig) -> Optional[_StackEntry]:
+    """Remove and return this thread's innermost stack entry for ``config``."""
+    stack = _ACTIVE_CONFIGS.stack
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index][0] is config:
+            entry = stack[index]
+            del stack[index]
+            return entry
+    return None
+
+
+def _lookup(field_name: str):
+    """Innermost non-None value of a field on the active config stack.
+
+    Kept allocation-free: the resolvers run on hot engine paths (one call
+    per ``apply_graph`` on the reference loops), so no merged dataclass is
+    built here.
+    """
+    for config, _saved in reversed(_ACTIVE_CONFIGS.stack):
+        value = getattr(config, field_name)
+        if value is not None:
+            return value
+    return None
+
+
+def current_engine_config() -> EngineConfig:
+    """The merged view of the thread's active config blocks (innermost wins).
+
+    Fields no active block sets stay ``None``; the ``resolve_*`` helpers map
+    those to the library defaults.
+    """
+    merged = {}
+    for config, _saved in _ACTIVE_CONFIGS.stack:
+        for name in _CONFIG_FIELDS:
+            value = getattr(config, name)
+            if value is not None:
+                merged[name] = value
+    return EngineConfig(**merged)
+
+
+def resolve_use_fast_path(explicit: Optional[bool] = None) -> Optional[bool]:
+    """Fast-path tri-state: explicit argument, else active config, else auto (None)."""
+    if explicit is not None:
+        return explicit
+    return _lookup("use_fast_path")
+
+
+def resolve_use_batch(explicit: Optional[bool] = None) -> bool:
+    """Batched-evaluation flag: explicit argument, else active config, else True."""
+    if explicit is not None:
+        return explicit
+    configured = _lookup("use_batch")
+    return _DEFAULT_USE_BATCH if configured is None else configured
+
+
+def resolve_use_packed(explicit: Optional[bool] = None) -> bool:
+    """Packed-kernel flag: explicit argument, else active config, else True."""
+    if explicit is not None:
+        return explicit
+    configured = _lookup("use_packed")
+    return _DEFAULT_USE_PACKED if configured is None else configured
+
+
+def resolve_scenario_chunk(explicit: Optional[int] = None) -> int:
+    """Valency scenario-chunk bound: explicit argument, else config, else 4096."""
+    if explicit is not None:
+        return explicit
+    configured = _lookup("scenario_chunk")
+    return _DEFAULT_SCENARIO_CHUNK if configured is None else configured
+
+
+__all__ = [
+    "EngineConfig",
+    "current_engine_config",
+    "resolve_scenario_chunk",
+    "resolve_use_batch",
+    "resolve_use_fast_path",
+    "resolve_use_packed",
+]

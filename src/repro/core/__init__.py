@@ -24,6 +24,8 @@ from repro.core.adversary import (
 )
 from repro.core.contraction import (
     ContractionMeasurement,
+    certified_rate_interval,
+    fit_trace_rate,
     measure_contraction_rate,
     valency_contraction_trace,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "ValencyEstimator",
     "ValencyEstimate",
     "ContractionMeasurement",
+    "certified_rate_interval",
+    "fit_trace_rate",
     "measure_contraction_rate",
     "valency_contraction_trace",
     "GreedyDiameterAdversary",

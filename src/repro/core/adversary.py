@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config import resolve_use_batch
 from repro.exceptions import ExecutionError
 from repro.execution.engine import run_from_configuration
 from repro.execution.state import Configuration
@@ -63,22 +64,49 @@ class GreedyDiameterAdversary(AdversarialPattern):
 
     Ties are broken by the order of the graphs in the model, which makes the
     adversary deterministic and executions reproducible.  With ``use_batch``
-    (the default) all ``|N|`` candidates are evaluated as one stacked
-    adjacency pass; ``use_batch=False`` keeps the per-graph reference loop.
+    (``None`` resolves through the active
+    :class:`~repro.config.EngineConfig`, default on) all ``|N|`` candidates
+    are evaluated as one stacked adjacency pass; ``use_batch=False`` keeps
+    the per-graph reference loop.
+
+    ``avoid_repeat=True`` makes the adversary *history-dependent*: the graph
+    committed in the previous round is removed from the candidate set (when
+    other candidates remain), forcing the adversary to keep perturbing the
+    system instead of replaying one worst-case graph.  In batched ensemble
+    runs the candidate sets then differ per scenario, which the adversary
+    advertises through :meth:`ensemble_plans` — the per-scenario plan API of
+    :func:`repro.execution.batch.run_adversarial_ensemble`.
     """
 
-    def __init__(self, model: NetworkModel, use_batch: bool = True) -> None:
+    def __init__(
+        self,
+        model: NetworkModel,
+        use_batch: Optional[bool] = None,
+        avoid_repeat: bool = False,
+    ) -> None:
         self._model = model
         self._use_batch = use_batch
+        self._avoid_repeat = avoid_repeat
 
     @property
     def model(self) -> NetworkModel:
         """The network model the adversary draws graphs from."""
         return self._model
 
-    def choose(self, context: RoundContext) -> CommunicationGraph:
+    def _candidate_graphs(
+        self, history: Sequence[CommunicationGraph]
+    ) -> List[CommunicationGraph]:
         graphs = list(self._model)
-        if self._use_batch:
+        if self._avoid_repeat and history:
+            last = history[-1]
+            filtered = [graph for graph in graphs if graph is not last]
+            if filtered:
+                return filtered
+        return graphs
+
+    def choose(self, context: RoundContext) -> CommunicationGraph:
+        graphs = self._candidate_graphs(context.history)
+        if resolve_use_batch(self._use_batch):
             outputs = context.simulate_outputs_batch(graphs)
             return graphs[running_argmax(pairwise_diameters(outputs))]
         best_graph: Optional[CommunicationGraph] = None
@@ -92,12 +120,40 @@ class GreedyDiameterAdversary(AdversarialPattern):
         assert best_graph is not None
         return best_graph
 
-    def ensemble_plan(self, round_number: int, n: int) -> EnsemblePlan:
+    def ensemble_plan(self, round_number: int, n: int) -> Optional[EnsemblePlan]:
+        if self._avoid_repeat:
+            # History-dependent: the shared-plan API cannot express the
+            # per-scenario candidate sets; ensemble_plans serves them.
+            return None
         return EnsemblePlan(
             candidates=tuple((graph,) for graph in self._model), commit_rounds=1
         )
 
+    def ensemble_plans(
+        self,
+        round_number: int,
+        n: int,
+        histories: Sequence[Sequence[CommunicationGraph]],
+    ) -> Optional[Tuple[EnsemblePlan, ...]]:
+        if not self._avoid_repeat:
+            return None
+        # One plan per scenario, each excluding that scenario's previous
+        # commit.  Candidate counts stay uniform across scenarios: |N| in
+        # round 1 (all histories empty), |N| - 1 afterwards (every history
+        # ends in a model graph), so the stacked (B, C, n, n) pass is square.
+        return tuple(
+            EnsemblePlan(
+                candidates=tuple(
+                    (graph,) for graph in self._candidate_graphs(history)
+                ),
+                commit_rounds=1,
+            )
+            for history in histories
+        )
+
     def __repr__(self) -> str:
+        if self._avoid_repeat:
+            return f"GreedyDiameterAdversary({self._model!r}, avoid_repeat=True)"
         return f"GreedyDiameterAdversary({self._model!r})"
 
 
@@ -109,7 +165,9 @@ class LookaheadDiameterAdversary(AdversarialPattern):
     sequence is committed each round (receding-horizon control).
     """
 
-    def __init__(self, model: NetworkModel, lookahead: int = 2, use_batch: bool = True) -> None:
+    def __init__(
+        self, model: NetworkModel, lookahead: int = 2, use_batch: Optional[bool] = None
+    ) -> None:
         if lookahead < 1:
             raise ExecutionError(f"lookahead must be >= 1, got {lookahead}")
         self._model = model
@@ -121,7 +179,7 @@ class LookaheadDiameterAdversary(AdversarialPattern):
 
     def choose(self, context: RoundContext) -> CommunicationGraph:
         sequences = self._candidate_sequences()
-        if self._use_batch:
+        if resolve_use_batch(self._use_batch):
             outputs = context.simulate_sequences_batch(sequences)
             return sequences[running_argmax(pairwise_diameters(outputs))][0]
         configuration = _configuration_from_context(context)
@@ -154,14 +212,14 @@ class TwoAgentAdversary(AdversarialPattern):
     third of the parent's".
     """
 
-    def __init__(self, use_batch: bool = True) -> None:
+    def __init__(self, use_batch: Optional[bool] = None) -> None:
         self._graphs = list(two_agent_graphs())
         self._use_batch = use_batch
 
     def choose(self, context: RoundContext) -> CommunicationGraph:
         if context.outputs.shape[0] != 2:
             raise ExecutionError("TwoAgentAdversary only applies to systems of 2 agents")
-        if self._use_batch:
+        if resolve_use_batch(self._use_batch):
             outputs = context.simulate_outputs_batch(self._graphs)
             return self._graphs[running_argmax(pairwise_diameters(outputs))]
         best_graph = self._graphs[0]
@@ -195,7 +253,7 @@ class PsiBlockAdversary(AdversarialPattern):
     of the property ``P_seq`` of Section 6.2.
     """
 
-    def __init__(self, n: int, use_batch: bool = True) -> None:
+    def __init__(self, n: int, use_batch: Optional[bool] = None) -> None:
         if n < 4:
             raise ExecutionError("PsiBlockAdversary requires n >= 4 agents")
         self._n = n
@@ -225,7 +283,7 @@ class PsiBlockAdversary(AdversarialPattern):
         return [[self._psi[choice]] * self._block_length for choice in (0, 1, 2)]
 
     def _pick_block(self, context: RoundContext) -> int:
-        if self._use_batch:
+        if resolve_use_batch(self._use_batch):
             outputs = context.simulate_sequences_batch(self._candidate_blocks())
             return running_argmax(pairwise_diameters(outputs))
         configuration = _configuration_from_context(context)

@@ -104,7 +104,7 @@ def valency_contraction_trace(
     suffix_rounds: int = 60,
     exploration_depth: int = 0,
     estimator: Optional[ValencyEstimator] = None,
-    use_batch: bool = True,
+    use_batch: Optional[bool] = None,
 ) -> List[float]:
     """Lower estimates of ``δ_N(C_t)`` for ``t = 0 .. rounds`` along one execution.
 
@@ -112,11 +112,14 @@ def valency_contraction_trace(
     track: under the proof adversaries the returned sequence decays no faster
     than ``bound^t · δ_N(C_0)``.
 
-    With ``use_batch`` (the default) the per-round valency estimates run
-    through the estimator's stacked-ensemble path — for round-invariant
-    algorithms the futures of *every* recorded configuration are evaluated
-    as one ensemble per exploration depth — and are bit-for-bit equal to the
-    ``use_batch=False`` reference loop.
+    With ``use_batch`` (``None`` resolves through the active
+    :class:`~repro.config.EngineConfig`, batched by default) the per-round
+    valency estimates run through the estimator's stacked-ensemble path —
+    for round-invariant algorithms the futures of *every* recorded
+    configuration are evaluated as one ensemble per exploration depth, and
+    stateful batch algorithms are covered through the ``batch_state``
+    restore hooks — and are bit-for-bit equal to the ``use_batch=False``
+    reference loop.
     """
     execution = run_execution(algorithm, initial_values, pattern, rounds)
     estimator = estimator or ValencyEstimator(
@@ -132,6 +135,24 @@ def valency_contraction_trace(
     ]
 
 
+def fit_trace_rate(valency_trace: List[float]) -> float:
+    """Geometric decay rate fitted to a valency-diameter trace.
+
+    Fits ``(trace[last] / trace[first]) ** (1 / span)`` over the positive
+    span of the trace — the certified *lower* estimate of the contraction
+    rate, since the trace under-approximates ``δ_N(C_t)``.  Returns 0.0 when
+    fewer than two positive entries exist.
+    """
+    trace = np.asarray(valency_trace, dtype=float)
+    positive = trace > 0
+    if positive.sum() < 2:
+        return 0.0
+    first = int(np.argmax(positive))
+    last = int(len(trace) - 1 - np.argmax(positive[::-1]))
+    span = last - first
+    return float((trace[last] / trace[first]) ** (1.0 / span)) if span > 0 else 0.0
+
+
 def certified_rate_interval(
     measurement: ContractionMeasurement,
     valency_trace: List[float],
@@ -142,13 +163,4 @@ def certified_rate_interval(
     ``δ_N(C_t)``), the upper end is the output-diameter rate (which
     over-approximates it for convex-combination algorithms).
     """
-    trace = np.asarray(valency_trace, dtype=float)
-    positive = trace > 0
-    if positive.sum() < 2:
-        lower = 0.0
-    else:
-        first = int(np.argmax(positive))
-        last = int(len(trace) - 1 - np.argmax(positive[::-1]))
-        span = last - first
-        lower = float((trace[last] / trace[first]) ** (1.0 / span)) if span > 0 else 0.0
-    return (lower, measurement.output_rate)
+    return (fit_trace_rate(valency_trace), measurement.output_rate)

@@ -33,9 +33,13 @@ Two evaluation paths are available, mirroring the adversary API:
   ``|N|^depth`` product), and an active-set drops scenarios that reached an
   exact float fixpoint from the constant-suffix loop early (valid for
   round-invariant algorithms: a fixed point of a constant graph stays fixed).
+  Memoryless convex-combination algorithms rebuild state from configuration
+  outputs; *stateful* batch algorithms (e.g. the amortized midpoint) are
+  covered through the ``batch_state`` snapshot/restore hooks
+  (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`), which
+  resume the recorded per-agent states exactly.
 * the **reference path** (``use_batch=False``, or any algorithm without
-  convex-combination batch hooks) runs one ``run_from_configuration`` per
-  sampled future.
+  batch hooks) runs one ``run_from_configuration`` per sampled future.
 
 Both paths produce bit-for-bit identical estimates (enforced by
 ``tests/test_valency_batch.py``).
@@ -50,6 +54,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
+from repro.config import resolve_scenario_chunk, resolve_use_batch
 from repro.execution.engine import run_from_configuration
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
@@ -98,11 +103,18 @@ class ValencyEstimator:
         constant suffixes, which is sufficient for the paper's constructions.
     use_batch:
         Evaluate all sampled futures as stacked scenario ensembles through
-        the algorithm's batch hooks (the default).  Falls back to the
-        per-future reference loop for algorithms without convex-combination
-        batch hooks; ``use_batch=False`` forces the reference loop.
+        the algorithm's batch hooks.  ``None`` (the default) resolves through
+        the active :class:`~repro.config.EngineConfig` (batched unless
+        configured off).  Memoryless convex-combination algorithms rebuild
+        their state from configuration outputs; stateful batch algorithms
+        (e.g. the amortized midpoint) are covered through the
+        ``Algorithm.batch_state`` snapshot/restore hooks
+        (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`).
+        Algorithms supporting neither fall back to the per-future reference
+        loop; ``use_batch=False`` forces the reference loop.
     scenario_chunk:
-        Upper bound on the number of stacked scenarios per batched pass.
+        Upper bound on the number of stacked scenarios per batched pass
+        (``None`` resolves through the active config, default 4096).
         Exhaustive prefixes are streamed in chunks respecting this bound, so
         peak memory stays ``O(scenario_chunk · n²)`` regardless of
         ``|N|^depth``.
@@ -114,9 +126,11 @@ class ValencyEstimator:
         model: NetworkModel,
         suffix_rounds: int = 60,
         exploration_depth: int = 0,
-        use_batch: bool = True,
-        scenario_chunk: int = 4096,
+        use_batch: Optional[bool] = None,
+        scenario_chunk: Optional[int] = None,
     ) -> None:
+        use_batch = resolve_use_batch(use_batch)
+        scenario_chunk = resolve_scenario_chunk(scenario_chunk)
         if suffix_rounds < 1:
             raise ValueError(f"suffix_rounds must be >= 1, got {suffix_rounds}")
         if exploration_depth < 0:
@@ -138,6 +152,8 @@ class ValencyEstimator:
         """Estimated reachable limits from ``configuration`` (one row per sampled future)."""
         if self._batchable():
             return self._limit_estimates_batch([configuration])[0]
+        if self._batchable_stateful():
+            return self._limit_estimates_batch_state(configuration)
         return self._limit_estimates_reference(configuration)
 
     def estimate(self, configuration: Configuration) -> ValencyEstimate:
@@ -164,6 +180,12 @@ class ValencyEstimator:
         if self._batchable():
             limits_a = self._constant_suffix_limits_batch(config_a)
             limits_b = self._constant_suffix_limits_batch(config_b)
+        elif self._batchable_stateful():
+            limits_a = self._constant_suffix_limits_batch_state(config_a)
+            limits_b = self._constant_suffix_limits_batch_state(config_b)
+        else:
+            limits_a = limits_b = None
+        if limits_a is not None:
             return any(
                 float(np.linalg.norm(limits_a[index] - limits_b[index])) <= tolerance
                 for index in range(limits_a.shape[0])
@@ -199,6 +221,13 @@ class ValencyEstimator:
             return [
                 self._estimate_from_limits(configuration, limits)
                 for configuration, limits in zip(configurations, per_config)
+            ]
+        if self._batchable_stateful():
+            return [
+                self._estimate_from_limits(
+                    configuration, self._limit_estimates_batch_state(configuration)
+                )
+                for configuration in configurations
             ]
         return [self.estimate(c) for c in configurations]
 
@@ -241,17 +270,35 @@ class ValencyEstimator:
     # ------------------------------------------------------------------ #
 
     def _batchable(self) -> bool:
-        """Whether the stacked-ensemble path applies.
+        """Whether the outputs-based stacked-ensemble path applies.
 
-        The batched path rebuilds algorithm state from configuration outputs,
-        which is exact only for memoryless convex-combination algorithms with
-        batch hooks; anything else silently takes the reference loop
-        (mirroring the adversaries' ``use_batch`` fallback).
+        This path rebuilds algorithm state from configuration outputs, which
+        is exact only for memoryless convex-combination algorithms with batch
+        hooks.  Stateful batch algorithms take the batch-state path
+        (:meth:`_batchable_stateful`); anything else takes the per-future
+        reference loop (mirroring the adversaries' ``use_batch`` fallback).
         """
         return (
             self._use_batch
             and isinstance(self._algorithm, ConvexCombinationAlgorithm)
             and self._algorithm.supports_batch()
+        )
+
+    def _batchable_stateful(self) -> bool:
+        """Whether the batch-state stacked-ensemble path applies.
+
+        Stateful batch algorithms (state beyond the outputs, e.g. the
+        amortized midpoint's phase extremes) cannot be rebuilt from outputs,
+        but algorithms implementing the ``batch_state`` snapshot/restore
+        hooks (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`)
+        restore an exact batch state from the recorded per-agent states and
+        fan it out into the same stacked ensembles.
+        """
+        return (
+            self._use_batch
+            and not isinstance(self._algorithm, ConvexCombinationAlgorithm)
+            and self._algorithm.supports_batch()
+            and self._algorithm.supports_batch_state()
         )
 
     def _prefix_chunks(
@@ -367,6 +414,99 @@ class ValencyEstimator:
             current = new_values
         finals[alive] = current
         return finals
+
+    # ------------------------------------------------------------------ #
+    # Batch-state path (stateful algorithms)
+    # ------------------------------------------------------------------ #
+
+    def _limit_estimates_batch_state(self, configuration: Configuration) -> np.ndarray:
+        """Batched limit estimates through the ``batch_state`` restore hooks.
+
+        The configuration's per-agent state snapshot is restored into a
+        single-scenario batch state
+        (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`),
+        fanned out over the chunk's prefixes via ``batch_map`` and driven
+        through the same stacked adjacency ensembles as the
+        convex-combination path.  Scenario order matches the reference loop
+        exactly (depth-ascending prefixes, model suffix graphs innermost),
+        and min/max reductions select actual state elements, so the result
+        is bit-for-bit equal to the per-future reference loop.
+        """
+        algorithm = self._algorithm
+        model_graphs = list(self._model)
+        model_count = len(model_graphs)
+        base = algorithm.batch_state_from_states(configuration.states)
+        base_round = configuration.round_number
+        prefix_chunk_size = max(1, self._scenario_chunk // max(1, model_count))
+        collected: List[np.ndarray] = []
+
+        for depth in range(self._exploration_depth + 1):
+            for prefix_chunk in self._prefix_chunks(depth, prefix_chunk_size):
+                prefix_count = len(prefix_chunk)
+                state = algorithm.batch_map(
+                    base,
+                    lambda leaf, _count=prefix_count: np.repeat(
+                        np.asarray(leaf)[None, ...], _count, axis=0
+                    ),
+                )
+                for offset in range(depth):
+                    stack = np.stack(
+                        [prefix[offset].adjacency for prefix in prefix_chunk]
+                    )  # (P, n, n)
+                    state = algorithm.batch_transition(
+                        state, stack, base_round + 1 + offset
+                    )
+                # Expand by the constant-suffix graphs: (P · M, ...) leaves.
+                state = algorithm.batch_map(
+                    state,
+                    lambda leaf, _count=model_count: np.repeat(leaf, _count, axis=0),
+                )
+                suffix_stack = np.tile(
+                    np.stack([graph.adjacency for graph in model_graphs]),
+                    (prefix_count, 1, 1),
+                )
+                finals = self._run_constant_suffix_state(
+                    state, suffix_stack, base_round + depth
+                )
+                collected.append(finals.mean(axis=1))  # (P · M, d)
+        return np.vstack(collected)
+
+    def _constant_suffix_limits_batch_state(
+        self, configuration: Configuration
+    ) -> np.ndarray:
+        """Limits of the ``M`` constant suffixes from one configuration, ``(M, d)``."""
+        algorithm = self._algorithm
+        model_graphs = list(self._model)
+        base = algorithm.batch_state_from_states(configuration.states)
+        state = algorithm.batch_map(
+            base,
+            lambda leaf, _count=len(model_graphs): np.repeat(
+                np.asarray(leaf)[None, ...], _count, axis=0
+            ),
+        )
+        suffix_stack = np.stack([graph.adjacency for graph in model_graphs])
+        finals = self._run_constant_suffix_state(
+            state, suffix_stack, configuration.round_number
+        )
+        return finals.mean(axis=1)
+
+    def _run_constant_suffix_state(
+        self, state, suffix_adjacency: np.ndarray, start_round: int
+    ) -> np.ndarray:
+        """Run ``suffix_rounds`` constant-graph rounds on a stacked batch state.
+
+        No active-set early exit here: an output-level fixpoint does not
+        imply a *state* fixpoint for stateful algorithms (the amortized
+        midpoint's outputs stay constant mid-phase while its phase extremes
+        keep widening), so every scenario runs the full suffix — bit-for-bit
+        equal to the reference loop by construction.
+        """
+        algorithm = self._algorithm
+        for offset in range(self._suffix_rounds):
+            state = algorithm.batch_transition(
+                state, suffix_adjacency, start_round + 1 + offset
+            )
+        return np.asarray(algorithm.batch_outputs(state), dtype=float)
 
     def _estimate_from_limits(
         self, configuration: Configuration, limits: np.ndarray

@@ -35,6 +35,26 @@ class ExecutionError(ReproError):
     """
 
 
+class EnsembleShapeError(ExecutionError):
+    """Raised when stacked ensemble inputs have inconsistent shapes.
+
+    The batched engines operate on ``(B, n, d)`` value tensors, ``(C, n, n)``
+    candidate adjacency stacks and per-scenario plan collections; this error
+    names the offending shapes instead of letting NumPy raise an opaque
+    broadcast error deep inside a masked reduction.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised when an :class:`~repro.config.EngineConfig` or a
+    :class:`~repro.api.Study` is declared inconsistently.
+
+    Typical causes are invalid knob values, a scenario specification with
+    zero or several communication sources, or requesting certification
+    without a network model.
+    """
+
+
 class AlgorithmError(ReproError):
     """Raised when an algorithm is configured or driven incorrectly.
 

@@ -34,10 +34,11 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.algorithms.base import Algorithm
-from repro.exceptions import ExecutionError
+from repro.config import resolve_use_batch
+from repro.exceptions import EnsembleShapeError, ExecutionError
 from repro.execution.engine import _AdjacencyCache, apply_graph, initial_configuration
 from repro.graphs.digraph import CommunicationGraph
-from repro.models.patterns import AdversarialPattern, CommunicationPattern
+from repro.models.patterns import AdversarialPattern, CommunicationPattern, EnsemblePlan
 from repro.types import ValuesLike, as_value_matrix, pairwise_diameters
 
 #: One round of ensemble communication: a single graph shared by every
@@ -62,12 +63,17 @@ class EnsembleExecution:
     scenario_labels:
         Optional per-scenario labels (e.g. ``(value_index, pattern_index)``
         pairs produced by :func:`sweep`).
+    batched:
+        Provenance: ``True`` when the scenarios ran as one stacked ensemble
+        through the batch hooks, ``False`` when the per-scenario fallback
+        loop ran (``None`` on records predating the field).
     """
 
     algorithm_name: str
     recorded_rounds: List[int]
     recorded_outputs: np.ndarray
     scenario_labels: Optional[List[object]] = field(default=None)
+    batched: Optional[bool] = field(default=None)
 
     @property
     def batch_size(self) -> int:
@@ -170,19 +176,39 @@ def _batch_diameters(outputs: np.ndarray) -> np.ndarray:
 
 def stack_initial_values(initial_values: Union[np.ndarray, Sequence[ValuesLike]]) -> np.ndarray:
     """Promote per-scenario initial values to a ``(B, n, d)`` float tensor."""
-    if isinstance(initial_values, np.ndarray) and initial_values.ndim == 3:
-        return initial_values.astype(float, copy=True)
+    if isinstance(initial_values, np.ndarray):
+        if initial_values.ndim == 3:
+            return initial_values.astype(float, copy=True)
+        if initial_values.ndim != 2:
+            raise EnsembleShapeError(
+                f"ensemble initial values must be a (B, n, d) tensor or a sequence of "
+                f"per-scenario value collections, got an array of shape {initial_values.shape}"
+            )
     matrices = [as_value_matrix(values) for values in initial_values]
     if not matrices:
-        raise ExecutionError("an ensemble needs at least one scenario")
+        raise EnsembleShapeError("an ensemble needs at least one scenario")
     shape = matrices[0].shape
     for index, matrix in enumerate(matrices):
         if matrix.shape != shape:
-            raise ExecutionError(
+            raise EnsembleShapeError(
                 f"scenario {index} has shape {matrix.shape}, expected {shape}: all scenarios "
                 "of an ensemble must share n and d"
             )
     return np.stack(matrices)
+
+
+def _validate_ensemble_values(values: np.ndarray) -> None:
+    """Reject degenerate ``(B, n, d)`` stacks with a named-shape error."""
+    if values.ndim != 3:
+        raise EnsembleShapeError(
+            f"ensemble initial values must stack to (B, n, d), got shape {values.shape}"
+        )
+    batch_size, n, d = values.shape
+    if batch_size < 1 or n < 1 or d < 1:
+        raise EnsembleShapeError(
+            f"ensemble initial values need B >= 1, n >= 1 and d >= 1, got "
+            f"(B, n, d) = {values.shape}"
+        )
 
 
 def _round_adjacency(
@@ -194,16 +220,29 @@ def _round_adjacency(
     """The adjacency tensor of one ensemble round: ``(n, n)`` shared or ``(B, n, n)``."""
     if isinstance(round_graphs, CommunicationGraph):
         if round_graphs.n != n:
-            raise ExecutionError(f"graph has {round_graphs.n} agents, scenarios have {n}")
+            raise EnsembleShapeError(
+                f"graph has {round_graphs.n} agents, scenarios have {n}"
+            )
         return round_graphs.adjacency
-    graphs = list(round_graphs)
+    try:
+        graphs = list(round_graphs)
+    except TypeError as exc:
+        raise EnsembleShapeError(
+            f"each ensemble round must be a CommunicationGraph or a length-{batch_size} "
+            f"sequence of them, got {type(round_graphs).__name__}"
+        ) from exc
     if len(graphs) != batch_size:
-        raise ExecutionError(
+        raise EnsembleShapeError(
             f"per-scenario round needs {batch_size} graphs, got {len(graphs)}"
         )
     for graph in graphs:
+        if not isinstance(graph, CommunicationGraph):
+            raise EnsembleShapeError(
+                f"each ensemble round must be a CommunicationGraph or a length-{batch_size} "
+                f"sequence of them, got an entry of type {type(graph).__name__}"
+            )
         if graph.n != n:
-            raise ExecutionError(f"graph has {graph.n} agents, scenarios have {n}")
+            raise EnsembleShapeError(f"graph has {graph.n} agents, scenarios have {n}")
     first = graphs[0]
     if all(graph is first for graph in graphs):
         # A uniform per-scenario list broadcasts like a shared graph; skip the
@@ -226,6 +265,7 @@ def run_ensemble(
     graph_rounds: Sequence[RoundGraphs],
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
+    use_batch: Optional[bool] = None,
 ) -> EnsembleExecution:
     """Execute ``B`` independent scenarios through the vectorized fast path.
 
@@ -246,17 +286,28 @@ def run_ensemble(
         initial and final ones.
     scenario_labels:
         Optional labels stored on the result (one per scenario).
+    use_batch:
+        ``None`` (default) consults the active
+        :class:`~repro.config.EngineConfig` and auto-selects; ``False``
+        forces the per-scenario fallback loop; ``True`` requires the stacked
+        ensemble path (raising if the algorithm has no batch hooks).  Both
+        paths are bit-for-bit identical.
     """
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
     values = stack_initial_values(initial_values)
+    _validate_ensemble_values(values)
     batch_size, n, _d = values.shape
     labels = list(scenario_labels) if scenario_labels is not None else None
     if labels is not None and len(labels) != batch_size:
         raise ExecutionError(f"need {batch_size} scenario labels, got {len(labels)}")
     rounds = len(graph_rounds)
 
-    if not algorithm.supports_batch():
+    if use_batch and not algorithm.supports_batch():
+        raise ExecutionError(
+            f"use_batch=True but {algorithm.name} does not implement the batch hooks"
+        )
+    if not algorithm.supports_batch() or not resolve_use_batch(use_batch):
         return _run_ensemble_slow(algorithm, values, graph_rounds, record_every, labels)
 
     batch_state = algorithm.batch_initial(values)
@@ -275,6 +326,7 @@ def run_ensemble(
         recorded_rounds=recorded_rounds,
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
+        batched=True,
     )
 
 
@@ -310,6 +362,7 @@ def _run_ensemble_slow(
         recorded_rounds=recorded_rounds,
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
+        batched=False,
     )
 
 
@@ -329,6 +382,54 @@ class AdversarialEnsembleExecution(EnsembleExecution):
         return [choices[scenario] for choices in self.round_choices]
 
 
+def _validate_plan_candidates(
+    candidates: Sequence[Sequence[CommunicationGraph]], n: int
+) -> None:
+    for candidate in candidates:
+        for graph in candidate:
+            if graph.n != n:
+                raise EnsembleShapeError(
+                    f"candidate graph has {graph.n} agents, scenarios have {n}"
+                )
+
+
+def _uniform_scenario_plans(
+    plans: Sequence[EnsemblePlan], batch_size: int, n: int
+) -> Tuple[List[List[List[CommunicationGraph]]], int, int, int]:
+    """Validate per-scenario plans and return (candidate lists, C, horizon, commit).
+
+    The stacked ``(B, C, n, n)`` evaluation requires every scenario's plan to
+    share the candidate count, horizon and commit window; anything else is a
+    shape error, named explicitly instead of surfacing as a NumPy broadcast
+    failure.
+    """
+    plans = list(plans)
+    if len(plans) != batch_size:
+        raise EnsembleShapeError(
+            f"ensemble_plans must return one plan per scenario ({batch_size}), "
+            f"got {len(plans)}"
+        )
+    for plan in plans:
+        if not isinstance(plan, EnsemblePlan):
+            raise EnsembleShapeError(
+                f"ensemble_plans entries must be EnsemblePlan instances, "
+                f"got {type(plan).__name__}"
+            )
+    counts = {len(plan.candidates) for plan in plans}
+    horizons = {plan.horizon for plan in plans}
+    commits = {plan.commit_rounds for plan in plans}
+    if len(counts) != 1 or len(horizons) != 1 or len(commits) != 1:
+        raise EnsembleShapeError(
+            "per-scenario plans must share one candidate count, horizon and commit "
+            f"window; got counts {sorted(counts)}, horizons {sorted(horizons)}, "
+            f"commit windows {sorted(commits)}"
+        )
+    candidate_lists = [[list(candidate) for candidate in plan.candidates] for plan in plans]
+    for candidates in candidate_lists:
+        _validate_plan_candidates(candidates, n)
+    return candidate_lists, counts.pop(), horizons.pop(), commits.pop()
+
+
 def run_adversarial_ensemble(
     algorithm: Algorithm,
     initial_values: Union[np.ndarray, Sequence[ValuesLike]],
@@ -336,6 +437,7 @@ def run_adversarial_ensemble(
     rounds: int,
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
+    use_batch: Optional[bool] = None,
 ) -> AdversarialEnsembleExecution:
     """Drive ``B`` scenarios under an adaptive adversary in one batched loop.
 
@@ -348,15 +450,24 @@ def run_adversarial_ensemble(
     by ``tests/test_adversary_batch.py``), so worst-case sweeps scale with the
     hardware instead of with Python-level simulation loops.
 
+    History-dependent adversaries (per-scenario candidate sets) advertise
+    their decisions through
+    :meth:`~repro.models.patterns.AdversarialPattern.ensemble_plans`: the
+    runner hands them each scenario's committed history and evaluates the
+    returned per-scenario plans as one ``(B, C, n, n)`` stacked pass, so the
+    argmax commit matches the per-scenario reference adversary
+    choice-for-choice.
+
     Falls back to scenario-by-scenario :func:`repro.execution.run_execution`
-    when the algorithm has no batch hooks or the adversary does not implement
-    :meth:`~repro.models.patterns.AdversarialPattern.ensemble_plan`.
+    when the algorithm has no batch hooks, the adversary implements neither
+    plan hook, or ``use_batch`` resolves to ``False``.
     """
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
     values = stack_initial_values(initial_values)
+    _validate_ensemble_values(values)
     batch_size, n, _d = values.shape
     labels = list(scenario_labels) if scenario_labels is not None else None
     if labels is not None and len(labels) != batch_size:
@@ -365,8 +476,24 @@ def run_adversarial_ensemble(
         raise ExecutionError(
             f"run_adversarial_ensemble needs an AdversarialPattern, got {type(adversary).__name__}"
         )
-    first_plan = adversary.ensemble_plan(1, n) if algorithm.supports_batch() else None
-    if first_plan is None:
+    batchable = algorithm.supports_batch() and resolve_use_batch(use_batch)
+    # One-time probe: adversaries that keep the base-class ensemble_plans
+    # always answer None, so the runner skips the per-round call (and the
+    # per-scenario history copies it would need) entirely for them.
+    history_dependent = (
+        type(adversary).ensemble_plans is not AdversarialPattern.ensemble_plans
+    )
+    first_scenario_plans = (
+        adversary.ensemble_plans(1, n, [[] for _ in range(batch_size)])
+        if batchable and history_dependent
+        else None
+    )
+    first_plan = (
+        adversary.ensemble_plan(1, n)
+        if batchable and first_scenario_plans is None
+        else None
+    )
+    if first_scenario_plans is None and first_plan is None:
         return _run_adversarial_ensemble_slow(
             algorithm, values, adversary, rounds, record_every, labels
         )
@@ -384,52 +511,90 @@ def run_adversarial_ensemble(
     recorded_rounds = [0]
     recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
     round_choices: List[List[CommunicationGraph]] = []
+    histories: List[List[CommunicationGraph]] = [[] for _ in range(batch_size)]
     cache = _AdjacencyCache()
 
     t = 1
     while t <= rounds:
-        plan = first_plan if t == 1 else adversary.ensemble_plan(t, n)
-        if plan is None:
+        if t == 1:
+            scenario_plans, plan = first_scenario_plans, first_plan
+        else:
+            scenario_plans = (
+                adversary.ensemble_plans(t, n, [list(history) for history in histories])
+                if history_dependent
+                else None
+            )
+            plan = adversary.ensemble_plan(t, n) if scenario_plans is None else None
+        if scenario_plans is not None:
+            per_scenario, count, horizon, commit_rounds = _uniform_scenario_plans(
+                scenario_plans, batch_size, n
+            )
+
+            def adjacency_at(offset: int, _plans=per_scenario, _count=count) -> np.ndarray:
+                # (B, C, n, n): one stacked candidate pass per scenario.
+                return np.stack(
+                    [
+                        cache.stacked(
+                            tuple(candidates[c][offset] for c in range(_count))
+                        )
+                        for candidates in _plans
+                    ]
+                )
+
+            def candidates_of(scenario: int, _plans=per_scenario):
+                return _plans[scenario]
+
+        elif plan is not None:
+            candidates = [list(candidate) for candidate in plan.candidates]
+            _validate_plan_candidates(candidates, n)
+            count, horizon, commit_rounds = len(candidates), plan.horizon, plan.commit_rounds
+
+            def adjacency_at(offset: int, _candidates=candidates) -> np.ndarray:
+                # (C, n, n), shared by every scenario.
+                return cache.stacked(
+                    tuple(candidate[offset] for candidate in _candidates)
+                )
+
+            def candidates_of(scenario: int, _candidates=candidates):
+                return _candidates
+
+        else:
             raise ExecutionError(
                 f"{type(adversary).__name__}.ensemble_plan returned None mid-run"
             )
-        candidates = [list(candidate) for candidate in plan.candidates]
-        for candidate in candidates:
-            for graph in candidate:
-                if graph.n != n:
-                    raise ExecutionError(
-                        f"candidate graph has {graph.n} agents, scenarios have {n}"
-                    )
+
         # Evaluate all candidates against all scenarios at once: insert a
-        # candidate axis into the batch state and let the stacked (C, n, n)
-        # adjacency broadcast it to (B, C, n, d).
+        # candidate axis into the batch state and let the stacked candidate
+        # adjacencies broadcast it to (B, C, n, d).
         candidate_state = algorithm.batch_map(batch_state, lambda a: a[:, None, ...])
-        for offset in range(plan.horizon):
-            adjacency = cache.stacked(tuple(candidate[offset] for candidate in candidates))
+        for offset in range(horizon):
             candidate_state = algorithm.batch_transition(
-                candidate_state, adjacency, t + offset
+                candidate_state, adjacency_at(offset), t + offset
             )
         outputs = np.asarray(algorithm.batch_outputs(candidate_state), dtype=float)
-        outputs = np.broadcast_to(
-            outputs, (batch_size, len(candidates), n, outputs.shape[-1])
-        )
+        outputs = np.broadcast_to(outputs, (batch_size, count, n, outputs.shape[-1]))
         diameters = pairwise_diameters(outputs)  # (B, C)
 
         # Per-scenario strict-improvement scan — the vectorized equivalent of
         # the per-scenario adversaries' first-graph-wins tie-breaking.
         best = np.full(batch_size, -1.0)
         choices = np.zeros(batch_size, dtype=int)
-        for candidate_index in range(len(candidates)):
+        for candidate_index in range(count):
             improved = diameters[:, candidate_index] > best + 1e-15
             best = np.where(improved, diameters[:, candidate_index], best)
             choices = np.where(improved, candidate_index, choices)
 
-        commit = min(plan.commit_rounds, rounds - t + 1)
+        commit = min(commit_rounds, rounds - t + 1)
         for offset in range(commit):
-            committed = [candidates[choices[b]][offset] for b in range(batch_size)]
+            committed = [
+                candidates_of(b)[choices[b]][offset] for b in range(batch_size)
+            ]
             adjacency = _round_adjacency(committed, batch_size, n, cache=cache)
             batch_state = algorithm.batch_transition(batch_state, adjacency, t)
             round_choices.append(committed)
+            if history_dependent:
+                for scenario, graph in enumerate(committed):
+                    histories[scenario].append(graph)
             if t % record_every == 0 or t == rounds:
                 recorded_rounds.append(t)
                 recorded.append(np.array(algorithm.batch_outputs(batch_state), dtype=float))
@@ -441,6 +606,7 @@ def run_adversarial_ensemble(
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
         round_choices=round_choices,
+        batched=True,
     )
 
 
@@ -479,6 +645,7 @@ def _run_adversarial_ensemble_slow(
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
         round_choices=round_choices,
+        batched=False,
     )
 
 
@@ -500,6 +667,7 @@ def run_pattern_ensemble(
     rounds: int,
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
+    use_batch: Optional[bool] = None,
 ) -> EnsembleExecution:
     """Run an ensemble against oblivious communication patterns.
 
@@ -509,6 +677,7 @@ def run_pattern_ensemble(
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
     values = stack_initial_values(initial_values)
+    _validate_ensemble_values(values)
     batch_size = values.shape[0]
     if isinstance(patterns, CommunicationPattern):
         graph_rounds: List[RoundGraphs] = list(materialize_pattern(patterns, rounds))
@@ -528,6 +697,7 @@ def run_pattern_ensemble(
         graph_rounds,
         record_every=record_every,
         scenario_labels=scenario_labels,
+        use_batch=use_batch,
     )
 
 

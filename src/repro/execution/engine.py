@@ -34,6 +34,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
+from repro.config import resolve_use_fast_path
 from repro.exceptions import ExecutionError
 from repro.execution.execution import Execution
 from repro.execution.state import Configuration
@@ -43,7 +44,12 @@ from repro.types import ValuesLike, as_value_matrix
 
 
 def _fast_path_enabled(algorithm: Algorithm, use_fast_path: Optional[bool]) -> bool:
-    """Resolve the ``use_fast_path`` tri-state against the algorithm's support."""
+    """Resolve the ``use_fast_path`` tri-state against the algorithm's support.
+
+    An explicit argument wins; ``None`` consults the active
+    :class:`~repro.config.EngineConfig` (if any) before auto-selecting.
+    """
+    use_fast_path = resolve_use_fast_path(use_fast_path)
     if use_fast_path is None:
         return algorithm.supports_batch()
     if use_fast_path and not algorithm.supports_batch():

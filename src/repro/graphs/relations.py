@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.config import resolve_use_packed
 from repro.exceptions import ModelError
 from repro.graphs.digraph import CommunicationGraph
 from repro.graphs.packed import (
@@ -178,7 +179,7 @@ def alpha_step_graph(
     graphs: Sequence[CommunicationGraph],
     witnesses: Optional[Sequence[CommunicationGraph]] = None,
     use_union_form: bool = False,
-    use_packed: bool = True,
+    use_packed: Optional[bool] = None,
 ) -> Dict[CommunicationGraph, Set[CommunicationGraph]]:
     """The one-step α relation on ``graphs`` as an adjacency mapping.
 
@@ -190,6 +191,7 @@ def alpha_step_graph(
     ``use_packed=False`` keeps the per-pair reference loop.
     """
     graphs = _check_model(graphs)
+    use_packed = resolve_use_packed(use_packed)
     witnesses = list(witnesses) if witnesses is not None else graphs
     adjacency: Dict[CommunicationGraph, Set[CommunicationGraph]] = {g: set() for g in graphs}
     if use_packed:
@@ -211,7 +213,7 @@ def alpha_star_related(
     graph_g: CommunicationGraph,
     graph_h: CommunicationGraph,
     use_union_form: bool = False,
-    use_packed: bool = True,
+    use_packed: Optional[bool] = None,
 ) -> bool:
     """Whether ``G α*_N H`` (transitive closure of the one-step α relation)."""
     classes = alpha_classes(graphs, use_union_form=use_union_form, use_packed=use_packed)
@@ -224,7 +226,7 @@ def alpha_star_related(
 def alpha_classes(
     graphs: Sequence[CommunicationGraph],
     use_union_form: bool = False,
-    use_packed: bool = True,
+    use_packed: Optional[bool] = None,
 ) -> List[FrozenSet[CommunicationGraph]]:
     """The equivalence classes of ``α*_N`` (connected components of the α step graph).
 
@@ -234,6 +236,7 @@ def alpha_classes(
     per-pair BFS.
     """
     graphs = _check_model(graphs)
+    use_packed = resolve_use_packed(use_packed)
     if use_packed:
         unique = _unique_graphs(graphs)
         matrix = alpha_relation_matrix(unique, use_union_form=use_union_form)
@@ -245,7 +248,7 @@ def alpha_classes(
 def beta_classes(
     graphs: Sequence[CommunicationGraph],
     use_union_form: bool = False,
-    use_packed: bool = True,
+    use_packed: Optional[bool] = None,
 ) -> List[FrozenSet[CommunicationGraph]]:
     """The β_N-classes of Definition 16, via partition refinement.
 
@@ -260,6 +263,7 @@ def beta_classes(
     refinement step just slices it, so no α relations are ever recomputed.
     """
     graphs = _check_model(graphs)
+    use_packed = resolve_use_packed(use_packed)
     if use_packed:
         unique = _unique_graphs(graphs)
         tensor = alpha_witness_tensor(unique, use_union_form=use_union_form)
@@ -334,7 +338,7 @@ def is_source_incompatible(graphs: Sequence[CommunicationGraph]) -> bool:
 def alpha_diameter(
     graphs: Sequence[CommunicationGraph],
     use_union_form: bool = False,
-    use_packed: bool = True,
+    use_packed: Optional[bool] = None,
 ) -> float:
     """The α-diameter ``D`` of a network model (Definition 22).
 
@@ -350,6 +354,7 @@ def alpha_diameter(
     distance level).
     """
     graphs = _check_model(graphs)
+    use_packed = resolve_use_packed(use_packed)
     if use_packed:
         unique = _unique_graphs(graphs)
         matrix = alpha_relation_matrix(unique, use_union_form=use_union_form)

@@ -322,3 +322,27 @@ class AdversarialPattern(CommunicationPattern):
         scenario-by-scenario execution.
         """
         return None
+
+    def ensemble_plans(
+        self,
+        round_number: int,
+        n: int,
+        histories: Sequence[Sequence[CommunicationGraph]],
+    ) -> Optional[Sequence[EnsemblePlan]]:
+        """Per-scenario plans for *history-dependent* batched adversaries.
+
+        ``histories`` holds, for each of the ``B`` scenarios of the ensemble,
+        the graphs committed against that scenario so far — the ensemble
+        counterpart of :attr:`RoundContext.history` in single-scenario runs.
+        History-dependent adversaries return one :class:`EnsemblePlan` per
+        scenario; all plans must share the same horizon, candidate count and
+        ``commit_rounds`` so the runner can evaluate the whole decision as a
+        single stacked ``(B, C, n, n)`` adjacency pass.  Candidate order must
+        match the order the adversary's :meth:`choose` scans for scenario
+        ``b``, so the per-scenario argmax commit breaks ties identically.
+
+        Returns ``None`` (the default) when the candidate set depends only on
+        the round number; the runner then uses the shared
+        :meth:`ensemble_plan`.
+        """
+        return None

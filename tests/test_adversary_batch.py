@@ -160,6 +160,19 @@ class TestRunAdversarialEnsemble:
             (AmortizedMidpointAlgorithm, lambda: PsiBlockAdversary(5), 5, 8),
             (TwoAgentThirdsAlgorithm, TwoAgentAdversary, 2, 12),
             (_SlowMidpoint, lambda: GreedyDiameterAdversary(deaf_model(n=4)), 4, 5),
+            # History-dependent candidate sets: per-scenario ensemble plans.
+            (
+                MidpointAlgorithm,
+                lambda: GreedyDiameterAdversary(deaf_model(n=5), avoid_repeat=True),
+                5,
+                9,
+            ),
+            (
+                AmortizedMidpointAlgorithm,
+                lambda: GreedyDiameterAdversary(deaf_model(n=5), avoid_repeat=True),
+                5,
+                8,
+            ),
         ],
     )
     def test_matches_per_scenario_runs(self, make_algorithm, make_adversary, n, rounds):
@@ -238,6 +251,104 @@ class TestRunAdversarialEnsemble:
                 MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 3,
                 scenario_labels=["too", "few"],
             )
+
+
+# --------------------------------------------------------------------------- #
+# History-dependent adversaries (per-scenario plan API)
+# --------------------------------------------------------------------------- #
+
+
+class TestHistoryDependentAdversary:
+    def test_single_run_batched_matches_reference(self):
+        model = deaf_model(n=5)
+        values = list(np.linspace(0.0, 1.0, 5))
+        batched = run_execution(
+            MidpointAlgorithm(), values,
+            GreedyDiameterAdversary(model, use_batch=True, avoid_repeat=True), 10,
+        )
+        reference = run_execution(
+            MidpointAlgorithm(), values,
+            GreedyDiameterAdversary(model, use_batch=False, avoid_repeat=True), 10,
+            use_fast_path=False,
+        )
+        assert batched.graphs == reference.graphs
+        np.testing.assert_array_equal(
+            batched.final_configuration.outputs, reference.final_configuration.outputs
+        )
+
+    def test_never_repeats_previous_graph(self):
+        model = deaf_model(n=4)
+        execution = run_execution(
+            MidpointAlgorithm(), np.linspace(0.0, 1.0, 4),
+            GreedyDiameterAdversary(model, avoid_repeat=True), 12,
+        )
+        for previous, current in zip(execution.graphs, execution.graphs[1:]):
+            assert current is not previous
+
+    def test_ensemble_diverging_histories_match_per_scenario_runs(self):
+        # Scenario histories diverge (different initial values pick different
+        # first graphs), so the shared-plan API cannot express the candidate
+        # sets; the per-scenario plan path must still match choice-for-choice.
+        model = deaf_model(n=5)
+        values = _values(6, 5, seed=21)
+        ensemble = run_adversarial_ensemble(
+            MidpointAlgorithm(), values,
+            GreedyDiameterAdversary(model, avoid_repeat=True), 10,
+        )
+        assert ensemble.batched is True
+        committed_first = {ensemble.scenario_graphs(b)[0] for b in range(6)}
+        for scenario in range(6):
+            single = run_execution(
+                MidpointAlgorithm(), values[scenario],
+                GreedyDiameterAdversary(model, avoid_repeat=True), 10,
+            )
+            assert ensemble.scenario_graphs(scenario) == single.graphs
+            np.testing.assert_array_equal(
+                ensemble.final_outputs[scenario], single.final_configuration.outputs
+            )
+            for previous, current in zip(single.graphs, single.graphs[1:]):
+                assert current is not previous
+        assert len(committed_first) >= 1  # sanity: the sweep actually ran
+
+    def test_uniform_plan_validation(self):
+        from repro.exceptions import EnsembleShapeError
+        from repro.models.patterns import AdversarialPattern, EnsemblePlan
+
+        model = deaf_model(n=4)
+        graphs = list(model)
+
+        class _RaggedPlans(AdversarialPattern):
+            def choose(self, context):
+                return graphs[0]
+
+            def ensemble_plans(self, round_number, n, histories):
+                # Scenario 0 sees two candidates, scenario 1 only one.
+                return (
+                    EnsemblePlan(candidates=((graphs[0],), (graphs[1],)), commit_rounds=1),
+                    EnsemblePlan(candidates=((graphs[0],),), commit_rounds=1),
+                )
+
+        with pytest.raises(EnsembleShapeError):
+            run_adversarial_ensemble(MidpointAlgorithm(), _values(2, 4), _RaggedPlans(), 3)
+
+    def test_wrong_plan_count_rejected(self):
+        from repro.exceptions import EnsembleShapeError
+        from repro.models.patterns import AdversarialPattern, EnsemblePlan
+
+        model = deaf_model(n=4)
+        graphs = list(model)
+
+        class _WrongCount(AdversarialPattern):
+            def choose(self, context):
+                return graphs[0]
+
+            def ensemble_plans(self, round_number, n, histories):
+                return (
+                    EnsemblePlan(candidates=((graphs[0],),), commit_rounds=1),
+                )
+
+        with pytest.raises(EnsembleShapeError):
+            run_adversarial_ensemble(MidpointAlgorithm(), _values(3, 4), _WrongCount(), 2)
 
 
 # --------------------------------------------------------------------------- #

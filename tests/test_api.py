@@ -1,0 +1,552 @@
+"""The repro.api facade, EngineConfig semantics, and shape validation.
+
+Three contracts are enforced:
+
+* **Config-route equivalence** — every `Study` configuration (fast path ×
+  reduction impl × chunking × batch on/off) is bit-for-bit identical to the
+  direct engine call it compiles to, executed under the same `EngineConfig`.
+* **EngineConfig semantics** — exception-safe restore, nesting (innermost
+  wins), thread-local isolation, and validation errors; the deprecated
+  module-level setters warn exactly once.
+* **Shape validation** — mismatched `(B, n, d)` / `(C, n, n)` inputs raise
+  `EnsembleShapeError` with named shapes instead of NumPy broadcast errors.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AmortizedMidpointAlgorithm,
+    MidpointAlgorithm,
+)
+from repro.algorithms import base as algorithms_base
+from repro.algorithms.base import (
+    get_masked_reduction_chunks,
+    get_masked_reduction_impl,
+    masked_min,
+    masked_min_max,
+)
+from repro.api import CertifySpec, EngineConfig, ScenarioSpec, Study, StudyResult
+from repro.config import current_engine_config
+from repro.core.adversary import GreedyDiameterAdversary, PsiBlockAdversary
+from repro.core.valency import ValencyEstimator
+from repro.exceptions import ConfigError, EnsembleShapeError, ExecutionError
+from repro.execution import (
+    run_adversarial_ensemble,
+    run_ensemble,
+    run_execution,
+    run_pattern_ensemble,
+)
+from repro.graphs.families import complete_graph, cycle_graph, directed_star_graph
+from repro.models.patterns import PeriodicPattern, SequencePattern
+from repro.models.standard import deaf_model, psi_model
+
+
+def _pattern(n):
+    return PeriodicPattern([complete_graph(n), cycle_graph(n), directed_star_graph(n)])
+
+
+def _single_values(n, d=1, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=(n, d))
+
+
+def _ensemble_values(batch, n, d=1, seed=0):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=(batch, n, d))
+
+
+# --------------------------------------------------------------------------- #
+# EngineConfig semantics
+# --------------------------------------------------------------------------- #
+
+
+class TestEngineConfig:
+    def test_applies_and_restores_reduction_settings(self):
+        before_chunks = get_masked_reduction_chunks()
+        before_impl = get_masked_reduction_impl()
+        with EngineConfig(
+            reduction_impl="dense", reduction_batch_chunk=7, reduction_receiver_chunk=3
+        ):
+            assert get_masked_reduction_impl() == "dense"
+            assert get_masked_reduction_chunks() == {"batch": 7, "receivers": 3}
+        assert get_masked_reduction_chunks() == before_chunks
+        assert get_masked_reduction_impl() == before_impl
+
+    def test_restores_on_exception(self):
+        before_chunks = get_masked_reduction_chunks()
+        before_impl = get_masked_reduction_impl()
+        with pytest.raises(RuntimeError):
+            with EngineConfig(reduction_impl="packed", reduction_batch_chunk=2):
+                assert get_masked_reduction_impl() == "packed"
+                raise RuntimeError("boom")
+        assert get_masked_reduction_chunks() == before_chunks
+        assert get_masked_reduction_impl() == before_impl
+
+    def test_nesting_innermost_wins(self):
+        with EngineConfig(use_fast_path=False, use_batch=False):
+            with EngineConfig(use_batch=True):
+                merged = current_engine_config()
+                assert merged.use_fast_path is False  # inherited from outer
+                assert merged.use_batch is True  # overridden by inner
+            merged = current_engine_config()
+            assert merged.use_batch is False
+        assert current_engine_config().use_batch is None
+
+    def test_shared_instance_across_threads_restores_correctly(self):
+        # One EngineConfig object entered concurrently from two threads must
+        # restore each thread's own reduction snapshot (the saved state lives
+        # in the thread-local stack, not on the shared instance).
+        shared = EngineConfig(reduction_batch_chunk=5)
+        inside = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def holder():
+            with shared:
+                inside.set()
+                release.wait(timeout=5)
+            observed["holder_after"] = get_masked_reduction_chunks()["batch"]
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        inside.wait(timeout=5)
+        with EngineConfig(reduction_batch_chunk=3):
+            with shared:
+                assert get_masked_reduction_chunks()["batch"] == 5
+            # Exiting the shared instance here must restore THIS thread's
+            # outer value, not the holder thread's snapshot.
+            assert get_masked_reduction_chunks()["batch"] == 3
+        release.set()
+        thread.join()
+        assert observed["holder_after"] == "auto"
+        assert get_masked_reduction_chunks()["batch"] == "auto"
+
+    def test_thread_local_isolation(self):
+        seen = {}
+
+        def worker():
+            # The main thread's active config must not leak into this thread.
+            seen["config"] = current_engine_config().use_fast_path
+            seen["impl"] = get_masked_reduction_impl()
+
+        with EngineConfig(use_fast_path=False, reduction_impl="dense"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["config"] is None
+        assert seen["impl"] == "auto"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(use_fast_path="yes")
+        with pytest.raises(ConfigError):
+            EngineConfig(reduction_impl="sparse")
+        with pytest.raises(ConfigError):
+            EngineConfig(reduction_batch_chunk=0)
+        with pytest.raises(ConfigError):
+            EngineConfig(scenario_chunk=-1)
+
+    def test_use_fast_path_routes_engine(self):
+        values = _single_values(4)
+        pattern = _pattern(4)
+        with EngineConfig(use_fast_path=False):
+            slow = run_execution(MidpointAlgorithm(), values, pattern, 5)
+        fast = run_execution(MidpointAlgorithm(), values, pattern, 5)
+        np.testing.assert_array_equal(slow.output_history(), fast.output_history())
+
+    def test_use_batch_false_routes_valency_reference(self):
+        with EngineConfig(use_batch=False):
+            estimator = ValencyEstimator(MidpointAlgorithm(), deaf_model(n=4))
+            assert not estimator._batchable()
+        estimator = ValencyEstimator(MidpointAlgorithm(), deaf_model(n=4))
+        assert estimator._batchable()
+
+
+class TestDeprecationShims:
+    def _reset(self, *names):
+        for name in names:
+            algorithms_base._DEPRECATION_WARNED.discard(name)
+
+    @staticmethod
+    def _deprecations_emitted(callable_):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            callable_()
+        return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+    def test_set_chunks_warns_exactly_once(self):
+        self._reset("set_masked_reduction_chunks")
+        try:
+            first = self._deprecations_emitted(
+                lambda: algorithms_base.set_masked_reduction_chunks(batch=4)
+            )
+            assert len(first) == 1
+            second = self._deprecations_emitted(
+                lambda: algorithms_base.set_masked_reduction_chunks(batch=8)
+            )
+            assert second == []
+        finally:
+            algorithms_base._apply_masked_reduction_chunks()
+
+    def test_set_impl_warns_exactly_once(self):
+        self._reset("set_masked_reduction_impl")
+        try:
+            first = self._deprecations_emitted(
+                lambda: algorithms_base.set_masked_reduction_impl("dense")
+            )
+            assert len(first) == 1
+            second = self._deprecations_emitted(
+                lambda: algorithms_base.set_masked_reduction_impl("auto")
+            )
+            assert second == []
+        finally:
+            algorithms_base._apply_masked_reduction_impl()
+
+    def test_context_managers_do_not_warn(self):
+        from repro.algorithms.base import masked_reduction_chunks, masked_reduction_impl
+
+        self._reset("set_masked_reduction_chunks", "set_masked_reduction_impl")
+
+        def exercise():
+            with masked_reduction_chunks(batch=4):
+                pass
+            with masked_reduction_impl("dense"):
+                pass
+            with EngineConfig(reduction_impl="dense", reduction_batch_chunk=2):
+                pass
+
+        assert self._deprecations_emitted(exercise) == []
+
+
+# --------------------------------------------------------------------------- #
+# Config-route equivalence matrix
+# --------------------------------------------------------------------------- #
+
+
+CONFIG_MATRIX = [
+    EngineConfig(),
+    EngineConfig(use_fast_path=True),
+    EngineConfig(use_fast_path=False),
+    EngineConfig(reduction_impl="dense"),
+    EngineConfig(reduction_impl="packed"),
+    EngineConfig(reduction_batch_chunk=2, reduction_receiver_chunk=3),
+    EngineConfig(use_fast_path=True, reduction_impl="packed", reduction_batch_chunk=1),
+    EngineConfig(use_batch=False),
+    EngineConfig(use_batch=True),
+    EngineConfig(use_batch=False, use_fast_path=False, reduction_impl="dense"),
+]
+
+
+def _config_copy(config):
+    return EngineConfig(
+        use_fast_path=config.use_fast_path,
+        use_batch=config.use_batch,
+        use_packed=config.use_packed,
+        reduction_impl=config.reduction_impl,
+        reduction_batch_chunk=config.reduction_batch_chunk,
+        reduction_receiver_chunk=config.reduction_receiver_chunk,
+        scenario_chunk=config.scenario_chunk,
+    )
+
+
+class TestStudyRouteEquivalence:
+    @pytest.mark.parametrize("config_index", range(len(CONFIG_MATRIX)))
+    def test_single_scenario_pattern_route(self, config_index):
+        config = CONFIG_MATRIX[config_index]
+        values = _single_values(5, seed=1)
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=values,
+            pattern=_pattern(5),
+            rounds=8,
+            config=_config_copy(config),
+        ).run()
+        with _config_copy(config):
+            direct = run_execution(MidpointAlgorithm(), values, _pattern(5), 8)
+        np.testing.assert_array_equal(
+            result.execution.output_history(), direct.output_history()
+        )
+        assert result.provenance.route == "run_execution"
+        if config.use_fast_path is not None:
+            assert result.provenance.fast_path == config.use_fast_path
+
+    @pytest.mark.parametrize("config_index", range(len(CONFIG_MATRIX)))
+    def test_pattern_ensemble_route(self, config_index):
+        config = CONFIG_MATRIX[config_index]
+        values = _ensemble_values(4, 5, seed=2)
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=values,
+            pattern=_pattern(5),
+            rounds=8,
+            config=_config_copy(config),
+        ).run()
+        with _config_copy(config):
+            direct = run_pattern_ensemble(MidpointAlgorithm(), values, _pattern(5), 8)
+        np.testing.assert_array_equal(
+            result.execution.recorded_outputs, direct.recorded_outputs
+        )
+        assert result.provenance.route == "run_pattern_ensemble"
+        assert result.provenance.batched == direct.batched
+        if config.use_batch is not None:
+            assert result.provenance.batched == config.use_batch
+
+    @pytest.mark.parametrize("config_index", range(len(CONFIG_MATRIX)))
+    def test_adversarial_ensemble_route(self, config_index):
+        config = CONFIG_MATRIX[config_index]
+        values = _ensemble_values(3, 4, seed=3)
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=values,
+            adversary=GreedyDiameterAdversary(deaf_model(n=4)),
+            rounds=6,
+            config=_config_copy(config),
+        ).run()
+        with _config_copy(config):
+            direct = run_adversarial_ensemble(
+                MidpointAlgorithm(), values, GreedyDiameterAdversary(deaf_model(n=4)), 6
+            )
+        np.testing.assert_array_equal(
+            result.execution.recorded_outputs, direct.recorded_outputs
+        )
+        for scenario in range(3):
+            assert result.execution.scenario_graphs(scenario) == direct.scenario_graphs(
+                scenario
+            )
+        assert result.provenance.route == "run_adversarial_ensemble"
+        assert result.provenance.batched == direct.batched
+
+    def test_explicit_graphs_ensemble_route(self):
+        values = _ensemble_values(3, 4, seed=4)
+        graphs = [complete_graph(4), cycle_graph(4), complete_graph(4)]
+        result = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs
+        ).run()
+        direct = run_ensemble(MidpointAlgorithm(), values, graphs)
+        np.testing.assert_array_equal(
+            result.execution.recorded_outputs, direct.recorded_outputs
+        )
+        assert result.provenance.route == "run_ensemble"
+        assert result.rounds == 3
+
+    def test_explicit_graphs_single_route(self):
+        values = _single_values(4, seed=5)
+        graphs = [complete_graph(4), cycle_graph(4)]
+        result = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs
+        ).run()
+        direct = run_execution(MidpointAlgorithm(), values, SequencePattern(graphs), 2)
+        np.testing.assert_array_equal(
+            result.execution.output_history(), direct.output_history()
+        )
+        assert result.execution.graphs == graphs
+
+    @pytest.mark.parametrize("use_batch", [True, False])
+    def test_certification_route(self, use_batch):
+        model = deaf_model(n=4)
+        values = _single_values(4, seed=6)
+        config = EngineConfig(use_batch=use_batch)
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            model=model,
+            initial_values=values,
+            adversary=GreedyDiameterAdversary(model),
+            rounds=6,
+            certify=CertifySpec(suffix_rounds=25, exploration_depth=1),
+            config=config,
+        ).run()
+        with EngineConfig(use_batch=use_batch):
+            direct = run_execution(
+                MidpointAlgorithm(), values, GreedyDiameterAdversary(model), 6
+            )
+            estimator = ValencyEstimator(
+                MidpointAlgorithm(), model, suffix_rounds=25, exploration_depth=1
+            )
+            estimates = estimator.trace(direct.configurations)
+        assert result.certificates is not None
+        assert result.certificates.valency_trace == [
+            float(estimate.lower_diameter) for estimate in estimates
+        ]
+        for mine, theirs in zip(result.certificates.estimates, estimates):
+            assert np.array_equal(mine.limits, theirs.limits)
+        lower, upper = result.certificates.rate_interval
+        assert lower <= upper + 1e-12
+
+    def test_stateful_certification_covers_amortized_midpoint(self):
+        # Acceptance: the certified study of the stateful algorithm routes
+        # through the batch_state valency path and matches the reference.
+        model = psi_model(4)
+        values = np.linspace(0.0, 1.0, 4)
+        batched = Study(
+            algorithm=AmortizedMidpointAlgorithm(),
+            model=model,
+            initial_values=values,
+            adversary=PsiBlockAdversary(4),
+            rounds=6,
+            certify=CertifySpec(suffix_rounds=20),
+        ).run()
+        reference = Study(
+            algorithm=AmortizedMidpointAlgorithm(),
+            model=model,
+            initial_values=values,
+            adversary=PsiBlockAdversary(4),
+            rounds=6,
+            certify=CertifySpec(suffix_rounds=20, use_batch=False),
+        ).run()
+        assert batched.certificates.valency_trace == reference.certificates.valency_trace
+
+
+# --------------------------------------------------------------------------- #
+# Study declaration and result surface
+# --------------------------------------------------------------------------- #
+
+
+class TestStudyDeclaration:
+    def test_requires_exactly_one_communication_source(self):
+        with pytest.raises(ConfigError):
+            Study(algorithm=MidpointAlgorithm(), initial_values=[0.0, 1.0], rounds=3)
+        with pytest.raises(ConfigError):
+            Study(
+                algorithm=MidpointAlgorithm(),
+                initial_values=[0.0, 1.0],
+                rounds=3,
+                pattern=_pattern(2),
+                adversary=GreedyDiameterAdversary(deaf_model(n=2)),
+            )
+
+    def test_adaptive_pattern_is_treated_as_adversary(self):
+        spec = ScenarioSpec(
+            initial_values=[0.0, 1.0], rounds=3,
+            pattern=GreedyDiameterAdversary(deaf_model(n=2)),
+        )
+        assert spec.adversary is not None and spec.pattern is None
+
+    def test_rounds_derived_from_graphs(self):
+        spec = ScenarioSpec(
+            initial_values=[0.0, 1.0], graphs=[complete_graph(2)] * 4
+        )
+        assert spec.rounds == 4
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                initial_values=[0.0, 1.0], rounds=3, graphs=[complete_graph(2)] * 4
+            )
+
+    def test_certify_needs_model(self):
+        with pytest.raises(ConfigError):
+            Study(
+                algorithm=MidpointAlgorithm(),
+                initial_values=[0.0, 1.0],
+                pattern=_pattern(2),
+                rounds=3,
+                certify=True,
+            )
+
+    def test_certify_rejects_ensembles(self):
+        study = Study(
+            algorithm=MidpointAlgorithm(),
+            model=deaf_model(n=4),
+            initial_values=_ensemble_values(2, 4),
+            pattern=_pattern(4),
+            rounds=3,
+            certify=True,
+        )
+        with pytest.raises(ConfigError):
+            study.run()
+
+    def test_scenario_and_inline_fields_are_exclusive(self):
+        spec = ScenarioSpec(initial_values=[0.0, 1.0], rounds=3, pattern=_pattern(2))
+        with pytest.raises(ConfigError):
+            Study(algorithm=MidpointAlgorithm(), scenario=spec, initial_values=[0.0, 1.0])
+        # rounds/record_every/scenario_labels must not be silently ignored.
+        with pytest.raises(ConfigError):
+            Study(algorithm=MidpointAlgorithm(), scenario=spec, rounds=50)
+        with pytest.raises(ConfigError):
+            Study(algorithm=MidpointAlgorithm(), scenario=spec, record_every=2)
+        with pytest.raises(ConfigError):
+            Study(algorithm=MidpointAlgorithm(), scenario=spec, scenario_labels=["a"])
+
+    def test_result_surface(self):
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=_ensemble_values(3, 4, seed=7),
+            adversary=GreedyDiameterAdversary(deaf_model(n=4)),
+            rounds=5,
+        ).run()
+        assert isinstance(result, StudyResult)
+        assert result.is_ensemble
+        assert result.final_outputs.shape == (3, 4, 1)
+        assert result.diameters().shape[1] == 3
+        assert result.final_diameters().shape == (3,)
+        assert result.decision_rounds(10.0).shape == (3,)
+        assert len(result.round_choices()) == 5
+        single = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=_single_values(4, seed=8),
+            pattern=_pattern(4),
+            rounds=5,
+        ).run()
+        assert not single.is_ensemble
+        assert single.final_outputs.shape == (4, 1)
+        assert single.decision_rounds(10.0) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Shape validation
+# --------------------------------------------------------------------------- #
+
+
+class TestShapeValidation:
+    def test_rejects_wrong_rank_initial_values(self):
+        with pytest.raises(EnsembleShapeError):
+            run_ensemble(
+                MidpointAlgorithm(),
+                np.zeros((2, 2, 2, 2)),
+                [complete_graph(2)],
+            )
+        with pytest.raises(EnsembleShapeError):
+            Study(
+                algorithm=MidpointAlgorithm(),
+                initial_values=np.zeros((2, 2, 2, 2)),
+                pattern=_pattern(2),
+                rounds=1,
+            ).run()
+
+    def test_rejects_empty_ensemble(self):
+        with pytest.raises(EnsembleShapeError):
+            run_ensemble(MidpointAlgorithm(), np.zeros((0, 3, 1)), [complete_graph(3)])
+
+    def test_rejects_non_graph_round_entries(self):
+        values = _ensemble_values(2, 3)
+        with pytest.raises(EnsembleShapeError):
+            run_ensemble(
+                MidpointAlgorithm(), values, [np.ones((3, 3), dtype=bool)]
+            )
+        with pytest.raises(EnsembleShapeError):
+            run_ensemble(
+                MidpointAlgorithm(), values, [[complete_graph(3), "nope"]]
+            )
+
+    def test_masked_reduction_names_agent_mismatch(self):
+        adjacency = np.ones((4, 5, 5), dtype=bool)
+        values = np.zeros((4, 3, 1))
+        with pytest.raises(EnsembleShapeError) as excinfo:
+            masked_min(adjacency, values)
+        assert "agents" in str(excinfo.value)
+
+    def test_masked_reduction_names_lead_mismatch(self):
+        adjacency = np.ones((4, 3, 3), dtype=bool)
+        values = np.zeros((5, 3, 1))
+        with pytest.raises(EnsembleShapeError) as excinfo:
+            masked_min_max(adjacency, values)
+        assert "leading" in str(excinfo.value)
+
+    def test_masked_reduction_rejects_non_square_adjacency(self):
+        with pytest.raises(EnsembleShapeError):
+            masked_min(np.ones((3, 4), dtype=bool), np.zeros((4, 1)))
+
+    def test_error_is_execution_error_subclass(self):
+        # Backwards compatibility: callers catching ExecutionError keep working.
+        assert issubclass(EnsembleShapeError, ExecutionError)

@@ -165,17 +165,130 @@ def test_valencies_intersect_matches_reference():
         ) == reference.valencies_intersect(config_a, config_b, tolerance)
 
 
-def test_stateful_algorithm_falls_back_to_reference_path():
-    # The amortized midpoint carries state beyond its outputs, so the batched
-    # estimator must silently take the reference loop and agree exactly.
+def test_stateful_algorithm_takes_batch_state_path():
+    # The amortized midpoint carries state beyond its outputs; the batched
+    # estimator covers it through the batch_state restore hooks (it must NOT
+    # take the outputs-based convex-combination path) and agrees exactly
+    # with the per-future reference loop.
     algorithm = AmortizedMidpointAlgorithm()
     model = psi_model(4)
     configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
     batched, reference = _estimators(algorithm, model, suffix_rounds=12)
     assert not batched._batchable()
+    assert batched._batchable_stateful()
     assert np.array_equal(
         batched.limit_estimates(configuration), reference.limit_estimates(configuration)
     )
+
+
+class TestStatefulBatchStatePath:
+    """ValencyEstimator(use_batch=True) covers stateful algorithms via batch_state."""
+
+    @pytest.mark.parametrize("depth", [0, 1])
+    def test_mid_phase_configurations_bit_for_bit(self, depth):
+        # Mid-execution configurations carry mid-phase extremes; the restored
+        # batch state must resume them exactly.
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(5)
+        execution = run_execution(
+            algorithm, np.linspace(0.0, 1.0, 5), PsiBlockAdversary(5), 7
+        )
+        batched, reference = _estimators(
+            algorithm, model, suffix_rounds=25, exploration_depth=depth
+        )
+        for configuration in execution.configurations:
+            limits_batched = batched.limit_estimates(configuration)
+            limits_reference = reference.limit_estimates(configuration)
+            assert limits_batched.shape == limits_reference.shape
+            assert np.array_equal(limits_batched, limits_reference)
+
+    def test_trace_and_estimates_bit_for_bit(self):
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(4)
+        execution = run_execution(
+            algorithm, np.linspace(0.0, 1.0, 4), PsiBlockAdversary(4), 5
+        )
+        batched, reference = _estimators(
+            algorithm, model, suffix_rounds=20, exploration_depth=1
+        )
+        trace_batched = batched.trace(execution.configurations)
+        trace_reference = reference.trace(execution.configurations)
+        assert len(trace_batched) == len(trace_reference)
+        for estimate_b, estimate_r in zip(trace_batched, trace_reference):
+            assert np.array_equal(estimate_b.limits, estimate_r.limits)
+            assert estimate_b.lower_diameter == estimate_r.lower_diameter
+            assert estimate_b.upper_diameter == estimate_r.upper_diameter
+
+    def test_streamed_chunks_do_not_change_results(self):
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(4)
+        configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
+        reference = ValencyEstimator(
+            algorithm, model, suffix_rounds=15, exploration_depth=2, use_batch=False
+        )
+        expected = reference.limit_estimates(configuration)
+        for chunk in (1, 2, 5, 4096):
+            batched = ValencyEstimator(
+                algorithm, model, suffix_rounds=15, exploration_depth=2,
+                scenario_chunk=chunk,
+            )
+            assert np.array_equal(batched.limit_estimates(configuration), expected)
+
+    def test_valencies_intersect_matches_reference(self):
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(4)
+        config_a = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
+        config_b = initial_configuration(algorithm, np.linspace(0.3, 1.3, 4))
+        for tolerance in (1e-9, 1e-2, 2.0):
+            batched, reference = _estimators(algorithm, model, suffix_rounds=30)
+            assert batched.valencies_intersect(
+                config_a, config_b, tolerance
+            ) == reference.valencies_intersect(config_a, config_b, tolerance)
+
+    def test_contraction_trace_covers_stateful_algorithm(self):
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(4)
+        trace_batched = valency_contraction_trace(
+            algorithm, model, PsiBlockAdversary(4), np.linspace(0.0, 1.0, 4),
+            rounds=5, suffix_rounds=20, use_batch=True,
+        )
+        trace_reference = valency_contraction_trace(
+            algorithm, model, PsiBlockAdversary(4), np.linspace(0.0, 1.0, 4),
+            rounds=5, suffix_rounds=20, use_batch=False,
+        )
+        assert trace_batched == trace_reference
+
+    def test_restore_rejects_out_of_lockstep_states(self):
+        from repro.exceptions import AlgorithmError
+
+        algorithm = AmortizedMidpointAlgorithm()
+        configuration = initial_configuration(algorithm, np.linspace(0.0, 1.0, 4))
+        skewed = list(configuration.states)
+        skewed[0] = type(skewed[0])(
+            value=skewed[0].value,
+            phase_min=skewed[0].phase_min,
+            phase_max=skewed[0].phase_max,
+            rounds_into_phase=skewed[0].rounds_into_phase + 1,
+            phase_length=skewed[0].phase_length,
+        )
+        with pytest.raises(AlgorithmError):
+            algorithm.batch_state_from_states(skewed)
+
+    def test_round_trip_snapshot_restore(self):
+        # batch_states (snapshot) and batch_state_from_states (restore) must
+        # be exact inverses.
+        algorithm = AmortizedMidpointAlgorithm()
+        values = np.linspace(0.0, 1.0, 5).reshape(5, 1)
+        batch_state = algorithm.batch_initial(values)
+        batch_state = algorithm.batch_transition(
+            batch_state, psi_model(5).graphs[0].adjacency, 1
+        )
+        restored = algorithm.batch_state_from_states(algorithm.batch_states(batch_state))
+        assert np.array_equal(restored.value, batch_state.value)
+        assert np.array_equal(restored.phase_min, batch_state.phase_min)
+        assert np.array_equal(restored.phase_max, batch_state.phase_max)
+        assert restored.rounds_into_phase == batch_state.rounds_into_phase
+        assert restored.phase_length == batch_state.phase_length
 
 
 def test_mid_execution_configurations_bit_for_bit():

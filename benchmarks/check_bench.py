@@ -35,6 +35,13 @@ _TIMING_PAIRS = (
 _FACADE_PAIR = ("direct_s", "facade_s")
 _FACADE_MAX_SLOWDOWN = 1.05
 
+#: Benchmark families whose batched path must *beat* its loop baseline by at
+#: least this factor (a minimum speedup, not just an absence of slowdown).
+#: Ensemble-scale certification stacks all B scenarios' sampled futures into
+#: single passes; losing the stacking would silently degrade to the
+#: per-scenario loop while still passing the slack slowdown check.
+_MIN_SPEEDUPS = {"certify_ensemble": 5.0}
+
 #: Benchmarks every payload must contain: the fast-path gate is meaningless
 #: if a regression silently removes an entry, so missing families fail too.
 #: The valency/contraction/alpha entries carry old_s/new_s and are therefore
@@ -47,6 +54,7 @@ _REQUIRED_BENCHMARKS = (
     "adversarial_ensemble",
     "valency_estimation",
     "valency_streaming_memory",
+    "certify_ensemble",
     "contraction_trace",
     "alpha_classes",
     "masked_reduction_memory",
@@ -84,6 +92,17 @@ def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACA
                     f"{label} ({_entry_detail(entry)}): {new_key}={new_s:.6f}s is "
                     f"{slowdown:.2f}x slower than {old_key}={old_s:.6f}s "
                     f"(limit {max_slowdown:.2f}x)"
+                )
+        family = entry.get("benchmark")
+        min_speedup = _MIN_SPEEDUPS.get(family)
+        if min_speedup is not None and "loop_s" in entry and "batched_s" in entry:
+            loop_s, batched_s = entry["loop_s"], entry["batched_s"]
+            speedup = loop_s / batched_s if batched_s > 0 else float("inf")
+            if speedup < min_speedup:
+                violations.append(
+                    f"{family} ({_entry_detail(entry)}): batched_s={batched_s:.6f}s is "
+                    f"only {speedup:.2f}x faster than loop_s={loop_s:.6f}s "
+                    f"(required >= {min_speedup:.1f}x)"
                 )
         direct_key, facade_key = _FACADE_PAIR
         if direct_key in entry and facade_key in entry:

@@ -502,6 +502,73 @@ def bench_valency_memory(n: int, depth: int, suffix_rounds: int) -> list:
     return [entry]
 
 
+def bench_certify_ensemble(grid, repeats: int) -> list:
+    """Ensemble-scale certification vs a loop of per-scenario valency traces.
+
+    ``loop_s`` certifies a recorded ``(B, n, d)`` ensemble one scenario at a
+    time — the pre-ensemble behaviour of ``Study(certify=...)``, each trace
+    itself batched — while ``batched_s`` stacks all ``B`` scenarios' sampled
+    futures into single ensemble passes through
+    ``ValencyEstimator.certify_ensemble``.  Both produce bit-for-bit
+    identical per-scenario certificates (tests/test_certify_ensemble.py).
+
+    The workload is the stateful batch-state restore path (amortized
+    midpoint over a deaf sub-model): per-scenario estimation runs one narrow
+    ``(P·M, n, n)`` pass per recorded configuration there, so stacking ``B``
+    scenarios per pass removes genuine per-pass overhead and
+    ``check_bench.py`` gates the speedup at >= 5x.  (Round-invariant
+    convex-combination algorithms already stack each scenario's R recorded
+    configurations since PR 3; their per-scenario passes saturate the
+    vectorized width at depth 2, leaving only modest stacking gains — the
+    ensemble path's win there is API-level, not wall-clock.)
+    """
+    from repro.algorithms import AmortizedMidpointAlgorithm
+
+    results = []
+    algorithm = AmortizedMidpointAlgorithm()
+    for batch_size, n, model_size, depth, suffix_rounds, rounds, record_every in grid:
+        model = _deaf_submodel(n, model_size)
+        values = np.stack([_initial_values(n, 1, seed=b) for b in range(batch_size)])
+        ensemble = run_pattern_ensemble(
+            algorithm, values, _pattern(n), rounds,
+            record_every=record_every, record_states=True,
+        )
+        estimator = ValencyEstimator(
+            algorithm, model, suffix_rounds=suffix_rounds, exploration_depth=depth
+        )
+        loop_s = _best_of(
+            lambda: [
+                estimator.trace(ensemble.scenario_configurations(b))
+                for b in range(batch_size)
+            ],
+            repeats,
+        )
+        batch_s = _best_of(lambda: estimator.certify_ensemble(ensemble), repeats)
+        futures = sum(len(model) ** level for level in range(depth + 1)) * len(model)
+        entry = {
+            "benchmark": "certify_ensemble",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "model_size": model_size,
+            "depth": depth,
+            "suffix_rounds": suffix_rounds,
+            "rounds": rounds,
+            "futures_per_config": futures,
+            "d": 1,
+            "loop_s": loop_s,
+            "batched_s": batch_s,
+            "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"certify-ens   {algorithm.name:18s} B={batch_size:4d} n={n:4d} |N|={model_size} "
+            f"depth={depth} K={futures:5d} loop={loop_s * 1e3:9.2f}ms "
+            f"batched={batch_s * 1e3:9.2f}ms speedup={entry['speedup']:7.1f}x"
+        )
+    return results
+
+
 def bench_contraction_trace(grid, repeats: int) -> list:
     """Batched vs reference valency-diameter traces along adversarial executions."""
     results = []
@@ -739,6 +806,9 @@ def main() -> int:
         memory_case = (24, 256, 1)
         valency_grid = [(6, 1, 20)]
         valency_memory_case = (6, 2, 10)
+        # n=8 depth-2, small model: the per-scenario loop runs narrow
+        # stateful passes, so the >=5x gate has real margin (~10x measured).
+        certify_ensemble_grid = [(48, 8, 2, 2, 20, 6, 6)]
         contraction_grid = [(5, 4, 15)]
         alpha_grid = [("psi", 16), ("deaf", 12)]
         packed_reduction_case = (24, 256, 1)
@@ -762,6 +832,10 @@ def main() -> int:
         # depth-2 exhaustive sampling, default suffix length.
         valency_grid = [(8, 2, 60), (16, 1, 60), (32, 0, 60)]
         valency_memory_case = (8, 3, 30)
+        # The (96, 8, 3, 2, ...) case is the ISSUE 5 acceptance workload:
+        # n=8, depth-2 exhaustive sampling, batched >= 5x the per-scenario
+        # loop (~8x measured).
+        certify_ensemble_grid = [(96, 8, 3, 2, 40, 12, 12), (48, 8, 2, 2, 60, 12, 12)]
         contraction_grid = [(8, 12, 40), (16, 12, 40)]
         alpha_grid = [("psi", 32), ("psi", 64), ("deaf", 32), ("deaf", 48)]
         packed_reduction_case = (64, 256, 1)
@@ -781,6 +855,7 @@ def main() -> int:
     results += bench_adversarial_ensemble(adversarial_ensemble_grid, repeats=repeats)
     results += bench_valency(valency_grid, repeats=repeats)
     results += bench_valency_memory(*valency_memory_case)
+    results += bench_certify_ensemble(certify_ensemble_grid, repeats=repeats)
     results += bench_contraction_trace(contraction_grid, repeats=repeats)
     results += bench_alpha_classes(alpha_grid, repeats=repeats)
     results += bench_reduction_memory(*memory_case)

@@ -209,6 +209,62 @@ class AmortizedMidpointAlgorithm(Algorithm):
             phase_length=phase_lengths.pop(),
         )
 
+    def batch_state_stack(
+        self, batch_states: Sequence[AmortizedMidpointBatchState]
+    ) -> AmortizedMidpointBatchState:
+        states = tuple(batch_states)
+        if not states:
+            raise AlgorithmError("cannot stack zero batch states")
+        positions = {state.rounds_into_phase for state in states}
+        lengths = {state.phase_length for state in states}
+        if len(positions) != 1 or len(lengths) != 1:
+            raise AlgorithmError(
+                "amortized-midpoint scenarios must be in lockstep to stack batch states; "
+                f"got phase positions {sorted(positions)} and lengths {sorted(lengths)}"
+            )
+        return AmortizedMidpointBatchState(
+            value=np.stack([state.value for state in states]),
+            phase_min=np.stack([state.phase_min for state in states]),
+            phase_max=np.stack([state.phase_max for state in states]),
+            rounds_into_phase=positions.pop(),
+            phase_length=lengths.pop(),
+        )
+
+    def batch_state_fixpoint(
+        self,
+        previous: AmortizedMidpointBatchState,
+        new: AmortizedMidpointBatchState,
+    ):
+        """Scenarios whose amortized-midpoint outputs provably never change.
+
+        After a *non-reset* round, ``new.phase_min == previous.value`` with
+        ``previous.phase_min == previous.value`` implies
+        ``masked_min(A, value) == value`` (the round folded the adjacency's
+        masked minimum into extremes that did not move, and the self-loop
+        bounds the masked minimum from above) — and symmetrically for the
+        maximum.  From such a state every future round under the same
+        adjacency keeps the extremes collapsed at ``value``, and every phase
+        end computes ``(value + value) / 2``, which reproduces ``value``
+        bit-for-bit whenever the doubling does not overflow (checked
+        explicitly), so the outputs are fixed forever.  Reset rounds
+        (``new.rounds_into_phase == 0``) collapse the extremes trivially and
+        claim nothing.
+        """
+        lead = np.asarray(new.value).shape[:-2]
+        if new.rounds_into_phase == 0:
+            return np.zeros(lead, dtype=bool)
+        collapsed_before = (
+            (previous.phase_min == previous.value)
+            & (previous.phase_max == previous.value)
+        ).all(axis=(-2, -1))
+        unchanged = (
+            (new.value == previous.value)
+            & (new.phase_min == previous.value)
+            & (new.phase_max == previous.value)
+        ).all(axis=(-2, -1))
+        halving_exact = ((new.value + new.value) * 0.5 == new.value).all(axis=(-2, -1))
+        return collapsed_before & unchanged & halving_exact
+
     def batch_states(self, batch_state: AmortizedMidpointBatchState) -> Tuple[AmortizedMidpointState, ...]:
         if batch_state.value.ndim != 2:
             raise AlgorithmError(

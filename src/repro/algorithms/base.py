@@ -350,6 +350,16 @@ def _masked_extremes_packed(
     an eighth of the dense path's float64 ``np.where`` tensor at ``d == 1``
     before packing even starts — and the selected floats are actual elements
     of ``values``, so the result is bit-for-bit equal to the dense path.
+
+    The column gather runs as one boolean fancy-index per lead scenario —
+    measured the fastest layout here: both a broadcast ``take_along_axis``
+    over the stacked boolean tensor and bit-level gathers out of the
+    bitset-resident :attr:`CommunicationGraph.packed_receive_rows` cache
+    (byte gather + shift + repack) clock 2-4x slower across every
+    ``(lead, n)`` regime on this stack, because the per-scenario gather is a
+    single contiguous fancy-index while the bit-level variant needs three
+    full passes over the mask bytes.  The graph bitset cache therefore
+    serves the *unpermuted* consumers (the α-relation kernels) instead.
     """
     n_receivers, n = mask.shape[-2], mask.shape[-1]
     d = values.shape[-1]
@@ -371,9 +381,6 @@ def _masked_extremes_packed(
         column_order = order[..., coord]  # (L, n)
         sorted_column = np.take_along_axis(values_flat[..., coord], column_order, axis=-1)
         sorted_column = sorted_column.astype(out_dtype, copy=False)
-        # Column gather per lead scenario: ~2x faster than a broadcast
-        # take_along_axis over the stacked tensor, and the loop body is large
-        # whenever this path fires.
         for scenario in range(lead_count):
             permuted[scenario] = mask_flat[scenario][:, column_order[scenario]]
         packed = pack_bool_rows(permuted)  # (L, R, ceil(n/8))
@@ -637,13 +644,70 @@ class Algorithm(ABC):
         ``(B, n, d)`` state into a ``(B, 1, n, d)`` one that a stacked
         ``(C, n, n)`` adjacency pass expands to ``(B, C, n, d)``.  The default
         covers array-valued batch states; algorithms with structured batch
-        states override it.
+        states override it.  Implementations must visit the leaves in a fixed
+        order and rebuild the state from the mapped values
+        (:meth:`batch_state_stack` relies on both properties).
         """
         if isinstance(batch_state, np.ndarray):
             return fn(batch_state)
         raise NotImplementedError(
             f"{self.name} has a structured batch state and must override batch_map"
         )
+
+    def batch_state_stack(self, batch_states: Sequence[Any]) -> Any:
+        """Stack single-scenario batch states along a new leading scenario axis.
+
+        ``batch_states`` holds ``B`` batch states whose array leaves have
+        identical shapes (e.g. restored from recorded per-agent snapshots via
+        :meth:`batch_state_from_states`); the result is one batch state whose
+        leaves carry a leading length-``B`` axis, ready to drive all ``B``
+        scenarios through :meth:`batch_transition` at once.  The ensemble
+        certification engine uses this to evaluate a whole
+        :class:`~repro.execution.batch.EnsembleExecution` record's scenarios
+        as stacked valency ensembles.  The default covers array-valued batch
+        states and, via :meth:`batch_map` leaf traversal, structured states;
+        algorithms whose batch state carries non-array fields that must agree
+        across scenarios should override it with explicit validation.
+        """
+        states = list(batch_states)
+        if not states:
+            raise AlgorithmError("cannot stack zero batch states")
+        if all(isinstance(state, np.ndarray) for state in states):
+            return np.stack(states)
+        leaves_per_state = []
+        for state in states:
+            leaves: list = []
+            self.batch_map(state, lambda leaf: (leaves.append(np.asarray(leaf)), leaf)[1])
+            leaves_per_state.append(leaves)
+        counts = {len(leaves) for leaves in leaves_per_state}
+        if len(counts) != 1:
+            raise AlgorithmError(
+                f"batch states of {self.name} expose differing leaf counts "
+                f"({sorted(counts)}) and cannot be stacked"
+            )
+        stacked = [
+            np.stack([leaves[index] for leaves in leaves_per_state])
+            for index in range(counts.pop())
+        ]
+        replacement = iter(stacked)
+        return self.batch_map(states[0], lambda _leaf: next(replacement))
+
+    def batch_state_fixpoint(
+        self, previous: Any, new: Any
+    ) -> Optional[np.ndarray]:
+        """Scenarios whose outputs provably never change again — or ``None``.
+
+        Called by the valency engine's constant-suffix runs with the batch
+        states before and after one :meth:`batch_transition` under a fixed
+        adjacency.  A ``True`` entry (boolean array over the leading scenario
+        axes) asserts that repeating the *same* transition forever leaves that
+        scenario's outputs bit-for-bit unchanged, so the active set may retire
+        it early.  ``None`` (the default) means "cannot tell" and disables
+        retiring — always sound.  Implementations must only claim fixpoints
+        that hold *exactly* in floating point, since retired scenarios'
+        current outputs stand in for their suffix limits.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Batch-state snapshot/restore (optional)
@@ -784,6 +848,23 @@ class ConvexCombinationAlgorithm(Algorithm):
 
     def batch_state_from_states(self, states: Sequence[Any]) -> np.ndarray:
         return np.stack([as_value(state) for state in states])
+
+    def batch_state_fixpoint(
+        self, previous: np.ndarray, new: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Exact output fixpoints of one round (round-invariant rules only).
+
+        The state of a convex-combination algorithm is its output matrix and
+        the transition is a deterministic function of (state, adjacency) when
+        the rule is round-invariant, so a state that one round maps to itself
+        is fixed forever under that adjacency.  Round-dependent rules return
+        ``None`` (an unchanged output this round says nothing about the next).
+        """
+        if not self.round_invariant():
+            return None
+        previous = np.asarray(previous)
+        new = np.asarray(new)
+        return (new == previous).all(axis=(-2, -1))
 
     # ------------------------------------------------------------------ #
     # Internal helpers

@@ -228,12 +228,15 @@ class StudyResult:
     :class:`~repro.execution.execution.Execution` for single scenarios, an
     :class:`~repro.execution.batch.EnsembleExecution` for ensembles) behind
     scale-agnostic accessors, so downstream analysis code does not care which
-    engine ran.
+    engine ran.  ``certificates`` is a single :class:`StudyCertificates` for
+    single-scenario studies and a list of ``B`` per-scenario certificates for
+    certified ensembles (each bit-for-bit identical to the certificate of an
+    independent single-scenario run of that scenario).
     """
 
     execution: Union[Execution, EnsembleExecution]
     provenance: StudyProvenance
-    certificates: Optional[StudyCertificates] = None
+    certificates: Union[StudyCertificates, List[StudyCertificates], None] = None
 
     @property
     def is_ensemble(self) -> bool:
@@ -304,7 +307,12 @@ class Study:
         certification.
     certify:
         ``True`` or a :class:`CertifySpec` to attach valency/contraction
-        certificates (single-scenario studies only).
+        certificates.  Single-scenario studies get one
+        :class:`StudyCertificates`; ensemble studies run with per-scenario
+        configuration snapshots and get a list of ``B`` per-scenario
+        certificates, computed as stacked ``(B·K, n, n)`` ensemble passes
+        and bit-for-bit identical to ``B`` independent certified
+        single-scenario studies.
     config:
         An :class:`~repro.config.EngineConfig`; the study runs inside it, so
         every knob (fast path, batching, packed kernels, reductions) applies
@@ -430,6 +438,9 @@ class Study:
                 config=merged,
             )
 
+        # Certified ensembles need the per-scenario configuration snapshots
+        # the certification engine restores its batch states from.
+        record_states = self._certify is not None
         if spec.adversary is not None:
             result = run_adversarial_ensemble(
                 self._algorithm,
@@ -438,6 +449,7 @@ class Study:
                 spec.rounds,
                 record_every=spec.record_every,
                 scenario_labels=spec.scenario_labels,
+                record_states=record_states,
             )
             route = "run_adversarial_ensemble"
         elif spec.pattern is not None:
@@ -448,6 +460,7 @@ class Study:
                 spec.rounds,
                 record_every=spec.record_every,
                 scenario_labels=spec.scenario_labels,
+                record_states=record_states,
             )
             route = "run_pattern_ensemble"
         else:
@@ -457,6 +470,7 @@ class Study:
                 spec.graphs,
                 record_every=spec.record_every,
                 scenario_labels=spec.scenario_labels,
+                record_states=record_states,
             )
             route = "run_ensemble"
         resolved = resolve_use_fast_path(None)
@@ -484,16 +498,9 @@ class Study:
     # Certification
     # ------------------------------------------------------------------ #
 
-    def _run_certification(
-        self, execution: Union[Execution, EnsembleExecution]
-    ) -> StudyCertificates:
-        if isinstance(execution, EnsembleExecution):
-            raise ConfigError(
-                "certification requires a single-scenario study (valency traces "
-                "need recorded per-agent configurations)"
-            )
+    def _certification_estimator(self) -> ValencyEstimator:
         certify = self._certify
-        estimator = ValencyEstimator(
+        return ValencyEstimator(
             self._algorithm,
             self._model,
             suffix_rounds=certify.suffix_rounds,
@@ -501,10 +508,18 @@ class Study:
             use_batch=certify.use_batch,
             scenario_chunk=certify.scenario_chunk,
         )
-        estimates = estimator.trace(execution.configurations)
+
+    @staticmethod
+    def _certificates_from_estimates(
+        estimates: List[ValencyEstimate], configurations: List
+    ) -> StudyCertificates:
         trace = [float(estimate.lower_diameter) for estimate in estimates]
         try:
-            output_rate = empirical_contraction_rate(execution)
+            # Route the per-scenario diameters through the exact code path
+            # single-scenario studies use, so the rates agree bit-for-bit.
+            output_rate = empirical_contraction_rate(
+                Execution(algorithm_name="", configurations=list(configurations))
+            )
         except ValueError:
             output_rate = float("nan")
         return StudyCertificates(
@@ -513,6 +528,24 @@ class Study:
             output_rate=output_rate,
             rate_interval=(fit_trace_rate(trace), output_rate),
         )
+
+    def _run_certification(
+        self, execution: Union[Execution, EnsembleExecution]
+    ) -> Union[StudyCertificates, List[StudyCertificates]]:
+        estimator = self._certification_estimator()
+        if isinstance(execution, EnsembleExecution):
+            # Ensemble-scale certification: all scenarios' sampled futures run
+            # as stacked ensemble passes, returning one certificate per
+            # scenario — bit-for-bit what B single-scenario studies produce.
+            per_scenario = estimator.certify_ensemble(execution)
+            return [
+                self._certificates_from_estimates(
+                    estimates, execution.scenario_configurations(scenario)
+                )
+                for scenario, estimates in enumerate(per_scenario)
+            ]
+        estimates = estimator.trace(execution.configurations)
+        return self._certificates_from_estimates(estimates, execution.configurations)
 
     def __repr__(self) -> str:
         spec = self._spec

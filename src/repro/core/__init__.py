@@ -28,6 +28,7 @@ from repro.core.contraction import (
     fit_trace_rate,
     measure_contraction_rate,
     valency_contraction_trace,
+    valency_contraction_trace_ensemble,
 )
 from repro.core.decision_times import (
     amortized_midpoint_decision_round,

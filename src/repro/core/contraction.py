@@ -19,12 +19,13 @@ bound and the measured valency trace never decays faster than the bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.algorithms.base import Algorithm
 from repro.core.valency import ValencyEstimator
+from repro.execution.batch import run_pattern_ensemble
 from repro.execution.engine import run_execution
 from repro.execution.execution import Execution
 from repro.execution.metrics import empirical_contraction_rate
@@ -133,6 +134,55 @@ def valency_contraction_trace(
         float(estimate.lower_diameter)
         for estimate in estimator.trace(execution.configurations)
     ]
+
+
+def valency_contraction_trace_ensemble(
+    algorithm: Algorithm,
+    model: NetworkModel,
+    patterns: Union[CommunicationPattern, Sequence[CommunicationPattern]],
+    initial_values: Union[np.ndarray, Sequence[ValuesLike]],
+    rounds: int,
+    suffix_rounds: int = 60,
+    exploration_depth: int = 0,
+    estimator: Optional[ValencyEstimator] = None,
+    use_batch: Optional[bool] = None,
+    record_every: int = 1,
+) -> np.ndarray:
+    """Per-scenario valency-diameter traces along a whole ``(B, n, d)`` ensemble.
+
+    The ensemble-scale counterpart of :func:`valency_contraction_trace`: runs
+    ``B`` scenarios (stacked initial values against one shared pattern or one
+    pattern per scenario) with per-scenario configuration snapshots, then
+    estimates every scenario's ``δ_N(C_t)`` trace through
+    :meth:`~repro.core.valency.ValencyEstimator.certify_ensemble` — all
+    scenarios' sampled futures stacked into single ensemble passes.  Returns
+    a ``(B, R)`` array (one row per scenario, one column per recorded round),
+    with each row bit-for-bit identical to the single-scenario
+    :func:`valency_contraction_trace` of that scenario.
+    """
+    ensemble = run_pattern_ensemble(
+        algorithm,
+        initial_values,
+        patterns,
+        rounds,
+        record_every=record_every,
+        record_states=True,
+    )
+    estimator = estimator or ValencyEstimator(
+        algorithm,
+        model,
+        suffix_rounds=suffix_rounds,
+        exploration_depth=exploration_depth,
+        use_batch=use_batch,
+    )
+    per_scenario = estimator.certify_ensemble(ensemble)
+    return np.array(
+        [
+            [float(estimate.lower_diameter) for estimate in estimates]
+            for estimates in per_scenario
+        ],
+        dtype=float,
+    )
 
 
 def fit_trace_rate(valency_trace: List[float]) -> float:

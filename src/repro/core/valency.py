@@ -55,6 +55,8 @@ import numpy as np
 
 from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
 from repro.config import resolve_scenario_chunk, resolve_use_batch
+from repro.exceptions import EnsembleShapeError, ExecutionError
+from repro.execution.batch import EnsembleExecution
 from repro.execution.engine import run_from_configuration
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
@@ -153,7 +155,7 @@ class ValencyEstimator:
         if self._batchable():
             return self._limit_estimates_batch([configuration])[0]
         if self._batchable_stateful():
-            return self._limit_estimates_batch_state(configuration)
+            return self._limit_estimates_batch_state([configuration])[0]
         return self._limit_estimates_reference(configuration)
 
     def estimate(self, configuration: Configuration) -> ValencyEstimate:
@@ -225,11 +227,108 @@ class ValencyEstimator:
         if self._batchable_stateful():
             return [
                 self._estimate_from_limits(
-                    configuration, self._limit_estimates_batch_state(configuration)
+                    configuration, self._limit_estimates_batch_state([configuration])[0]
                 )
                 for configuration in configurations
             ]
         return [self.estimate(c) for c in configurations]
+
+    def certify_ensemble(
+        self, ensemble: EnsembleExecution
+    ) -> List[List[ValencyEstimate]]:
+        """Per-scenario valency estimates at every recorded round of an ensemble.
+
+        The ensemble-scale counterpart of running :meth:`trace` on ``B``
+        independent single-scenario executions: entry ``[b][r]`` is scenario
+        ``b``'s estimate at recorded round ``ensemble.recorded_rounds[r]``,
+        bit-for-bit identical to what the per-scenario trace would produce
+        (all evaluation paths perform the same elementwise operations, only
+        stacked).  On the batched paths the sampled futures of *all* ``B``
+        scenarios (and, for round-invariant algorithms, all recorded rounds)
+        are stacked into single ensemble passes — per-round ``(B·K, n, n)``
+        adjacency stacks — instead of ``B`` separate estimator runs; stateful
+        batch algorithms restore each scenario's recorded per-agent snapshot
+        through ``batch_state_from_states`` and stack the restored states via
+        ``batch_state_stack``.
+
+        Requires the ensemble to have been run with ``record_states=True``
+        (:meth:`~repro.execution.batch.EnsembleExecution.scenario_configurations`);
+        :class:`repro.api.Study` does this automatically for certified
+        ensemble studies.
+        """
+        if not isinstance(ensemble, EnsembleExecution):
+            raise ExecutionError(
+                f"certify_ensemble needs an EnsembleExecution, got {type(ensemble).__name__}"
+            )
+        recorded = ensemble.recorded_configurations
+        if recorded is None:
+            raise ExecutionError(
+                "ensemble certification needs recorded per-scenario configurations; "
+                "rerun the ensemble with record_states=True (Study(certify=...) does "
+                "this automatically)"
+            )
+        n = ensemble.n
+        for graph in self._model:
+            if graph.n != n:
+                raise EnsembleShapeError(
+                    f"model graph has {graph.n} agents, ensemble scenarios have {n} "
+                    f"(recorded outputs shape {ensemble.recorded_outputs.shape})"
+                )
+        batch_size = ensemble.batch_size
+        record_count = len(recorded)
+        flat_configs = [recorded[r][b] for r in range(record_count) for b in range(batch_size)]
+        # The batch estimators only stream the *prefix* axis, so the number of
+        # stacked configurations per call must itself respect the scenario
+        # chunk — otherwise a large ensemble would materialize a
+        # (R·B·M, n, n) suffix stack no matter what scenario_chunk says.
+        config_group = max(1, self._scenario_chunk // max(1, len(self._model)))
+
+        if self._batchable():
+            if self._algorithm.round_invariant():
+                # Stacked ensembles over all B scenarios at all recorded
+                # rounds per exploration depth, in memory-bounded groups.
+                flat_limits = []
+                for start in range(0, len(flat_configs), config_group):
+                    flat_limits.extend(
+                        self._limit_estimates_batch(
+                            flat_configs[start : start + config_group]
+                        )
+                    )
+            else:
+                # Scenarios of one recorded round share their round number, so
+                # they stack even without round invariance.
+                flat_limits = []
+                for r in range(record_count):
+                    for start in range(0, batch_size, config_group):
+                        flat_limits.extend(
+                            self._limit_estimates_batch(
+                                recorded[r][start : start + config_group]
+                            )
+                        )
+        elif self._batchable_stateful():
+            flat_limits = []
+            for r in range(record_count):
+                for start in range(0, batch_size, config_group):
+                    flat_limits.extend(
+                        self._limit_estimates_batch_state(
+                            recorded[r][start : start + config_group]
+                        )
+                    )
+        else:
+            flat_limits = [
+                self._limit_estimates_reference(configuration)
+                for configuration in flat_configs
+            ]
+
+        return [
+            [
+                self._estimate_from_limits(
+                    recorded[r][b], flat_limits[r * batch_size + b]
+                )
+                for r in range(record_count)
+            ]
+            for b in range(batch_size)
+        ]
 
     # ------------------------------------------------------------------ #
     # Reference path
@@ -385,26 +484,26 @@ class ValencyEstimator:
     ) -> np.ndarray:
         """Run ``suffix_rounds`` constant-graph rounds on a ``(K, n, d)`` ensemble.
 
-        Maintains an active set: scenarios whose outputs stop changing
-        *exactly* (float fixpoint under their constant graph) are retired
-        early — valid for round-invariant algorithms, where a fixed point of
-        a constant graph is fixed forever, so the early exit is bit-for-bit
+        Maintains an active set: scenarios the algorithm's
+        :meth:`~repro.algorithms.base.Algorithm.batch_state_fixpoint` hook
+        certifies as exact fixpoints under their constant graph are retired
+        early (for round-invariant convex-combination algorithms this is the
+        float fixpoint of the outputs), so the early exit is bit-for-bit
         equivalent to running the remaining rounds.
         """
         finals = np.array(values, dtype=float)
         current = finals
         adjacency = suffix_adjacency
         alive = np.arange(values.shape[0])
-        allow_drop = self._algorithm.round_invariant()
         for offset in range(self._suffix_rounds):
             new_values = self._algorithm.batch_transition(
                 current, adjacency, start_round + 1 + offset
             )
-            if allow_drop and offset < self._suffix_rounds - 1:
-                unchanged = (new_values == current).all(axis=(-2, -1))
-                if unchanged.any():
-                    finals[alive[unchanged]] = new_values[unchanged]
-                    keep = ~unchanged
+            if offset < self._suffix_rounds - 1:
+                fixed = self._algorithm.batch_state_fixpoint(current, new_values)
+                if fixed is not None and fixed.any():
+                    finals[alive[fixed]] = new_values[fixed]
+                    keep = ~fixed
                     alive = alive[keep]
                     current = new_values[keep]
                     adjacency = adjacency[keep]
@@ -419,57 +518,83 @@ class ValencyEstimator:
     # Batch-state path (stateful algorithms)
     # ------------------------------------------------------------------ #
 
-    def _limit_estimates_batch_state(self, configuration: Configuration) -> np.ndarray:
+    def _limit_estimates_batch_state(
+        self, configurations: Sequence[Configuration]
+    ) -> List[np.ndarray]:
         """Batched limit estimates through the ``batch_state`` restore hooks.
 
-        The configuration's per-agent state snapshot is restored into a
+        Each configuration's per-agent state snapshot is restored into a
         single-scenario batch state
-        (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`),
-        fanned out over the chunk's prefixes via ``batch_map`` and driven
-        through the same stacked adjacency ensembles as the
-        convex-combination path.  Scenario order matches the reference loop
-        exactly (depth-ascending prefixes, model suffix graphs innermost),
-        and min/max reductions select actual state elements, so the result
-        is bit-for-bit equal to the per-future reference loop.
+        (:meth:`~repro.algorithms.base.Algorithm.batch_state_from_states`);
+        multiple configurations (the scenarios of one recorded ensemble
+        round, which share their round number) are stacked along a leading
+        scenario axis via
+        :meth:`~repro.algorithms.base.Algorithm.batch_state_stack`, fanned
+        out over the chunk's prefixes via ``batch_map`` and driven through
+        the same stacked adjacency ensembles as the convex-combination path.
+        Scenario order matches the reference loop exactly
+        (configuration-major, depth-ascending prefixes, model suffix graphs
+        innermost), and min/max reductions select actual state elements, so
+        the result is bit-for-bit equal to the per-future reference loop.
         """
         algorithm = self._algorithm
         model_graphs = list(self._model)
         model_count = len(model_graphs)
-        base = algorithm.batch_state_from_states(configuration.states)
-        base_round = configuration.round_number
-        prefix_chunk_size = max(1, self._scenario_chunk // max(1, model_count))
-        collected: List[np.ndarray] = []
+        configurations = list(configurations)
+        config_count = len(configurations)
+        rounds = {configuration.round_number for configuration in configurations}
+        if len(rounds) != 1:
+            raise ExecutionError(
+                "stacked batch-state estimates need configurations at one round, "
+                f"got rounds {sorted(rounds)}"
+            )
+        base = algorithm.batch_state_stack(
+            [
+                algorithm.batch_state_from_states(configuration.states)
+                for configuration in configurations
+            ]
+        )  # leaves (R, n, d) with R = config_count
+        base_round = rounds.pop()
+        prefix_chunk_size = max(
+            1, self._scenario_chunk // max(1, config_count * model_count)
+        )
+        collected: List[List[np.ndarray]] = [[] for _ in range(config_count)]
 
         for depth in range(self._exploration_depth + 1):
             for prefix_chunk in self._prefix_chunks(depth, prefix_chunk_size):
                 prefix_count = len(prefix_chunk)
+                # (R · P, ...) leaves, configuration-major then prefix.
                 state = algorithm.batch_map(
                     base,
                     lambda leaf, _count=prefix_count: np.repeat(
-                        np.asarray(leaf)[None, ...], _count, axis=0
+                        np.asarray(leaf), _count, axis=0
                     ),
                 )
                 for offset in range(depth):
                     stack = np.stack(
                         [prefix[offset].adjacency for prefix in prefix_chunk]
                     )  # (P, n, n)
+                    adjacency = np.tile(stack, (config_count, 1, 1))
                     state = algorithm.batch_transition(
-                        state, stack, base_round + 1 + offset
+                        state, adjacency, base_round + 1 + offset
                     )
-                # Expand by the constant-suffix graphs: (P · M, ...) leaves.
+                # Expand by the constant-suffix graphs: (R · P · M, ...) leaves.
                 state = algorithm.batch_map(
                     state,
                     lambda leaf, _count=model_count: np.repeat(leaf, _count, axis=0),
                 )
                 suffix_stack = np.tile(
                     np.stack([graph.adjacency for graph in model_graphs]),
-                    (prefix_count, 1, 1),
+                    (config_count * prefix_count, 1, 1),
                 )
                 finals = self._run_constant_suffix_state(
                     state, suffix_stack, base_round + depth
                 )
-                collected.append(finals.mean(axis=1))  # (P · M, d)
-        return np.vstack(collected)
+                limits = finals.mean(axis=1)  # (R · P · M, d)
+                per_config = limits.reshape(config_count, prefix_count * model_count, -1)
+                for index in range(config_count):
+                    collected[index].append(per_config[index])
+        return [np.vstack(chunks) for chunks in collected]
 
     def _constant_suffix_limits_batch_state(
         self, configuration: Configuration
@@ -495,18 +620,44 @@ class ValencyEstimator:
     ) -> np.ndarray:
         """Run ``suffix_rounds`` constant-graph rounds on a stacked batch state.
 
-        No active-set early exit here: an output-level fixpoint does not
-        imply a *state* fixpoint for stateful algorithms (the amortized
-        midpoint's outputs stay constant mid-phase while its phase extremes
-        keep widening), so every scenario runs the full suffix — bit-for-bit
-        equal to the reference loop by construction.
+        Output-level equality alone cannot retire stateful scenarios (the
+        amortized midpoint's outputs stay constant mid-phase while its phase
+        extremes keep widening), so the active set is gated on the
+        algorithm's *state-level* fixpoint hook
+        (:meth:`~repro.algorithms.base.Algorithm.batch_state_fixpoint`):
+        scenarios it certifies as exact fixpoints of their constant graph are
+        dropped early, bit-for-bit equal to running their remaining rounds.
+        Algorithms answering ``None`` run every scenario for the full suffix.
         """
         algorithm = self._algorithm
+        outputs = np.asarray(algorithm.batch_outputs(state), dtype=float)
+        finals = np.array(outputs, dtype=float)
+        adjacency = suffix_adjacency
+        alive = np.arange(finals.shape[0])
         for offset in range(self._suffix_rounds):
-            state = algorithm.batch_transition(
-                state, suffix_adjacency, start_round + 1 + offset
+            new_state = algorithm.batch_transition(
+                state, adjacency, start_round + 1 + offset
             )
-        return np.asarray(algorithm.batch_outputs(state), dtype=float)
+            if offset < self._suffix_rounds - 1:
+                fixed = algorithm.batch_state_fixpoint(state, new_state)
+                if fixed is not None and fixed.any():
+                    new_outputs = np.asarray(
+                        algorithm.batch_outputs(new_state), dtype=float
+                    )
+                    new_outputs = np.broadcast_to(new_outputs, (alive.size,) + finals.shape[1:])
+                    finals[alive[fixed]] = new_outputs[fixed]
+                    keep = ~fixed
+                    alive = alive[keep]
+                    new_state = algorithm.batch_map(
+                        new_state, lambda leaf, _keep=keep: leaf[_keep]
+                    )
+                    adjacency = adjacency[keep]
+                    if alive.size == 0:
+                        return finals
+            state = new_state
+        final_outputs = np.asarray(algorithm.batch_outputs(state), dtype=float)
+        finals[alive] = np.broadcast_to(final_outputs, (alive.size,) + finals.shape[1:])
+        return finals
 
     def _estimate_from_limits(
         self, configuration: Configuration, limits: np.ndarray

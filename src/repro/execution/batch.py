@@ -37,6 +37,7 @@ from repro.algorithms.base import Algorithm
 from repro.config import resolve_use_batch
 from repro.exceptions import EnsembleShapeError, ExecutionError
 from repro.execution.engine import _AdjacencyCache, apply_graph, initial_configuration
+from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
 from repro.models.patterns import AdversarialPattern, CommunicationPattern, EnsemblePlan
 from repro.types import ValuesLike, as_value_matrix, pairwise_diameters
@@ -67,6 +68,16 @@ class EnsembleExecution:
         Provenance: ``True`` when the scenarios ran as one stacked ensemble
         through the batch hooks, ``False`` when the per-scenario fallback
         loop ran (``None`` on records predating the field).
+    recorded_configurations:
+        Per-scenario configuration snapshots, present when the run was asked
+        for them (``record_states=True``): entry ``[r][b]`` is scenario
+        ``b``'s full :class:`~repro.execution.state.Configuration` (per-agent
+        states plus outputs) at recorded round ``recorded_rounds[r]``.  On
+        the batched path the snapshots are recorded batch states sliced per
+        scenario through the algorithm's ``batch_map``/``batch_states``
+        hooks, so they are exactly the configurations ``B`` independent
+        single-scenario runs would record — which is what lets the ensemble
+        certification engine restore them via ``batch_state_from_states``.
     """
 
     algorithm_name: str
@@ -74,6 +85,9 @@ class EnsembleExecution:
     recorded_outputs: np.ndarray
     scenario_labels: Optional[List[object]] = field(default=None)
     batched: Optional[bool] = field(default=None)
+    recorded_configurations: Optional[List[List[Configuration]]] = field(
+        default=None, repr=False
+    )
 
     @property
     def batch_size(self) -> int:
@@ -117,6 +131,30 @@ class EnsembleExecution:
     def final_diameters(self) -> np.ndarray:
         """Per-scenario output diameters after the last round, shape ``(B,)``."""
         return _batch_diameters(self.final_outputs)
+
+    @property
+    def has_recorded_states(self) -> bool:
+        """Whether per-scenario configuration snapshots were recorded."""
+        return self.recorded_configurations is not None
+
+    def scenario_configurations(self, scenario: int) -> List[Configuration]:
+        """Scenario ``scenario``'s recorded configurations, ``C_0 .. C_T``.
+
+        The returned list matches what :func:`repro.execution.run_execution`
+        would have recorded for that scenario alone (one configuration per
+        entry of :attr:`recorded_rounds`).  Requires the run to have been
+        executed with ``record_states=True``.
+        """
+        if self.recorded_configurations is None:
+            raise ExecutionError(
+                "per-scenario configurations were not recorded; rerun the ensemble "
+                "with record_states=True"
+            )
+        if not 0 <= scenario < self.batch_size:
+            raise ExecutionError(
+                f"scenario {scenario} out of range for B={self.batch_size}"
+            )
+        return [per_round[scenario] for per_round in self.recorded_configurations]
 
     def convergence_rounds(self, tolerance: float) -> np.ndarray:
         """Per scenario, the first recorded round with diameter <= ``tolerance`` (-1 if never)."""
@@ -253,6 +291,41 @@ def _round_adjacency(
     return np.stack([graph.adjacency for graph in graphs])
 
 
+def _snapshot_scenario_configurations(
+    algorithm: Algorithm,
+    batch_state,
+    outputs: np.ndarray,
+    round_number: int,
+) -> List[Configuration]:
+    """Slice one recorded ``(B, ...)`` batch state into per-scenario configurations.
+
+    Each scenario's slice goes through ``batch_map`` (leaf indexing) and
+    ``batch_states`` (the snapshot direction of the batch-state contract), so
+    the recorded per-agent states equal the ones ``B`` independent
+    single-scenario fast-path runs would record.
+    """
+    configurations = []
+    for scenario in range(outputs.shape[0]):
+        single = algorithm.batch_map(batch_state, lambda leaf, _b=scenario: leaf[_b])
+        configurations.append(
+            Configuration(
+                states=algorithm.batch_states(single),
+                outputs=outputs[scenario].copy(),
+                round_number=round_number,
+            )
+        )
+    return configurations
+
+
+def _supports_state_snapshots(algorithm: Algorithm, batch_state) -> bool:
+    """Whether per-scenario snapshots can be sliced off this batch state."""
+    try:
+        algorithm.batch_map(batch_state, lambda leaf: leaf)
+    except NotImplementedError:
+        return False
+    return True
+
+
 def _round_graph_of_scenario(round_graphs: RoundGraphs, scenario: int) -> CommunicationGraph:
     if isinstance(round_graphs, CommunicationGraph):
         return round_graphs
@@ -266,6 +339,7 @@ def run_ensemble(
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
+    record_states: bool = False,
 ) -> EnsembleExecution:
     """Execute ``B`` independent scenarios through the vectorized fast path.
 
@@ -292,6 +366,14 @@ def run_ensemble(
         forces the per-scenario fallback loop; ``True`` requires the stacked
         ensemble path (raising if the algorithm has no batch hooks).  Both
         paths are bit-for-bit identical.
+    record_states:
+        Additionally record per-scenario configuration snapshots (per-agent
+        states) at every recorded round, enabling
+        :meth:`EnsembleExecution.scenario_configurations` and ensemble-scale
+        certification (:meth:`repro.core.valency.ValencyEstimator.certify_ensemble`).
+        On the batched path the snapshots are sliced off the recorded batch
+        states; algorithms whose batch state cannot be sliced (no
+        ``batch_map``) take the per-scenario fallback loop instead.
     """
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
@@ -308,11 +390,22 @@ def run_ensemble(
             f"use_batch=True but {algorithm.name} does not implement the batch hooks"
         )
     if not algorithm.supports_batch() or not resolve_use_batch(use_batch):
-        return _run_ensemble_slow(algorithm, values, graph_rounds, record_every, labels)
+        return _run_ensemble_slow(
+            algorithm, values, graph_rounds, record_every, labels, record_states
+        )
 
     batch_state = algorithm.batch_initial(values)
+    if record_states and not _supports_state_snapshots(algorithm, batch_state):
+        return _run_ensemble_slow(
+            algorithm, values, graph_rounds, record_every, labels, record_states
+        )
     recorded_rounds = [0]
     recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
+    recorded_configurations: Optional[List[List[Configuration]]] = None
+    if record_states:
+        recorded_configurations = [
+            _snapshot_scenario_configurations(algorithm, batch_state, recorded[0], 0)
+        ]
     adjacency_cache = _AdjacencyCache()
     for t, round_graphs in enumerate(graph_rounds, start=1):
         adjacency = _round_adjacency(round_graphs, batch_size, n, cache=adjacency_cache)
@@ -320,6 +413,12 @@ def run_ensemble(
         if t % record_every == 0 or t == rounds:
             recorded_rounds.append(t)
             recorded.append(np.array(algorithm.batch_outputs(batch_state), dtype=float))
+            if recorded_configurations is not None:
+                recorded_configurations.append(
+                    _snapshot_scenario_configurations(
+                        algorithm, batch_state, recorded[-1], t
+                    )
+                )
 
     return EnsembleExecution(
         algorithm_name=algorithm.name,
@@ -327,6 +426,7 @@ def run_ensemble(
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
         batched=True,
+        recorded_configurations=recorded_configurations,
     )
 
 
@@ -336,33 +436,49 @@ def _run_ensemble_slow(
     graph_rounds: Sequence[RoundGraphs],
     record_every: int,
     labels: Optional[List[object]],
+    record_states: bool = False,
 ) -> EnsembleExecution:
     """Per-scenario fallback for algorithms without batch hooks."""
     batch_size = values.shape[0]
     rounds = len(graph_rounds)
     per_scenario: List[List[np.ndarray]] = []
+    per_scenario_configs: List[List[Configuration]] = []
     recorded_rounds = [0] + [
         t for t in range(1, rounds + 1) if t % record_every == 0 or t == rounds
     ]
     for scenario in range(batch_size):
         configuration = initial_configuration(algorithm, values[scenario])
         snapshots = [configuration.outputs.copy()]
+        configs = [configuration] if record_states else None
         for t, round_graphs in enumerate(graph_rounds, start=1):
             graph = _round_graph_of_scenario(round_graphs, scenario)
             configuration = apply_graph(algorithm, configuration, graph)
             if t % record_every == 0 or t == rounds:
                 snapshots.append(configuration.outputs.copy())
+                if configs is not None:
+                    configs.append(configuration)
         per_scenario.append(snapshots)
+        if configs is not None:
+            per_scenario_configs.append(configs)
     recorded = [
         np.stack([per_scenario[b][r] for b in range(batch_size)])
         for r in range(len(recorded_rounds))
     ]
+    recorded_configurations = (
+        [
+            [per_scenario_configs[b][r] for b in range(batch_size)]
+            for r in range(len(recorded_rounds))
+        ]
+        if record_states
+        else None
+    )
     return EnsembleExecution(
         algorithm_name=algorithm.name,
         recorded_rounds=recorded_rounds,
         recorded_outputs=np.stack(recorded),
         scenario_labels=labels,
         batched=False,
+        recorded_configurations=recorded_configurations,
     )
 
 
@@ -438,6 +554,7 @@ def run_adversarial_ensemble(
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
+    record_states: bool = False,
 ) -> AdversarialEnsembleExecution:
     """Drive ``B`` scenarios under an adaptive adversary in one batched loop.
 
@@ -495,7 +612,7 @@ def run_adversarial_ensemble(
     )
     if first_scenario_plans is None and first_plan is None:
         return _run_adversarial_ensemble_slow(
-            algorithm, values, adversary, rounds, record_every, labels
+            algorithm, values, adversary, rounds, record_every, labels, record_states
         )
 
     batch_state = algorithm.batch_initial(values)
@@ -506,10 +623,15 @@ def run_adversarial_ensemble(
         algorithm.batch_map(batch_state, lambda a: a)
     except NotImplementedError:
         return _run_adversarial_ensemble_slow(
-            algorithm, values, adversary, rounds, record_every, labels
+            algorithm, values, adversary, rounds, record_every, labels, record_states
         )
     recorded_rounds = [0]
     recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
+    recorded_configurations: Optional[List[List[Configuration]]] = None
+    if record_states:
+        recorded_configurations = [
+            _snapshot_scenario_configurations(algorithm, batch_state, recorded[0], 0)
+        ]
     round_choices: List[List[CommunicationGraph]] = []
     histories: List[List[CommunicationGraph]] = [[] for _ in range(batch_size)]
     cache = _AdjacencyCache()
@@ -598,6 +720,12 @@ def run_adversarial_ensemble(
             if t % record_every == 0 or t == rounds:
                 recorded_rounds.append(t)
                 recorded.append(np.array(algorithm.batch_outputs(batch_state), dtype=float))
+                if recorded_configurations is not None:
+                    recorded_configurations.append(
+                        _snapshot_scenario_configurations(
+                            algorithm, batch_state, recorded[-1], t
+                        )
+                    )
             t += 1
 
     return AdversarialEnsembleExecution(
@@ -607,6 +735,7 @@ def run_adversarial_ensemble(
         scenario_labels=labels,
         round_choices=round_choices,
         batched=True,
+        recorded_configurations=recorded_configurations,
     )
 
 
@@ -617,12 +746,14 @@ def _run_adversarial_ensemble_slow(
     rounds: int,
     record_every: int,
     labels: Optional[List[object]],
+    record_states: bool = False,
 ) -> AdversarialEnsembleExecution:
     """Scenario-by-scenario fallback driving the adversary through run_execution."""
     from repro.execution.engine import run_execution  # local import avoids a cycle
 
     batch_size = values.shape[0]
     per_scenario_outputs: List[List[np.ndarray]] = []
+    per_scenario_configs: List[List[Configuration]] = []
     per_scenario_graphs: List[List[CommunicationGraph]] = []
     recorded_rounds: List[int] = []
     for scenario in range(batch_size):
@@ -631,6 +762,8 @@ def _run_adversarial_ensemble_slow(
         )
         recorded_rounds = [c.round_number for c in execution.configurations]
         per_scenario_outputs.append([c.outputs.copy() for c in execution.configurations])
+        if record_states:
+            per_scenario_configs.append(list(execution.configurations))
         per_scenario_graphs.append(list(execution.graphs))
     recorded = [
         np.stack([per_scenario_outputs[b][r] for b in range(batch_size)])
@@ -639,6 +772,14 @@ def _run_adversarial_ensemble_slow(
     round_choices = [
         [per_scenario_graphs[b][t] for b in range(batch_size)] for t in range(rounds)
     ]
+    recorded_configurations = (
+        [
+            [per_scenario_configs[b][r] for b in range(batch_size)]
+            for r in range(len(recorded_rounds))
+        ]
+        if record_states
+        else None
+    )
     return AdversarialEnsembleExecution(
         algorithm_name=algorithm.name,
         recorded_rounds=recorded_rounds,
@@ -646,6 +787,7 @@ def _run_adversarial_ensemble_slow(
         scenario_labels=labels,
         round_choices=round_choices,
         batched=False,
+        recorded_configurations=recorded_configurations,
     )
 
 
@@ -668,6 +810,7 @@ def run_pattern_ensemble(
     record_every: int = 1,
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
+    record_states: bool = False,
 ) -> EnsembleExecution:
     """Run an ensemble against oblivious communication patterns.
 
@@ -698,6 +841,7 @@ def run_pattern_ensemble(
         record_every=record_every,
         scenario_labels=scenario_labels,
         use_batch=use_batch,
+        record_states=record_states,
     )
 
 

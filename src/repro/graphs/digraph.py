@@ -18,6 +18,7 @@ from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import GraphError
+from repro.types import pack_bool_rows
 
 Edge = Tuple[int, int]
 
@@ -49,7 +50,7 @@ class CommunicationGraph:
     [0]
     """
 
-    __slots__ = ("_n", "_adj", "_name", "_hash", "_in_cache", "_out_cache")
+    __slots__ = ("_n", "_adj", "_name", "_hash", "_in_cache", "_out_cache", "_packed_receive")
 
     def __init__(
         self,
@@ -95,6 +96,9 @@ class CommunicationGraph:
         # per-agent execution path and throughout graphs/relations.py).
         self._in_cache: Optional[Tuple[FrozenSet[int], ...]] = None
         self._out_cache: Optional[Tuple[FrozenSet[int], ...]] = None
+        # Bitset-resident adjacency cache, built on first access (see
+        # packed_receive_rows).
+        self._packed_receive: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -114,6 +118,23 @@ class CommunicationGraph:
     def adjacency(self) -> np.ndarray:
         """Read-only boolean adjacency matrix (``adj[i, j]`` iff edge i -> j)."""
         return self._adj
+
+    @property
+    def packed_receive_rows(self) -> np.ndarray:
+        """The receive mask as bitset-packed rows, ``(n, ceil(n/8))`` uint8.
+
+        Row ``j`` packs the in-neighborhood indicator of agent ``j`` (bit
+        ``i`` set iff ``j`` receives from ``i``, ``np.packbits`` big-bit
+        order).  Computed once per graph and shared: the α-relation kernels
+        (:func:`repro.graphs.packed.packed_in_neighborhoods`) consume it
+        instead of re-packing every graph's in-neighborhoods on every
+        ``alpha_classes`` / ``beta_classes`` / ``alpha_diameter`` call.
+        """
+        if self._packed_receive is None:
+            packed = pack_bool_rows(self._adj.T)
+            packed.setflags(write=False)
+            self._packed_receive = packed
+        return self._packed_receive
 
     def agents(self) -> range:
         """The agent identifiers ``0 .. n-1``."""

@@ -70,6 +70,39 @@ def in_neighborhood_ids(stack: np.ndarray) -> np.ndarray:
     return packed_row_ids(packed_in)
 
 
+def packed_in_neighborhoods(graphs: Sequence[CommunicationGraph]) -> np.ndarray:
+    """Stacked bitset in-neighborhoods of a graph sequence, ``(K, n, ceil(n/8))``.
+
+    Equal to ``pack_adjacency_rows(stack_adjacencies(graphs).swapaxes(-1, -2))``
+    but served from each graph's bitset-resident adjacency cache
+    (:attr:`~repro.graphs.digraph.CommunicationGraph.packed_receive_rows`):
+    graphs are immutable, so the per-graph packing happens once per graph
+    ever, and repeated relation analyses over the same model (α/β classes,
+    α-diameter sweeps) stack cached bytes instead of re-packing ``K · n``
+    boolean rows per call.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise GraphError("packed_in_neighborhoods needs at least one graph")
+    n = graphs[0].n
+    for graph in graphs:
+        if graph.n != n:
+            raise GraphError(
+                f"all stacked graphs must share the agent count; got {graph.n} and {n}"
+            )
+    return np.stack([graph.packed_receive_rows for graph in graphs])
+
+
+def graph_in_neighborhood_ids(graphs: Sequence[CommunicationGraph]) -> np.ndarray:
+    """Integer in-neighborhood ids of a graph sequence, ``(K, n)``.
+
+    The graph-level counterpart of :func:`in_neighborhood_ids`, reading the
+    packed rows from the graphs' bitset caches via
+    :func:`packed_in_neighborhoods`.
+    """
+    return packed_row_ids(packed_in_neighborhoods(graphs))
+
+
 def product_stack(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     """Batched graph product: ``result[k] = first[k] ∘ second[k]``.
 

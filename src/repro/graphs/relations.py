@@ -35,7 +35,7 @@ from repro.config import resolve_use_packed
 from repro.exceptions import ModelError
 from repro.graphs.digraph import CommunicationGraph
 from repro.graphs.packed import (
-    in_neighborhood_ids,
+    graph_in_neighborhood_ids,
     roots_stack,
     stack_adjacencies,
 )
@@ -125,7 +125,6 @@ def alpha_witness_tensor(
     for witness in witnesses:
         if witness.n != n:
             raise ModelError("witnesses must have the same number of agents as the model")
-    graph_stack = stack_adjacencies(graphs)
     witness_stack = stack_adjacencies(witnesses)
     root_mask = roots_stack(witness_stack)  # (W, n)
     valid = root_mask.any(axis=-1)  # (W,)
@@ -133,12 +132,14 @@ def alpha_witness_tensor(
     if use_union_form:
         # union_in[g, w, s] iff some root i of witness w hears s in graph g:
         # one broadcast boolean matmul (W, n) x (G, n, n).
-        in_neighborhoods = graph_stack.swapaxes(-1, -2)  # (G, agent, sender)
+        in_neighborhoods = stack_adjacencies(graphs).swapaxes(-1, -2)  # (G, agent, sender)
         unions = np.matmul(root_mask[None, :, :], in_neighborhoods)  # (G, W, n)
         union_ids = packed_row_ids(pack_bool_rows(unions)).T  # (W, G)
         related = union_ids[:, :, None] == union_ids[:, None, :]  # (W, G, G)
     else:
-        ids = in_neighborhood_ids(graph_stack)  # (G, n)
+        # Served from the graphs' bitset-resident adjacency caches: repeated
+        # relation analyses over one model never re-pack the in-neighborhoods.
+        ids = graph_in_neighborhood_ids(graphs)  # (G, n)
         differs = ids[:, None, :] != ids[None, :, :]  # (G, G, n)
         # any_viol[g, h, w]: some root of witness w distinguishes g from h.
         any_violation = differs @ root_mask.swapaxes(0, 1)  # (G, G, W)

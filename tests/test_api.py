@@ -444,17 +444,18 @@ class TestStudyDeclaration:
                 certify=True,
             )
 
-    def test_certify_rejects_ensembles(self):
-        study = Study(
+    def test_certify_ensembles_returns_per_scenario_certificates(self):
+        result = Study(
             algorithm=MidpointAlgorithm(),
             model=deaf_model(n=4),
             initial_values=_ensemble_values(2, 4),
             pattern=_pattern(4),
             rounds=3,
             certify=True,
-        )
-        with pytest.raises(ConfigError):
-            study.run()
+        ).run()
+        assert isinstance(result.certificates, list)
+        assert len(result.certificates) == 2
+        assert all(len(c.valency_trace) == 4 for c in result.certificates)
 
     def test_scenario_and_inline_fields_are_exclusive(self):
         spec = ScenarioSpec(initial_values=[0.0, 1.0], rounds=3, pattern=_pattern(2))

@@ -1,0 +1,205 @@
+"""EngineConfig nesting and thread-locality under concurrent threads.
+
+``EngineConfig`` promises: the innermost active block wins field-by-field,
+previous values are restored on exit even when the body raises, and the
+active stack plus the masked-reduction settings are *thread-local* — two
+threads running under different configurations never observe each other's
+overrides.  The module-level reduction setters are deprecated shims whose
+``DeprecationWarning`` fires exactly once per process.
+"""
+
+import threading
+import warnings
+
+import pytest
+
+from repro.algorithms.base import (
+    _DEPRECATION_WARNED,
+    get_masked_reduction_chunks,
+    get_masked_reduction_impl,
+    set_masked_reduction_chunks,
+    set_masked_reduction_impl,
+)
+from repro.config import (
+    EngineConfig,
+    current_engine_config,
+    resolve_scenario_chunk,
+    resolve_use_batch,
+    resolve_use_fast_path,
+    resolve_use_packed,
+)
+
+
+class TestNesting:
+    def test_innermost_field_wins_and_restores(self):
+        with EngineConfig(use_batch=False, scenario_chunk=128):
+            assert resolve_use_batch(None) is False
+            assert resolve_scenario_chunk(None) == 128
+            with EngineConfig(use_batch=True):
+                # Inner block overrides one field, inherits the other.
+                assert resolve_use_batch(None) is True
+                assert resolve_scenario_chunk(None) == 128
+            assert resolve_use_batch(None) is False
+        assert resolve_use_batch(None) is True  # library default
+        assert resolve_scenario_chunk(None) == 4096
+
+    def test_merged_view_reflects_nesting(self):
+        with EngineConfig(use_fast_path=False, reduction_impl="dense"):
+            with EngineConfig(use_fast_path=True):
+                merged = current_engine_config()
+                assert merged.use_fast_path is True
+                assert merged.reduction_impl == "dense"
+
+    def test_reduction_fields_apply_and_restore_on_raise(self):
+        before_impl = get_masked_reduction_impl()
+        before_chunks = get_masked_reduction_chunks()
+        with pytest.raises(RuntimeError):
+            with EngineConfig(reduction_impl="packed", reduction_batch_chunk=7):
+                assert get_masked_reduction_impl() == "packed"
+                assert get_masked_reduction_chunks()["batch"] == 7
+                raise RuntimeError("boom")
+        assert get_masked_reduction_impl() == before_impl
+        assert get_masked_reduction_chunks() == before_chunks
+
+    def test_explicit_argument_beats_active_config(self):
+        with EngineConfig(use_batch=False, use_packed=False):
+            assert resolve_use_batch(True) is True
+            assert resolve_use_packed(True) is True
+            assert resolve_use_fast_path(False) is False
+
+
+class TestThreadLocality:
+    def test_concurrent_threads_see_their_own_configs(self):
+        barrier = threading.Barrier(2)
+        observed = {}
+        errors = []
+
+        def worker(name, use_batch, impl, chunk):
+            try:
+                with EngineConfig(
+                    use_batch=use_batch, reduction_impl=impl, scenario_chunk=chunk
+                ):
+                    barrier.wait(timeout=10)  # both threads inside their blocks
+                    observed[name] = (
+                        resolve_use_batch(None),
+                        get_masked_reduction_impl(),
+                        resolve_scenario_chunk(None),
+                    )
+                    barrier.wait(timeout=10)  # hold until both observed
+                observed[name + "-after"] = (
+                    resolve_use_batch(None),
+                    get_masked_reduction_impl(),
+                )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", False, "dense", 64)),
+            threading.Thread(target=worker, args=("b", True, "packed", 256)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert observed["a"] == (False, "dense", 64)
+        assert observed["b"] == (True, "packed", 256)
+        assert observed["a-after"] == (True, "auto")
+        assert observed["b-after"] == (True, "auto")
+
+    def test_one_shared_config_entered_from_two_threads(self):
+        # One EngineConfig *instance* entered concurrently must keep each
+        # thread's reduction snapshot separate (the stack entry holds it).
+        shared = EngineConfig(reduction_impl="packed")
+        barrier = threading.Barrier(2)
+        results = {}
+        errors = []
+
+        def worker(name):
+            try:
+                with shared:
+                    barrier.wait(timeout=10)
+                    results[name] = get_masked_reduction_impl()
+                    barrier.wait(timeout=10)
+                results[name + "-after"] = get_masked_reduction_impl()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert results["a"] == results["b"] == "packed"
+        assert results["a-after"] == results["b-after"] == "auto"
+
+    def test_deprecated_setters_are_thread_local_too(self):
+        done = threading.Event()
+        observed = {}
+
+        def worker():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_masked_reduction_impl("dense")
+            observed["inner"] = get_masked_reduction_impl()
+            done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=30)
+        assert done.is_set()
+        assert observed["inner"] == "dense"
+        # The mutation never leaks into this thread.
+        assert get_masked_reduction_impl() == "auto"
+
+
+class TestOneTimeDeprecationWarnings:
+    @pytest.fixture(autouse=True)
+    def _isolate_warned_registry(self):
+        saved = set(_DEPRECATION_WARNED)
+        _DEPRECATION_WARNED.clear()
+        try:
+            yield
+        finally:
+            _DEPRECATION_WARNED.clear()
+            _DEPRECATION_WARNED.update(saved)
+            # Restore library defaults the setters may have touched.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_masked_reduction_impl("auto")
+                set_masked_reduction_chunks()
+
+    def test_impl_setter_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            set_masked_reduction_impl("dense")
+            set_masked_reduction_impl("auto")
+            set_masked_reduction_impl("packed")
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "set_masked_reduction_impl" in str(deprecations[0].message)
+        assert "EngineConfig" in str(deprecations[0].message)
+
+    def test_chunks_setter_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            set_masked_reduction_chunks(batch=4)
+            set_masked_reduction_chunks(batch=8, receivers=16)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "set_masked_reduction_chunks" in str(deprecations[0].message)
+
+    def test_setters_warn_independently(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            set_masked_reduction_impl("dense")
+            set_masked_reduction_chunks(batch=4)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 2
+
+    def test_setter_still_applies_after_warning_suppressed(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            set_masked_reduction_impl("dense")
+        assert get_masked_reduction_impl() == "dense"

@@ -1,0 +1,376 @@
+"""Differential scenario fuzzing: generated cases, not hand-enumerated ones.
+
+Four engines and three toggle dimensions (``use_fast_path`` / ``use_batch`` /
+``use_packed``-style reduction impls) all promise bit-for-bit (or, for the
+summation-order-sensitive averaging rules, last-ulp) equivalence.  Rather
+than enumerating cases by hand, a seeded generator draws random scenarios —
+graphs, graph sequences, adversary patterns, and algorithm/knob combinations
+from a registry — and differentially checks
+
+* **fast vs reference** (``run_execution`` with ``use_fast_path`` on/off),
+* **batch vs loop** (``run_ensemble`` / ``run_pattern_ensemble`` with
+  ``use_batch`` on/off, plus per-scenario state snapshots),
+* **adversarial batch vs loop** (``run_adversarial_ensemble`` vs per-scenario
+  adversary runs, choices and outputs),
+* **packed vs dense** masked reductions, and
+* **facade vs direct** (``Study`` vs the engine call it compiles to),
+
+each over ``CASES_PER_PAIR`` (200+) generated cases under one fixed master
+seed.  Everything is deterministic — cases derive from
+``np.random.default_rng((MASTER_SEED, case_seed))`` and nothing reads clocks
+or global RNG state — so a failure message's repro snippet replays the exact
+failing case:
+
+    from tests.test_fuzz_equivalence import run_case
+    run_case("fast_vs_reference", 123)
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AmortizedMidpointAlgorithm,
+    HegselmannKrauseAlgorithm,
+    MeanAlgorithm,
+    MidpointAlgorithm,
+    SelfWeightedAveraging,
+    TwoAgentThirdsAlgorithm,
+)
+from repro.algorithms.base import masked_min_max, masked_reduction_impl
+from repro.api import Study
+from repro.core.adversary import GreedyDiameterAdversary
+from repro.execution import (
+    run_adversarial_ensemble,
+    run_ensemble,
+    run_execution,
+    run_pattern_ensemble,
+)
+from repro.graphs.generators import random_graph
+from repro.models.network_model import NetworkModel
+from repro.models.patterns import PeriodicPattern, SequencePattern
+
+MASTER_SEED = 20260728
+CASES_PER_PAIR = 200
+
+#: Algorithm registry the generator draws from: (key, factory(rng, n),
+#: exact).  ``exact`` marks the order-independent min/max family whose two
+#: execution paths agree bit-for-bit; the averaging family sums received
+#: values in different orders on the two paths and is compared to the last
+#: ulp instead (mirroring tests/test_equivalence.py).
+ALGORITHMS = [
+    ("midpoint", lambda rng, n: MidpointAlgorithm(), True),
+    ("amortized-midpoint", lambda rng, n: AmortizedMidpointAlgorithm(), True),
+    ("two-agent", lambda rng, n: TwoAgentThirdsAlgorithm(), True),
+    ("mean", lambda rng, n: MeanAlgorithm(), False),
+    (
+        "hegselmann-krause",
+        lambda rng, n: HegselmannKrauseAlgorithm(float(rng.uniform(0.5, 2.5))),
+        False,
+    ),
+    (
+        "self-weighted",
+        lambda rng, n: SelfWeightedAveraging(float(rng.uniform(0.1, 0.9))),
+        False,
+    ),
+]
+
+
+def _case_rng(case_seed):
+    return np.random.default_rng((MASTER_SEED, case_seed))
+
+
+def build_scenario(case_seed):
+    """Deterministically generate one random scenario from its seed.
+
+    Returns a dict with an algorithm drawn from the registry, stacked
+    ``(B, n, d)`` initial values, a random per-round graph schedule (mixing
+    shared and per-scenario rounds), and the raw rng for further draws.
+    """
+    rng = _case_rng(case_seed)
+    key, factory, exact = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
+    n = 2 if key == "two-agent" else int(rng.integers(3, 9))
+    d = int(rng.integers(1, 3))
+    batch_size = int(rng.integers(1, 5))
+    rounds = int(rng.integers(1, 8))
+    algorithm = factory(rng, n)
+    values = rng.uniform(-2.0, 2.0, size=(batch_size, n, d))
+    edge_probability = float(rng.uniform(0.15, 0.95))
+    graph_rounds = []
+    for _ in range(rounds):
+        if rng.random() < 0.5:
+            graph_rounds.append(random_graph(n, rng, edge_probability))
+        else:
+            graph_rounds.append(
+                [random_graph(n, rng, edge_probability) for _ in range(batch_size)]
+            )
+    record_every = int(rng.integers(1, 4))
+    return {
+        "key": key,
+        "exact": exact,
+        "algorithm": algorithm,
+        "n": n,
+        "d": d,
+        "batch_size": batch_size,
+        "rounds": rounds,
+        "values": values,
+        "graph_rounds": graph_rounds,
+        "record_every": record_every,
+        "rng": rng,
+    }
+
+
+def _repro_snippet(pair, case_seed):
+    return (
+        f"\nDifferential fuzz mismatch in pair {pair!r} (case_seed={case_seed}).\n"
+        "Deterministic repro:\n"
+        "    from tests.test_fuzz_equivalence import run_case\n"
+        f"    run_case({pair!r}, {case_seed})\n"
+    )
+
+
+def _assert_outputs_match(pair, case_seed, label, got, want, exact):
+    got = np.asarray(got, dtype=float)
+    want = np.asarray(want, dtype=float)
+    if exact:
+        ok = np.array_equal(got, want)
+    else:
+        ok = got.shape == want.shape and np.allclose(got, want, rtol=0.0, atol=1e-12)
+    assert ok, (
+        f"{label}: outputs differ (max abs diff "
+        f"{np.abs(got - want).max() if got.shape == want.shape else 'shape mismatch'})"
+        + _repro_snippet(pair, case_seed)
+    )
+
+
+def _scenario_graphs(case, scenario):
+    return [
+        graphs if not isinstance(graphs, list) else graphs[scenario]
+        for graphs in case["graph_rounds"]
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Per-pair case runners (also the repro entry points)
+# --------------------------------------------------------------------------- #
+
+
+def _case_fast_vs_reference(case_seed):
+    case = build_scenario(case_seed)
+    pattern = SequencePattern(_scenario_graphs(case, 0)) if case["rounds"] else None
+    if pattern is None:
+        return
+    fast = run_execution(
+        case["algorithm"], case["values"][0], pattern, case["rounds"],
+        record_every=case["record_every"], use_fast_path=True,
+    )
+    reference = run_execution(
+        case["algorithm"], case["values"][0], pattern, case["rounds"],
+        record_every=case["record_every"], use_fast_path=False,
+    )
+    assert [c.round_number for c in fast.configurations] == [
+        c.round_number for c in reference.configurations
+    ], "recorded rounds differ" + _repro_snippet("fast_vs_reference", case_seed)
+    for config_fast, config_ref in zip(fast.configurations, reference.configurations):
+        _assert_outputs_match(
+            "fast_vs_reference",
+            case_seed,
+            f"{case['key']} round {config_fast.round_number}",
+            config_fast.outputs,
+            config_ref.outputs,
+            case["exact"],
+        )
+    _assert_outputs_match(
+        "fast_vs_reference", case_seed, f"{case['key']} diameters",
+        fast.diameters(), reference.diameters(), case["exact"],
+    )
+
+
+def _case_batch_vs_loop(case_seed):
+    case = build_scenario(case_seed)
+    batched = run_ensemble(
+        case["algorithm"], case["values"], case["graph_rounds"],
+        record_every=case["record_every"], use_batch=True, record_states=True,
+    ) if case["algorithm"].supports_batch() else None
+    loop = run_ensemble(
+        case["algorithm"], case["values"], case["graph_rounds"],
+        record_every=case["record_every"], use_batch=False, record_states=True,
+    )
+    if batched is None:
+        return
+    assert batched.recorded_rounds == loop.recorded_rounds, (
+        "recorded rounds differ" + _repro_snippet("batch_vs_loop", case_seed)
+    )
+    # The ensemble path and the per-scenario loop are bit-for-bit identical
+    # for every algorithm: both run the vectorized transition per scenario.
+    _assert_outputs_match(
+        "batch_vs_loop", case_seed, f"{case['key']} recorded outputs",
+        batched.recorded_outputs, loop.recorded_outputs, True,
+    )
+    _assert_outputs_match(
+        "batch_vs_loop", case_seed, f"{case['key']} diameters",
+        batched.diameters(), loop.diameters(), True,
+    )
+    # Per-scenario snapshots must agree with single-scenario fast-path runs.
+    scenario = int(case["rng"].integers(case["batch_size"]))
+    solo = run_execution(
+        case["algorithm"], case["values"][scenario],
+        SequencePattern(_scenario_graphs(case, scenario)) if case["rounds"] else None,
+        case["rounds"], record_every=case["record_every"],
+    ) if case["rounds"] else None
+    if solo is not None:
+        for config_batch, config_solo in zip(
+            batched.scenario_configurations(scenario), solo.configurations
+        ):
+            _assert_outputs_match(
+                "batch_vs_loop", case_seed,
+                f"{case['key']} scenario {scenario} snapshot round "
+                f"{config_batch.round_number}",
+                config_batch.outputs, config_solo.outputs, True,
+            )
+
+
+def _case_adversarial_batch_vs_loop(case_seed):
+    case = build_scenario(case_seed)
+    rng = case["rng"]
+    n = case["n"]
+    model_size = int(rng.integers(2, 5))
+    edge_probability = float(rng.uniform(0.3, 0.9))
+    model = NetworkModel(
+        [random_graph(n, rng, edge_probability) for _ in range(model_size)]
+    )
+    rounds = int(rng.integers(1, 6))
+    avoid_repeat = bool(rng.random() < 0.3)
+    batched = run_adversarial_ensemble(
+        case["algorithm"], case["values"],
+        GreedyDiameterAdversary(model, avoid_repeat=avoid_repeat),
+        rounds, use_batch=True, record_states=True,
+    )
+    loop = run_adversarial_ensemble(
+        case["algorithm"], case["values"],
+        GreedyDiameterAdversary(model, avoid_repeat=avoid_repeat),
+        rounds, use_batch=False, record_states=True,
+    )
+    _assert_outputs_match(
+        "adversarial_batch_vs_loop", case_seed, f"{case['key']} recorded outputs",
+        batched.recorded_outputs, loop.recorded_outputs, True,
+    )
+    for scenario in range(case["batch_size"]):
+        assert batched.scenario_graphs(scenario) == loop.scenario_graphs(scenario), (
+            f"{case['key']} scenario {scenario}: committed graph choices differ"
+            + _repro_snippet("adversarial_batch_vs_loop", case_seed)
+        )
+
+
+def _case_packed_vs_dense(case_seed):
+    rng = _case_rng(case_seed)
+    n = int(rng.integers(2, 48))
+    d = int(rng.integers(1, 4))
+    lead = int(rng.integers(1, 7))
+    values = rng.uniform(-3.0, 3.0, size=(lead, n, d))
+    if rng.random() < 0.3:
+        # Shared registered graph adjacency broadcast over the value ensemble
+        # (exercises the bitset-resident CommunicationGraph cache).
+        adjacency = random_graph(n, rng, float(rng.uniform(0.1, 0.9))).adjacency
+    else:
+        adjacency = rng.random((lead, n, n)) < rng.uniform(0.1, 0.9)
+        adjacency = adjacency.copy()
+        for i in range(n):
+            adjacency[..., i, i] = bool(rng.random() < 0.9)
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(adjacency, values)
+    with masked_reduction_impl("packed"):
+        lo_packed, hi_packed = masked_min_max(adjacency, values)
+    for label, got, want in (
+        ("masked min", lo_packed, lo_dense),
+        ("masked max", hi_packed, hi_dense),
+    ):
+        assert np.array_equal(got, want), (
+            f"{label} differs between packed and dense reductions "
+            f"(n={n}, d={d}, lead={lead})" + _repro_snippet("packed_vs_dense", case_seed)
+        )
+
+
+def _case_facade_vs_direct(case_seed):
+    case = build_scenario(case_seed)
+    rng = case["rng"]
+    pattern = PeriodicPattern(_scenario_graphs(case, 0)) if case["rounds"] else None
+    if pattern is None:
+        return
+    if rng.random() < 0.5:
+        # Single-scenario route.
+        direct = run_execution(
+            case["algorithm"], case["values"][0], pattern, case["rounds"],
+            record_every=case["record_every"],
+        )
+        facade = Study(
+            algorithm=case["algorithm"], initial_values=case["values"][0],
+            pattern=pattern, rounds=case["rounds"], record_every=case["record_every"],
+        ).run()
+        assert facade.provenance.route == "run_execution"
+        direct_outputs = np.stack([c.outputs for c in direct.configurations])
+        facade_outputs = np.stack([c.outputs for c in facade.execution.configurations])
+    else:
+        direct = run_pattern_ensemble(
+            case["algorithm"], case["values"], pattern, case["rounds"],
+            record_every=case["record_every"],
+        )
+        facade = Study(
+            algorithm=case["algorithm"], initial_values=case["values"],
+            pattern=pattern, rounds=case["rounds"], record_every=case["record_every"],
+        ).run()
+        assert facade.provenance.route == "run_pattern_ensemble"
+        direct_outputs = direct.recorded_outputs
+        facade_outputs = facade.execution.recorded_outputs
+    _assert_outputs_match(
+        "facade_vs_direct", case_seed, f"{case['key']} outputs",
+        facade_outputs, direct_outputs, True,
+    )
+    _assert_outputs_match(
+        "facade_vs_direct", case_seed, f"{case['key']} final diameters",
+        np.asarray(facade.final_diameters()), np.asarray(
+            direct.final_diameter() if hasattr(direct, "final_diameter")
+            else direct.final_diameters()
+        ), True,
+    )
+
+
+_PAIRS = {
+    "fast_vs_reference": _case_fast_vs_reference,
+    "batch_vs_loop": _case_batch_vs_loop,
+    "adversarial_batch_vs_loop": _case_adversarial_batch_vs_loop,
+    "packed_vs_dense": _case_packed_vs_dense,
+    "facade_vs_direct": _case_facade_vs_direct,
+}
+
+
+def run_case(pair, case_seed):
+    """Replay one generated case of one toggle pair (the repro entry point)."""
+    _PAIRS[pair](case_seed)
+
+
+@pytest.mark.parametrize("pair", sorted(_PAIRS))
+def test_fuzz_pair(pair):
+    for case_seed in range(CASES_PER_PAIR):
+        run_case(pair, case_seed)
+
+
+def test_generator_is_deterministic():
+    first = build_scenario(7)
+    second = build_scenario(7)
+    assert first["key"] == second["key"]
+    assert np.array_equal(first["values"], second["values"])
+    assert [
+        g.adjacency.tobytes() if not isinstance(g, list) else
+        tuple(h.adjacency.tobytes() for h in g)
+        for g in first["graph_rounds"]
+    ] == [
+        g.adjacency.tobytes() if not isinstance(g, list) else
+        tuple(h.adjacency.tobytes() for h in g)
+        for g in second["graph_rounds"]
+    ]
+
+
+def test_repro_snippet_names_pair_and_seed():
+    snippet = _repro_snippet("batch_vs_loop", 42)
+    assert "run_case('batch_vs_loop', 42)" in snippet
+    assert "tests.test_fuzz_equivalence" in snippet

@@ -300,3 +300,108 @@ def test_masked_reduction_impl_validation_and_restore():
     values = np.zeros((2, 3, 1))
     adjacency = np.ones((2, 3, 3), dtype=bool)
     assert masked_min(adjacency, values).shape == (2, 3, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Bitset-resident adjacency cache + vectorized packed column gather
+# --------------------------------------------------------------------------- #
+
+
+def test_packed_receive_rows_is_cached_and_correct():
+    from repro.types import pack_bool_rows
+
+    rng = np.random.default_rng(11)
+    graph = random_graph(12, rng, 0.4)
+    packed = graph.packed_receive_rows
+    assert packed is graph.packed_receive_rows  # computed once, shared
+    assert not packed.flags.writeable
+    assert np.array_equal(packed, pack_bool_rows(graph.adjacency.T))
+
+
+def test_packed_in_neighborhoods_matches_raw_stack_packing():
+    from repro.graphs.packed import (
+        graph_in_neighborhood_ids,
+        packed_in_neighborhoods,
+        pack_adjacency_rows,
+    )
+
+    rng = np.random.default_rng(12)
+    graphs = [random_graph(10, rng, 0.5) for _ in range(4)]
+    stack = stack_adjacencies(graphs)
+    cached = packed_in_neighborhoods(graphs)
+    raw = pack_adjacency_rows(stack.swapaxes(-1, -2))
+    assert np.array_equal(cached, raw)
+    assert np.array_equal(graph_in_neighborhood_ids(graphs), in_neighborhood_ids(stack))
+    # The stacked rows come straight out of each graph's resident bitset.
+    assert np.shares_memory(
+        packed_in_neighborhoods([graphs[0]]), graphs[0].packed_receive_rows
+    ) or np.array_equal(packed_in_neighborhoods([graphs[0]])[0], graphs[0].packed_receive_rows)
+
+
+def test_packed_in_neighborhoods_rejects_mixed_sizes():
+    from repro.graphs.packed import packed_in_neighborhoods
+
+    with pytest.raises(GraphError):
+        packed_in_neighborhoods([complete_graph(4), complete_graph(5)])
+    with pytest.raises(GraphError):
+        packed_in_neighborhoods([])
+
+
+def test_alpha_machinery_uses_graph_bitset_caches():
+    # The default (non-union) witness tensor must produce identical
+    # partitions while reading packed rows from the graphs' caches.
+    rng = np.random.default_rng(13)
+    graphs = [random_graph(7, rng, 0.4) for _ in range(5)]
+    packed_classes = alpha_classes(graphs, use_packed=True)
+    reference_classes = alpha_classes(graphs, use_packed=False)
+    assert packed_classes == reference_classes
+    for graph in graphs:
+        assert graph._packed_receive is not None  # cache was populated
+
+
+def test_packed_gather_on_graph_adjacency_bit_for_bit():
+    # Regression for the packed column gather: a single-graph adjacency
+    # broadcast over a value ensemble must equal the dense path exactly.
+    rng = np.random.default_rng(14)
+    for trial in range(20):
+        n = int(rng.integers(2, 40))
+        d = int(rng.integers(1, 3))
+        lead = int(rng.integers(2, 8))
+        graph = random_graph(n, rng, float(rng.uniform(0.1, 0.9)))
+        values = rng.uniform(-4.0, 4.0, size=(lead, n, d))
+        with masked_reduction_impl("dense"):
+            lo_dense, hi_dense = masked_min_max(graph.adjacency, values)
+        with masked_reduction_impl("packed"):
+            lo_packed, hi_packed = masked_min_max(graph.adjacency, values)
+        assert np.array_equal(lo_dense, lo_packed), trial
+        assert np.array_equal(hi_dense, hi_packed), trial
+
+
+def test_packed_gather_on_memoized_stacks_matches_dense():
+    from repro.execution.engine import _AdjacencyCache
+
+    rng = np.random.default_rng(15)
+    graphs = tuple(random_graph(24, rng, 0.3) for _ in range(5))
+    stacked = _AdjacencyCache().stacked(graphs)
+    values = rng.uniform(-1.0, 1.0, size=(5, 24, 2))
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(stacked, values)
+    with masked_reduction_impl("packed"):
+        lo_packed, hi_packed = masked_min_max(stacked, values)
+    assert np.array_equal(lo_dense, lo_packed)
+    assert np.array_equal(hi_dense, hi_packed)
+
+
+def test_packed_gather_handles_isolated_receivers():
+    # Receivers with no in-neighbors at all (no self-loop in the raw mask)
+    # must keep the +/-inf sentinel semantics of the dense path.
+    values = np.array([[[0.5], [1.5], [-2.0]], [[3.0], [0.0], [1.0]]])
+    adjacency = np.zeros((2, 3, 3), dtype=bool)
+    adjacency[0, 0, 1] = True  # 1 hears 0 in scenario 0; everyone else deaf
+    with masked_reduction_impl("packed"):
+        lo_packed, hi_packed = masked_min_max(adjacency, values)
+    with masked_reduction_impl("dense"):
+        lo_dense, hi_dense = masked_min_max(adjacency, values)
+    assert np.array_equal(lo_dense, lo_packed)
+    assert np.array_equal(hi_dense, hi_packed)
+    assert lo_packed[0, 0, 0] == np.inf and hi_packed[0, 0, 0] == -np.inf

@@ -39,8 +39,11 @@ _FACADE_MAX_SLOWDOWN = 1.05
 #: least this factor (a minimum speedup, not just an absence of slowdown).
 #: Ensemble-scale certification stacks all B scenarios' sampled futures into
 #: single passes; losing the stacking would silently degrade to the
-#: per-scenario loop while still passing the slack slowdown check.
-_MIN_SPEEDUPS = {"certify_ensemble": 5.0}
+#: per-scenario loop while still passing the slack slowdown check.  The
+#: faulted ensemble applies its (B, n, n) fault masks to the whole stacked
+#: adjacency per round; silently falling back to masking one scenario at a
+#: time would likewise survive the slack check.
+_MIN_SPEEDUPS = {"certify_ensemble": 5.0, "faulted_ensemble": 3.0}
 
 #: Benchmarks every payload must contain: the fast-path gate is meaningless
 #: if a regression silently removes an entry, so missing families fail too.
@@ -49,6 +52,7 @@ _MIN_SPEEDUPS = {"certify_ensemble": 5.0}
 _REQUIRED_BENCHMARKS = (
     "run_execution",
     "ensemble",
+    "faulted_ensemble",
     "greedy_adversary",
     "psi_adversary",
     "adversarial_ensemble",

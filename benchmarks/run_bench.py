@@ -46,6 +46,7 @@ from repro.execution import (
     run_execution,
     run_pattern_ensemble,
 )
+from repro.faults import CrashSpec, FaultPlan
 from repro.execution.engine import initial_configuration
 from repro.graphs.families import (
     complete_graph,
@@ -184,6 +185,64 @@ def bench_ensemble(grid, d: int, repeats: int) -> list:
             f"ensemble      {algorithm.name:10s} B={batch_size:4d} n={n:4d} rounds={rounds:4d} "
             f"loop={loop_s * 1e3:9.2f}ms batched={batch_s * 1e3:9.2f}ms "
             f"speedup={entry['speedup']:7.1f}x peak={peak_mem / 1e6:7.1f}MB"
+        )
+    return results
+
+
+def bench_faulted_ensemble(grid, d: int, repeats: int) -> list:
+    """Vectorized fault-mask ensemble vs the per-scenario faulted loop.
+
+    Both toggles consume the same seed-deterministic :class:`FaultPlan`
+    (message drops plus an unclean crash), so the masked adjacencies — and
+    the recorded outputs — are bit-for-bit identical
+    (tests/test_fuzz_equivalence.py); only the execution strategy differs.
+    ``batched_s`` applies the ``(B, n, n)`` fault masks to the whole stacked
+    adjacency per round, ``loop_s`` masks and runs one scenario at a time.
+    """
+    results = []
+    algorithm = MidpointAlgorithm()
+    plan = FaultPlan(
+        drop=0.15,
+        crashes=(CrashSpec(agent=0, round=3, final_recipients=frozenset({1})),),
+        f=2,
+        seed=7,
+        enforce_model=False,
+    )
+    for batch_size, n, rounds in grid:
+        values = np.stack([_initial_values(n, d, seed=b) for b in range(batch_size)])
+        pattern = _pattern(n)
+        loop_s = _best_of(
+            lambda: run_pattern_ensemble(
+                algorithm, values, pattern, rounds,
+                record_every=rounds or 1, use_batch=False, fault_plan=plan,
+            ),
+            repeats,
+        )
+        batch_s = _best_of(
+            lambda: run_pattern_ensemble(
+                algorithm, values, pattern, rounds,
+                record_every=rounds or 1, use_batch=True, fault_plan=plan,
+            ),
+            repeats,
+        )
+        entry = {
+            "benchmark": "faulted_ensemble",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "rounds": rounds,
+            "d": d,
+            "drop": plan.drop,
+            "crashes": len(plan.crashes),
+            "loop_s": loop_s,
+            "batched_s": batch_s,
+            "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"faulted-ens   {algorithm.name:10s} B={batch_size:4d} n={n:4d} rounds={rounds:4d} "
+            f"loop={loop_s * 1e3:9.2f}ms batched={batch_s * 1e3:9.2f}ms "
+            f"speedup={entry['speedup']:7.1f}x"
         )
     return results
 
@@ -798,6 +857,9 @@ def main() -> int:
     if args.smoke:
         engine_grid = [(8, 10)]
         ensemble_grid = [(8, 8, 10)]
+        # Large enough that the per-round mask application amortizes over the
+        # batch; the >=3x gate has real margin on the per-scenario loop.
+        faulted_ensemble_grid = [(96, 16, 10)]
         adversary_grid = [(8, 4, 5)]
         psi_grid = [(8, 12)]
         adversarial_ensemble_grid = [(4, 8, 4, 5)]
@@ -824,6 +886,7 @@ def main() -> int:
     else:
         engine_grid = [(16, 100), (64, 100), (64, 500), (256, 100)]
         ensemble_grid = [(16, 64, 100), (64, 64, 100), (256, 16, 100)]
+        faulted_ensemble_grid = [(16, 64, 100), (64, 32, 100), (256, 16, 100)]
         adversary_grid = [(64, 8, 10), (64, 16, 10), (128, 8, 5)]
         psi_grid = [(34, 64), (66, 64)]
         adversarial_ensemble_grid = [(16, 32, 8, 20), (64, 32, 8, 20)]
@@ -850,6 +913,7 @@ def main() -> int:
     if not args.smoke:
         results += bench_engine([(64, 100)], d=3, repeats=repeats)
     results += bench_ensemble(ensemble_grid, d=1, repeats=repeats)
+    results += bench_faulted_ensemble(faulted_ensemble_grid, d=1, repeats=repeats)
     results += bench_adversary(adversary_grid, repeats=repeats)
     results += bench_psi_adversary(psi_grid, repeats=repeats)
     results += bench_adversarial_ensemble(adversarial_ensemble_grid, repeats=repeats)

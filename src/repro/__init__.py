@@ -28,19 +28,35 @@ from repro.config import current_engine_config
 from repro.exceptions import (
     ConfigError,
     EnsembleShapeError,
+    FaultModelError,
     ReproError,
+)
+from repro.faults import (
+    CrashSpec,
+    FaultMaskingPattern,
+    FaultPlan,
+    FaultSpec,
+    JoinSpec,
+    as_fault_plan,
 )
 
 __all__ = [
     "CertifySpec",
     "ConfigError",
+    "CrashSpec",
     "EngineConfig",
     "EnsembleShapeError",
+    "FaultMaskingPattern",
+    "FaultModelError",
+    "FaultPlan",
+    "FaultSpec",
+    "JoinSpec",
     "ReproError",
     "ScenarioSpec",
     "Study",
     "StudyCertificates",
     "StudyProvenance",
     "StudyResult",
+    "as_fault_plan",
     "current_engine_config",
 ]

@@ -9,7 +9,8 @@ engine's vectorized fast path wherever the algorithm supports it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace as _dc_replace
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.core.lower_bounds import (
 )
 from repro.execution import run_execution
 from repro.execution.metrics import convergence_round, empirical_contraction_rate
+from repro.faults import FaultPlan, FaultSpec, as_fault_plan
 from repro.graphs.relations import alpha_diameter
 from repro.models.standard import deaf_model, psi_model, two_agent_model
 
@@ -181,6 +183,7 @@ def run_certification_sweep(
     ensemble_size: Optional[int] = None,
     ensemble_spread: float = 0.05,
     seed: int = 0,
+    faults: Union[FaultSpec, FaultPlan, None] = None,
 ) -> List[Dict[str, object]]:
     """Tightness certificates for Theorems 1–3 over a grid of system sizes.
 
@@ -218,6 +221,18 @@ def run_certification_sweep(
     single ensemble passes.  Rows then carry ``ensemble_B``, the per-scenario
     rate extremes (``output_rate_max``, ``valency_lower_rate_min``) and
     ``certified`` = every scenario's interval brackets the bound.
+
+    With ``faults=`` each row additionally certifies the same contest *under
+    the fault plan*: the adversary runs fault-free (adversaries and fault
+    plans cannot adapt to each other — see
+    :func:`repro.execution.batch.run_adversarial_ensemble`), its committed
+    per-round graph schedule is then **replayed** as a faulted graphs-route
+    :class:`~repro.api.Study` with ``enforce_model=False`` (the committed
+    graphs are already minimal ``N_A`` members, so extra message drops
+    legitimately leave the model — the point of the robustness measurement),
+    and the faulted certificates land in ``faulted_output_rate`` /
+    ``faulted_valency_lower_rate`` (ensembles: ``..._max`` / ``..._min``)
+    next to the fault-free ones.
     """
     from repro.api import CertifySpec, Study
     from repro.core.contraction import certified_rate_interval, measure_contraction_rate
@@ -235,10 +250,56 @@ def run_certification_sweep(
                 ensemble_size=ensemble_size,
                 ensemble_spread=ensemble_spread,
                 seed=seed,
+                faults=faults,
             )
 
     tolerance = 0.15  # finite-horizon slack on the fitted rates
     results: List[Dict[str, object]] = []
+    fault_plan = as_fault_plan(faults)
+    if fault_plan is not None:
+        # The committed schedules are minimal N_A members already; replayed
+        # drops legitimately push below the n - f in-degree floor.
+        fault_plan = _dc_replace(fault_plan, enforce_model=False)
+
+    def certify_faulted_replay(
+        row: Dict[str, object],
+        algorithm,
+        model,
+        initial_values,
+        round_graphs,
+        n: int,
+    ) -> None:
+        """Replay a committed schedule under ``fault_plan`` and extend ``row``.
+
+        ``round_graphs`` is round-major: entry ``t`` is either one graph
+        (single scenario) or the length-``B`` per-scenario graphs of round
+        ``t + 1`` — exactly the two shapes :class:`repro.api.Study` accepts
+        for ``graphs=``.
+        """
+        from repro.api import CertifySpec, Study
+
+        result = Study(
+            algorithm=algorithm,
+            initial_values=initial_values,
+            graphs=round_graphs,
+            model=model,
+            certify=CertifySpec(
+                suffix_rounds=suffix_rounds,
+                exploration_depth=exploration_depth,
+                use_batch=use_batch,
+            ),
+            faults=fault_plan,
+        ).run()
+        row["faulted"] = True
+        if result.is_ensemble:
+            lower = [c.rate_interval[0] for c in result.certificates]
+            upper = [c.rate_interval[1] for c in result.certificates]
+            row["faulted_output_rate_max"] = max(upper)
+            row["faulted_valency_lower_rate_min"] = min(lower)
+        else:
+            lower_rate, upper_rate = result.certificates.rate_interval
+            row["faulted_output_rate"] = upper_rate
+            row["faulted_valency_lower_rate"] = lower_rate
 
     def certify_single(
         name: str,
@@ -265,7 +326,7 @@ def run_certification_sweep(
             for estimate in estimator.trace(measurement.execution.configurations)
         ]
         lower_rate, upper_rate = certified_rate_interval(measurement, trace)
-        return {
+        row = {
             "name": name,
             "n": n,
             "rounds": total_rounds,
@@ -275,6 +336,16 @@ def run_certification_sweep(
             "measured": upper_rate,
             "certified": lower_rate <= bound + tolerance and upper_rate >= bound - tolerance,
         }
+        if fault_plan is not None:
+            certify_faulted_replay(
+                row,
+                algorithm,
+                model,
+                initial_values,
+                list(measurement.execution.graphs),
+                n,
+            )
+        return row
 
     def certify_ensemble_row(
         name: str,
@@ -313,7 +384,7 @@ def run_certification_sweep(
             lower <= bound + tolerance and upper >= bound - tolerance
             for lower, upper in zip(lower_rates, upper_rates)
         )
-        return {
+        row = {
             "name": name,
             "n": n,
             "rounds": total_rounds,
@@ -326,6 +397,16 @@ def run_certification_sweep(
             "measured": max(upper_rates),
             "certified": certified,
         }
+        if fault_plan is not None:
+            certify_faulted_replay(
+                row,
+                algorithm,
+                model,
+                stacked,
+                result.execution.round_choices,
+                n,
+            )
+        return row
 
     certify = certify_single if ensemble_size is None else certify_ensemble_row
 

@@ -60,6 +60,7 @@ from repro.execution.batch import (
 )
 from repro.execution.engine import run_execution
 from repro.execution.execution import Execution
+from repro.faults import FaultMaskingPattern, FaultPlan, FaultSpec, as_fault_plan
 from repro.execution.metrics import convergence_round, empirical_contraction_rate
 from repro.graphs.digraph import CommunicationGraph
 from repro.models.network_model import NetworkModel
@@ -186,12 +187,16 @@ class StudyProvenance:
         single-scenario routes.
     config:
         The merged :class:`~repro.config.EngineConfig` the study ran under.
+    faulted:
+        Whether a (non-zero) :class:`~repro.faults.FaultPlan` was injected
+        into the executed communication graphs.
     """
 
     route: str
     fast_path: bool
     batched: Optional[bool]
     config: EngineConfig
+    faulted: bool = False
 
 
 @dataclass
@@ -313,6 +318,21 @@ class Study:
         certificates, computed as stacked ``(B·K, n, n)`` ensemble passes
         and bit-for-bit identical to ``B`` independent certified
         single-scenario studies.
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` (or precompiled
+        :class:`~repro.faults.FaultPlan`): message drops, clean/unclean
+        crashes with optional recovery, and late joins, injected into the
+        executed communication graphs.  Single-scenario studies mask the
+        pattern's graphs round by round; ensemble studies route the plan
+        through the engines' vectorized fault-mask path — both realize the
+        same deterministic per-``(scenario, round)`` draws.  A zero spec is
+        normalized away (the study is bit-for-bit fault-free); combining
+        ``faults`` with ``adversary`` raises
+        :class:`~repro.exceptions.ConfigError` (the adversary's committed
+        history would diverge from the faulted realized graphs — replay its
+        committed schedules as a faulted ``graphs`` study instead).
+        Certification (``certify=``) composes: faulted ensembles return
+        per-scenario certificates for the faulted trajectories.
     config:
         An :class:`~repro.config.EngineConfig`; the study runs inside it, so
         every knob (fast path, batching, packed kernels, reductions) applies
@@ -334,6 +354,7 @@ class Study:
         scenario_labels: Optional[Sequence[object]] = None,
         model: Optional[NetworkModel] = None,
         certify: Union[bool, CertifySpec, None] = None,
+        faults: Union[FaultSpec, FaultPlan, None] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         if not isinstance(algorithm, Algorithm):
@@ -382,6 +403,21 @@ class Study:
         if certify is not None and model is None:
             raise ConfigError("certification needs a network model: pass model=")
         self._certify = certify
+        if faults is not None and not isinstance(faults, (FaultSpec, FaultPlan)):
+            raise ConfigError(
+                f"faults must be a FaultSpec, FaultPlan or None, got {type(faults).__name__}"
+            )
+        plan = faults.compile() if isinstance(faults, FaultSpec) else faults
+        if plan is not None and plan.is_zero():
+            plan = None  # a zero plan is bit-for-bit fault-free
+        if plan is not None and self._spec.adversary is not None:
+            raise ConfigError(
+                "faults= cannot be combined with adversary=: the adversary's "
+                "committed graph history would diverge from the faulted realized "
+                "graphs; run the adversary fault-free and replay its committed "
+                "schedules as a faulted graphs= study instead"
+            )
+        self._faults = plan  # compiled but unresolved: the seed pins at run()
         self._config = config
 
     @property
@@ -413,6 +449,10 @@ class Study:
     def _execute(self) -> Tuple[Union[Execution, EnsembleExecution], StudyProvenance]:
         spec = self._spec
         merged = current_engine_config()
+        # Pin the plan's seed to the config scope entered by run(), so the
+        # study realizes the same faults as a direct engine call inside the
+        # same ``with config:`` block.
+        plan = as_fault_plan(self._faults)
         if not spec.is_ensemble():
             pattern = spec.adversary or spec.pattern
             if pattern is None:
@@ -422,6 +462,11 @@ class Study:
                     "a single-scenario study needs one CommunicationPattern or "
                     f"AdversarialPattern, got {type(pattern).__name__}"
                 )
+            if plan is not None:
+                # Mask the pattern's graphs round by round with scenario 0's
+                # draws — the same effective graphs as scenario 0 of a
+                # faulted one-scenario ensemble.
+                pattern = FaultMaskingPattern(pattern, plan)
             execution = run_execution(
                 self._algorithm,
                 spec.initial_values,
@@ -436,6 +481,7 @@ class Study:
                 fast_path=bool(fast_path),
                 batched=None,
                 config=merged,
+                faulted=plan is not None,
             )
 
         # Certified ensembles need the per-scenario configuration snapshots
@@ -461,6 +507,7 @@ class Study:
                 record_every=spec.record_every,
                 scenario_labels=spec.scenario_labels,
                 record_states=record_states,
+                fault_plan=plan,
             )
             route = "run_pattern_ensemble"
         else:
@@ -471,6 +518,7 @@ class Study:
                 record_every=spec.record_every,
                 scenario_labels=spec.scenario_labels,
                 record_states=record_states,
+                fault_plan=plan,
             )
             route = "run_ensemble"
         resolved = resolve_use_fast_path(None)
@@ -480,6 +528,7 @@ class Study:
             fast_path=bool(fast_path),
             batched=result.batched,
             config=merged,
+            faulted=plan is not None,
         )
 
     @staticmethod

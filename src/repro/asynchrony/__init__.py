@@ -20,7 +20,7 @@ Contents:
   time ``f + 1``.
 """
 
-from repro.asynchrony.minrelay import MinRelayAlgorithm
+from repro.asynchrony.minrelay import MinRelayAlgorithm, MinRelaySyncAlgorithm
 from repro.asynchrony.round_based import RoundBasedAsyncAlgorithm
 from repro.asynchrony.schedulers import (
     AdversarialRoundDelayScheduler,
@@ -38,6 +38,7 @@ __all__ = [
     "AsyncExecution",
     "OutputSample",
     "MinRelayAlgorithm",
+    "MinRelaySyncAlgorithm",
     "RoundBasedAsyncAlgorithm",
     "ConstantDelayScheduler",
     "RandomDelayScheduler",

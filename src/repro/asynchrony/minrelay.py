@@ -19,10 +19,11 @@ Validity).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Tuple
+from typing import Any, FrozenSet, List, Mapping, Tuple
 
 import numpy as np
 
+from repro.algorithms.base import Algorithm
 from repro.asynchrony.simulator import AsyncAlgorithm, Broadcast
 from repro.types import as_value
 
@@ -66,3 +67,50 @@ class MinRelayAlgorithm(AsyncAlgorithm):
     @property
     def name(self) -> str:
         return "min-relay"
+
+
+class MinRelaySyncAlgorithm(Algorithm):
+    """MinRelay on the synchronous :class:`~repro.algorithms.base.Algorithm` contract.
+
+    The same relay-sets-and-output-the-minimum protocol, expressed as a
+    per-round state machine: each round the agent broadcasts its known-value
+    set and merges every set it receives.  This makes MinRelay runnable
+    under the :class:`~repro.asynchrony.round_based.RoundBasedAsyncAlgorithm`
+    wrapper — and hence under the same crash/fault schedules, timeout
+    policies and fuzz toggles as the averaging algorithms — at the price of
+    the round structure itself (run as asynchronous rounds its agreement
+    time degrades to the round-based envelope; the event-driven
+    :class:`MinRelayAlgorithm` is the Theorem 7 protocol that beats it).
+
+    Outputs are not convex combinations (the minimum is an extreme point),
+    so the certification layer's contraction analyses do not apply; the
+    algorithm is still *valid* (every output is some agent's initial value).
+    """
+
+    def initial_state(self, agent_id: int, initial_value: np.ndarray, n: int) -> MinRelayState:
+        value = tuple(as_value(initial_value).tolist())
+        return MinRelayState(known_values=frozenset({value}))
+
+    def message(self, agent_id: int, state: MinRelayState) -> FrozenSet[ValueTuple]:
+        return state.known_values
+
+    def transition(
+        self,
+        agent_id: int,
+        state: MinRelayState,
+        received: Mapping[int, Any],
+        round_number: int,
+    ) -> MinRelayState:
+        merged = state.known_values
+        for payload in received.values():
+            merged = merged | frozenset(payload)
+        if merged == state.known_values:
+            return state
+        return MinRelayState(known_values=merged)
+
+    def output(self, agent_id: int, state: MinRelayState) -> np.ndarray:
+        return np.array(state.minimum(), dtype=float)
+
+    @property
+    def name(self) -> str:
+        return "min-relay-sync"

@@ -25,7 +25,7 @@ read-only snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, FrozenSet, List, Mapping, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,13 @@ class RoundBasedState:
     round_in_neighbors: Mapping[int, FrozenSet[int]]
     n: int
     f: int
+    #: Retransmissions of the current round's message under the "retry"
+    #: timeout policy; reset to 0 whenever the agent advances a round.
+    retry_attempts: int = 0
+    #: Every round message this agent has sent (round -> message), kept so
+    #: the "retry" policy can retransmit past rounds to lagging peers.
+    #: Empty unless a round_timeout with the "retry" policy is configured.
+    sent_messages: Mapping[int, Any] = None  # type: ignore[assignment]
 
     def buffer_dict(self) -> Dict[int, Dict[int, Any]]:
         """The buffered round messages as a mutable nested dict (a copy)."""
@@ -67,6 +74,10 @@ def _with_buffered(
     return updated
 
 
+#: Valid graceful-degradation policies of the per-round receive timeout.
+_TIMEOUT_POLICIES = ("proceed", "retry", "abort")
+
+
 class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
     """Run a synchronous algorithm in asynchronous rounds with quorum ``n - f``.
 
@@ -74,10 +85,45 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
     ----------
     inner:
         The synchronous algorithm executed at each round advancement.
+    round_timeout:
+        Optional per-round receive timeout (in normalized time units).
+        Without one (the default) an agent waits forever on its quorum — a
+        fault schedule that drops too many round messages then surfaces as
+        a starvation :class:`~repro.exceptions.AsynchronyError` when the
+        event queue drains.  With a timeout the agent reacts per
+        ``timeout_policy`` instead of waiting forever.
+    timeout_policy:
+        What an agent does when its round timeout expires below quorum:
+
+        * ``"proceed"`` (default) — apply the round transition with
+          whatever messages are buffered (its own included).  Graceful
+          degradation: the realized effective graph of such a round may
+          leave the crash model ``N_A``, trading the Theorem 6 guarantees
+          for liveness.
+        * ``"retry"`` — retransmit the agent's full round-message history
+          (so peers stuck on earlier rounds catch up too) and keep
+          waiting.  Retried sends draw fresh per-attempt drop decisions
+          from the fault plan, so a lossy (but not silenced) link
+          eventually delivers.
+        * ``"abort"`` — raise an :class:`~repro.exceptions.AsynchronyError`
+          naming the starved agent and round.
     """
 
-    def __init__(self, inner: Algorithm) -> None:
+    def __init__(
+        self,
+        inner: Algorithm,
+        round_timeout: Optional[float] = None,
+        timeout_policy: str = "proceed",
+    ) -> None:
+        if round_timeout is not None and round_timeout <= 0:
+            raise AsynchronyError(f"round_timeout must be positive, got {round_timeout}")
+        if timeout_policy not in _TIMEOUT_POLICIES:
+            raise AsynchronyError(
+                f"timeout_policy must be one of {_TIMEOUT_POLICIES}, got {timeout_policy!r}"
+            )
         self._inner = inner
+        self._round_timeout = round_timeout
+        self._timeout_policy = timeout_policy
 
     @property
     def inner(self) -> Algorithm:
@@ -105,6 +151,8 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         payload = (state.current_round, self._inner.message(agent_id, state.inner))
         buffers = _with_buffered(state.buffers, state.current_round, agent_id, payload[1])
         new_state = replace(state, buffers=buffers)
+        if self._tracks_history():
+            new_state = replace(new_state, sent_messages={state.current_round: payload[1]})
         new_state, extra = self._advance_if_possible(agent_id, new_state)
         return new_state, [Broadcast(payload=payload, round_hint=state.current_round)] + extra
 
@@ -126,6 +174,48 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         return np.asarray(self._inner.output(agent_id, state.inner), dtype=float)
 
     # ------------------------------------------------------------------ #
+    # Timer / diagnosis hooks (graceful degradation under faults)
+    # ------------------------------------------------------------------ #
+
+    def timeout_after(self, agent_id: int, state: RoundBasedState) -> Optional[float]:
+        return self._round_timeout
+
+    def timeout_key(self, agent_id: int, state: RoundBasedState) -> Any:
+        # Advancing a round or issuing a retry both re-arm a fresh timer.
+        return (state.current_round, state.retry_attempts)
+
+    def on_timeout(
+        self, agent_id: int, state: RoundBasedState, time: float
+    ) -> Tuple[RoundBasedState, List[Broadcast]]:
+        if self._round_timeout is None:
+            return state, []
+        if self._timeout_policy == "abort":
+            raise AsynchronyError(
+                f"agent {agent_id} timed out in round {state.current_round} at time "
+                f"{time} after waiting {self._round_timeout} time units for its "
+                f"n - f = {state.n - state.f} quorum (timeout_policy='abort')"
+            )
+        if self._timeout_policy == "retry":
+            history = state.sent_messages
+            if history is None:
+                history = {state.current_round: state.buffers[state.current_round][agent_id]}
+            new_state = replace(state, retry_attempts=state.retry_attempts + 1)
+            return new_state, [
+                Broadcast(
+                    payload=(round_number, message),
+                    round_hint=round_number,
+                    attempt=new_state.retry_attempts,
+                )
+                for round_number, message in sorted(history.items())
+            ]
+        return self._force_advance(agent_id, state)
+
+    def starvation_info(self, agent_id: int, state: RoundBasedState) -> Optional[int]:
+        # Round-based agents never quiesce: a drained event queue always
+        # means this agent is stuck waiting on its current round's quorum.
+        return state.current_round
+
+    # ------------------------------------------------------------------ #
     # Analysis accessors
     # ------------------------------------------------------------------ #
 
@@ -145,6 +235,10 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
     # Internal helpers
     # ------------------------------------------------------------------ #
 
+    def _tracks_history(self) -> bool:
+        """Whether sent round messages are retained (for "retry" timeouts)."""
+        return self._round_timeout is not None and self._timeout_policy == "retry"
+
     def _advance_if_possible(
         self, agent_id: int, state: RoundBasedState
     ) -> Tuple[RoundBasedState, List[Broadcast]]:
@@ -158,6 +252,7 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
         inner = state.inner
         current_round = state.current_round
         in_neighbors = dict(state.round_in_neighbors)
+        sent = dict(state.sent_messages) if state.sent_messages is not None else None
 
         while len(buffers.get(current_round, ())) >= quorum:
             received = dict(buffers[current_round])
@@ -167,6 +262,8 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
             current_round += 1
             payload_message = self._inner.message(agent_id, inner)
             buffers = _with_buffered(buffers, current_round, agent_id, payload_message)
+            if sent is not None:
+                sent[current_round] = payload_message
             broadcasts.append(
                 Broadcast(payload=(current_round, payload_message), round_hint=current_round)
             )
@@ -178,5 +275,43 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
             round_in_neighbors=in_neighbors,
             n=state.n,
             f=state.f,
+            sent_messages=sent,
         )
         return new_state, broadcasts
+
+    def _force_advance(
+        self, agent_id: int, state: RoundBasedState
+    ) -> Tuple[RoundBasedState, List[Broadcast]]:
+        """Apply the round transition below quorum (the "proceed" policy).
+
+        Uses whatever round messages are buffered — always at least the
+        agent's own — then continues normal quorum-based advancement for
+        any already-buffered later rounds.
+        """
+        received = dict(state.buffers.get(state.current_round, ()))
+        if not received:
+            return state, []
+        inner = self._inner.transition(agent_id, state.inner, received, state.current_round)
+        in_neighbors = dict(state.round_in_neighbors)
+        in_neighbors[state.current_round] = frozenset(received)
+        buffers = dict(state.buffers)
+        del buffers[state.current_round]
+        next_round = state.current_round + 1
+        message = self._inner.message(agent_id, inner)
+        buffers = _with_buffered(buffers, next_round, agent_id, message)
+        sent = None
+        if state.sent_messages is not None:
+            sent = dict(state.sent_messages)
+            sent[next_round] = message
+        forced = RoundBasedState(
+            inner=inner,
+            current_round=next_round,
+            buffers=buffers,
+            round_in_neighbors=in_neighbors,
+            n=state.n,
+            f=state.f,
+            sent_messages=sent,
+        )
+        broadcasts = [Broadcast(payload=(next_round, message), round_hint=next_round)]
+        advanced, extra = self._advance_if_possible(agent_id, forced)
+        return advanced, broadcasts + extra

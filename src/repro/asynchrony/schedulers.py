@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.config import resolve_seed
 from repro.exceptions import AsynchronyError
 
 
@@ -45,9 +46,23 @@ class ConstantDelayScheduler(DelayScheduler):
 
 
 class RandomDelayScheduler(DelayScheduler):
-    """Deliveries take independent uniform delays in ``[min_delay, 1]`` (seeded)."""
+    """Deliveries take independent uniform delays in ``[min_delay, 1]`` (seeded).
 
-    def __init__(self, seed: int = 0, min_delay: float = 0.05, self_delay: float = 1e-6) -> None:
+    ``seed=None`` (the default) defers to the config-scoped seed of
+    :class:`~repro.config.EngineConfig` at each ``delay`` call, so a whole
+    faulted study is reproduced from the single ``EngineConfig(seed=...)``
+    knob; passing an explicit seed pins this scheduler independently of the
+    active config.  The per-delivery streams are keyed by
+    ``(seed, sender, recipient, send_time)``, making each delay independent
+    of event-processing order.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        min_delay: float = 0.05,
+        self_delay: float = 1e-6,
+    ) -> None:
         if not 0.0 < min_delay <= 1.0:
             raise AsynchronyError(f"min_delay must lie in (0, 1], got {min_delay}")
         self._seed = seed
@@ -57,7 +72,8 @@ class RandomDelayScheduler(DelayScheduler):
     def delay(self, sender: int, recipient: int, send_time: float, round_hint: Optional[int]) -> float:
         if sender == recipient:
             return self._self_delay
-        rng = np.random.default_rng((self._seed, sender, recipient, int(send_time * 1e6)))
+        seed = resolve_seed(self._seed)
+        rng = np.random.default_rng((seed, sender, recipient, int(send_time * 1e6)))
         return float(rng.uniform(self._min_delay, 1.0))
 
 

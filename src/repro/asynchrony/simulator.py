@@ -11,6 +11,24 @@ final broadcast reaches only a subset of the agents).
 The simulator records the full output trajectory of every agent so that
 experiments can evaluate agreement times (Theorem 7) and per-round
 contraction (Theorem 6).
+
+Fault injection: a :class:`~repro.faults.FaultPlan` gates every scheduled
+delivery through the same deterministic per-``(scenario, round)`` masks the
+batched ensemble engine compiles — round-tagged messages are dropped,
+duplicated, jittered or silenced (crash/late-join) bit-for-bit consistently
+with the vectorized path.  Round tags come from ``Broadcast.round_hint``
+(the round-based wrapper sets it); untagged broadcasts are tagged by their
+per-sender send index.  Plan crashes without a ``recovery_round`` halt the
+agent after its final broadcast; crashes *with* a recovery round model a
+partitioned-but-alive agent (outbound messages suppressed during the
+outage) — the lockstep engines instead freeze the agent's state, the one
+documented semantic divergence between the two consumers.
+
+Deliveries at coinciding timestamps are applied as one batched step: the
+event group is processed together and each touched agent's output is
+recorded once per timestamp (time-indexed queries already collapse
+same-time samples, so this is behavior-preserving and keeps the sample
+list small under synchronized lockstep schedules).
 """
 
 from __future__ import annotations
@@ -19,13 +37,17 @@ import heapq
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.asynchrony.schedulers import ConstantDelayScheduler, CrashSchedule, DelayScheduler
 from repro.exceptions import AsynchronyError
+from repro.faults import FaultPlan, FaultSpec, as_fault_plan
 from repro.types import ValuesLike, as_value_matrix, diameter
+
+#: Sentinel "sender" of timer events on the event heap.
+_TIMER_SENDER = -1
 
 
 @dataclass
@@ -38,11 +60,17 @@ class Broadcast:
         The message content (opaque to the simulator).
     round_hint:
         Optional asynchronous-round tag; passed to the delay scheduler so
-        that round-aware adversaries can slow down specific round messages.
+        that round-aware adversaries can slow down specific round messages,
+        and to the fault plan so drops/crashes hit the intended round.
+    attempt:
+        Retransmission attempt (0 = the original send).  Retried sends draw
+        their drop decision from a dedicated per-attempt fault stream so a
+        retry is not deterministically lost to the original drop draw.
     """
 
     payload: Any
     round_hint: Optional[int] = None
+    attempt: int = 0
 
 
 class AsyncAlgorithm(ABC):
@@ -65,6 +93,43 @@ class AsyncAlgorithm(ABC):
     @abstractmethod
     def output(self, agent_id: int, state: Any) -> np.ndarray:
         """The agent's current output value ``y_i``."""
+
+    # ------------------------------------------------------------------ #
+    # Optional timer / diagnosis hooks (default: no timers, no starvation)
+    # ------------------------------------------------------------------ #
+
+    def timeout_after(self, agent_id: int, state: Any) -> Optional[float]:
+        """How long the agent is willing to wait in its current state.
+
+        ``None`` (the default) arms no timer.  When a value is returned the
+        simulator schedules an :meth:`on_timeout` step that many time units
+        after the agent's last step — unless :meth:`timeout_key` changes
+        first (i.e. the agent made progress and the timer is stale).
+        """
+        return None
+
+    def timeout_key(self, agent_id: int, state: Any) -> Any:
+        """Progress marker of the armed timer (e.g. the current round).
+
+        A pending timer only fires while the agent's key still equals the
+        key it was armed with; steps that change the key implicitly cancel
+        the timer (and re-arm a fresh one via :meth:`timeout_after`).
+        """
+        return None
+
+    def on_timeout(self, agent_id: int, state: Any, time: float) -> Tuple[Any, List[Broadcast]]:
+        """React to an expired timer: returns (new state, broadcasts)."""
+        return state, []
+
+    def starvation_info(self, agent_id: int, state: Any) -> Optional[int]:
+        """The round the agent is stuck waiting on, or ``None`` if quiescent.
+
+        Consulted when the event queue drains: algorithms that legitimately
+        quiesce (e.g. MinRelay) return ``None``; round-based algorithms
+        return their current round so the simulator can raise a diagnosable
+        starvation error instead of silently returning a stalled execution.
+        """
+        return None
 
     @property
     def name(self) -> str:
@@ -199,6 +264,17 @@ class AsynchronousSimulator:
         Assigns delivery delays; defaults to the worst case (all delays 1).
     crash_schedule:
         The crash faults; defaults to no crashes.
+    fault_plan:
+        Optional round-indexed :class:`~repro.faults.FaultPlan` (or
+        :class:`~repro.faults.FaultSpec`): message drops, duplication,
+        delay jitter, clean/unclean crashes with optional recovery, and
+        late joins, sampled from the same deterministic streams as the
+        batched ensemble engine.  A zero plan is normalized away and the
+        simulation runs its untouched fault-free path.
+    fault_scenario:
+        The ensemble scenario index whose fault streams this simulation
+        realizes (so a simulator run can be compared against scenario
+        ``fault_scenario`` of a faulted batched ensemble).
     max_time:
         Simulation horizon in normalized time units.
     max_events:
@@ -212,6 +288,8 @@ class AsynchronousSimulator:
         f: int,
         delay_scheduler: Optional[DelayScheduler] = None,
         crash_schedule: Optional[CrashSchedule] = None,
+        fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
+        fault_scenario: int = 0,
         max_time: float = 50.0,
         max_events: int = 200_000,
     ) -> None:
@@ -225,12 +303,20 @@ class AsynchronousSimulator:
         self._delays = delay_scheduler or ConstantDelayScheduler()
         self._crashes = crash_schedule or CrashSchedule()
         self._crashes.validate(self._n, f)
+        self._fault_plan = as_fault_plan(fault_plan)
+        if self._fault_plan is not None:
+            self._fault_plan.validate_for(self._n, f=self._f)
+        if fault_scenario < 0:
+            raise AsynchronyError(f"fault_scenario must be non-negative, got {fault_scenario}")
+        self._fault_scenario = fault_scenario
         self._max_time = max_time
         self._max_events = max_events
 
     def run(self) -> AsyncExecution:
         """Run the simulation until the horizon or until no events remain."""
         n = self._n
+        plan = self._fault_plan
+        scenario = self._fault_scenario
         states: List[Any] = [
             self._algorithm.on_init(i, self._values[i], n, self._f) for i in range(n)
         ]
@@ -243,22 +329,77 @@ class AsynchronousSimulator:
         queue: List[Tuple[float, int, int, int, Any, Optional[int]]] = []
         counter = itertools.count()
         delivered = 0
+        send_counts = [0] * n  # round tags of untagged broadcasts (per-sender send index)
+        halted: set = set()  # plan-crashed agents that take no more steps
+        armed: Dict[int, Any] = {}  # agent -> timeout key its pending timer was armed with
+        mask_cache: Dict[int, Optional[np.ndarray]] = {}
+
+        def keep_mask(tag: int) -> Optional[np.ndarray]:
+            if tag not in mask_cache:
+                mask_cache[tag] = plan.round_mask(tag, scenario, n)
+            return mask_cache[tag]
 
         def schedule_broadcasts(sender: int, time: float, broadcasts: List[Broadcast]) -> None:
             fault = self._crashes.fault_of(sender)
             for broadcast in broadcasts:
+                send_counts[sender] += 1
+                tag = broadcast.round_hint if broadcast.round_hint is not None else send_counts[sender]
                 recipients = range(n)
                 if fault is not None and abs(time - fault.time) < 1e-12:
                     if fault.final_broadcast_recipients is not None:
                         recipients = sorted(fault.final_broadcast_recipients | {sender})
+                mask = keep_mask(tag) if plan is not None else None
                 for recipient in recipients:
+                    if mask is not None:
+                        if broadcast.attempt > 0:
+                            if not plan.retry_delivers(tag, broadcast.attempt, scenario, sender, recipient, n):
+                                continue
+                        elif not mask[sender, recipient]:
+                            continue  # dropped, or the sender is silent this round
                     delay = self._delays.delay(sender, recipient, time, broadcast.round_hint)
                     if delay <= 0:
                         raise AsynchronyError("delays must be strictly positive")
+                    if plan is not None and sender != recipient:
+                        delay = plan.jittered_delay(tag, scenario, sender, recipient, n, delay)
                     heapq.heappush(
                         queue,
                         (time + delay, next(counter), recipient, sender, broadcast.payload, broadcast.round_hint),
                     )
+                    if (
+                        plan is not None
+                        and sender != recipient
+                        and plan.duplicates(tag, scenario, sender, recipient, n)
+                    ):
+                        duplicate_delay = plan.duplicate_delay(tag, scenario, sender, recipient, n, delay)
+                        heapq.heappush(
+                            queue,
+                            (
+                                time + duplicate_delay,
+                                next(counter),
+                                recipient,
+                                sender,
+                                broadcast.payload,
+                                broadcast.round_hint,
+                            ),
+                        )
+                if plan is not None:
+                    crash = plan._crash_of(sender)
+                    if crash is not None and crash.recovery_round is None and tag >= crash.round:
+                        halted.add(sender)  # the final broadcast has been sent
+
+        def arm_timer(agent: int, time: float) -> None:
+            if agent in halted:
+                return
+            timeout = self._algorithm.timeout_after(agent, states[agent])
+            if timeout is None:
+                return
+            if timeout <= 0:
+                raise AsynchronyError(f"timeouts must be strictly positive, got {timeout}")
+            key = self._algorithm.timeout_key(agent, states[agent])
+            if armed.get(agent) == key:
+                return  # an equivalent timer is already pending
+            armed[agent] = key
+            heapq.heappush(queue, (time + timeout, next(counter), agent, _TIMER_SENDER, key, None))
 
         # Time 0: every not-yet-crashed agent performs its initial step.
         for i in range(n):
@@ -272,31 +413,64 @@ class AsynchronousSimulator:
             states[i] = new_state
             self._record_output(samples, outputs, i, 0.0, states[i])
             schedule_broadcasts(i, 0.0, broadcasts)
+            arm_timer(i, 0.0)
 
         events_processed = 0
         current_time = 0.0
-        while queue and events_processed < self._max_events:
-            time, _seq, recipient, sender, payload, _round_hint = heapq.heappop(queue)
-            if time > self._max_time:
+        horizon_reached = False
+        while queue and events_processed < self._max_events and not horizon_reached:
+            # Batched delivery: pop *all* events at the next timestamp and
+            # apply them as one step, recording each touched agent's output
+            # once per timestamp.
+            group_time = queue[0][0]
+            if group_time > self._max_time:
+                horizon_reached = True
                 break
-            current_time = time
-            events_processed += 1
-            fault = self._crashes.fault_of(recipient)
-            if fault is not None and time > fault.time:
-                continue  # the recipient has crashed and takes no more steps
-            new_state, broadcasts = self._algorithm.on_receive(
-                recipient, states[recipient], sender, payload, time
-            )
-            states[recipient] = new_state
-            delivered += 1
-            self._record_output(samples, outputs, recipient, time, new_state)
-            schedule_broadcasts(recipient, time, broadcasts)
+            current_time = group_time
+            touched: List[int] = []
+            touched_set: set = set()
+            while queue and queue[0][0] == group_time and events_processed < self._max_events:
+                time, _seq, recipient, sender, payload, _round_hint = heapq.heappop(queue)
+                events_processed += 1
+                if recipient in halted:
+                    continue  # the recipient crashed under the fault plan
+                fault = self._crashes.fault_of(recipient)
+                if fault is not None and time > fault.time:
+                    continue  # the recipient has crashed and takes no more steps
+                if sender == _TIMER_SENDER:
+                    if armed.get(recipient) != payload:
+                        continue  # stale timer: the agent made progress since arming
+                    del armed[recipient]
+                    new_state, broadcasts = self._algorithm.on_timeout(
+                        recipient, states[recipient], time
+                    )
+                else:
+                    new_state, broadcasts = self._algorithm.on_receive(
+                        recipient, states[recipient], sender, payload, time
+                    )
+                    delivered += 1
+                states[recipient] = new_state
+                if recipient not in touched_set:
+                    touched_set.add(recipient)
+                    touched.append(recipient)
+                schedule_broadcasts(recipient, time, broadcasts)
+                arm_timer(recipient, time)
+            for agent in touched:
+                self._record_output(samples, outputs, agent, group_time, states[agent])
 
         if events_processed >= self._max_events:
             raise AsynchronyError(
                 f"simulation exceeded {self._max_events} events; the algorithm may not quiesce"
             )
 
+        if not queue and not horizon_reached:
+            self._check_starvation(states, halted, current_time)
+
+        plan_crashed: FrozenSet[int] = frozenset(
+            crash.agent
+            for crash in (plan.crashes if plan is not None else ())
+            if crash.recovery_round is None
+        )
         return AsyncExecution(
             algorithm_name=self._algorithm.name,
             n=n,
@@ -304,13 +478,40 @@ class AsynchronousSimulator:
             final_time=current_time,
             final_outputs=outputs.copy(),
             samples=samples,
-            crashed_agents=self._crashes.crashed_agents,
+            crashed_agents=self._crashes.crashed_agents | plan_crashed,
             delivered_messages=delivered,
         )
 
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
+
+    def _check_starvation(self, states: List[Any], halted: set, current_time: float) -> None:
+        """Raise a diagnosable error when the queue drained with agents stuck.
+
+        A fault schedule that drops all of a round's messages leaves
+        round-based agents waiting forever on a quorum that can no longer
+        form — the event queue simply drains.  Algorithms report the round
+        they are stuck on via :meth:`AsyncAlgorithm.starvation_info`
+        (``None`` = legitimately quiescent); the first starved live agent is
+        named in the raised :class:`~repro.exceptions.AsynchronyError`.
+        """
+        for agent in range(self._n):
+            if agent in halted:
+                continue
+            fault = self._crashes.fault_of(agent)
+            if fault is not None and fault.time <= current_time:
+                continue  # crashed under the crash schedule: not starved, dead
+            stuck_round = self._algorithm.starvation_info(agent, states[agent])
+            if stuck_round is not None:
+                raise AsynchronyError(
+                    f"agent {agent} starved in round {stuck_round}: the event queue "
+                    f"drained at time {current_time} before the agent's quorum of "
+                    f"n - f = {self._n - self._f} round-{stuck_round} messages could "
+                    f"form (a fault schedule dropped or silenced too many messages); "
+                    f"set a round_timeout/timeout_policy on the round-based wrapper "
+                    f"for graceful degradation"
+                )
 
     def _record_output(
         self,

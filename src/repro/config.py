@@ -47,6 +47,7 @@ from repro.exceptions import AlgorithmError, ConfigError
 _DEFAULT_USE_BATCH = True
 _DEFAULT_USE_PACKED = True
 _DEFAULT_SCENARIO_CHUNK = 4096
+_DEFAULT_SEED = 0
 
 #: Fields that participate in the innermost-wins merge.
 _CONFIG_FIELDS = (
@@ -57,6 +58,7 @@ _CONFIG_FIELDS = (
     "reduction_batch_chunk",
     "reduction_receiver_chunk",
     "scenario_chunk",
+    "seed",
 )
 
 
@@ -88,6 +90,13 @@ class EngineConfig:
     scenario_chunk:
         Upper bound on the number of stacked scenarios per batched valency
         pass (default 4096).
+    seed:
+        The config-scoped RNG seed (default 0).  Every stochastic engine
+        component — :class:`~repro.asynchrony.schedulers.RandomDelayScheduler`
+        and the :class:`~repro.faults.FaultPlan` samplers — derives its
+        streams from this single seed (via disjoint per-purpose seed tuples),
+        so a faulted run is reproduced exactly by re-entering the same
+        config, across threads included (the stack is thread-local).
     """
 
     use_fast_path: Optional[bool] = None
@@ -97,6 +106,7 @@ class EngineConfig:
     reduction_batch_chunk: Optional[ChunkSetting] = None
     reduction_receiver_chunk: Optional[ChunkSetting] = None
     scenario_chunk: Optional[int] = None
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("use_fast_path", "use_batch", "use_packed"):
@@ -126,6 +136,14 @@ class EngineConfig:
         ):
             raise ConfigError(
                 f"scenario_chunk must be a positive int or None, got {self.scenario_chunk!r}"
+            )
+        if self.seed is not None and (
+            isinstance(self.seed, bool)
+            or not isinstance(self.seed, int)
+            or self.seed < 0
+        ):
+            raise ConfigError(
+                f"seed must be a non-negative int or None, got {self.seed!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -259,10 +277,19 @@ def resolve_scenario_chunk(explicit: Optional[int] = None) -> int:
     return _DEFAULT_SCENARIO_CHUNK if configured is None else configured
 
 
+def resolve_seed(explicit: Optional[int] = None) -> int:
+    """Config-scoped RNG seed: explicit argument, else active config, else 0."""
+    if explicit is not None:
+        return explicit
+    configured = _lookup("seed")
+    return _DEFAULT_SEED if configured is None else configured
+
+
 __all__ = [
     "EngineConfig",
     "current_engine_config",
     "resolve_scenario_chunk",
+    "resolve_seed",
     "resolve_use_batch",
     "resolve_use_fast_path",
     "resolve_use_packed",

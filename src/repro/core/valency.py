@@ -255,6 +255,17 @@ class ValencyEstimator:
         (:meth:`~repro.execution.batch.EnsembleExecution.scenario_configurations`);
         :class:`repro.api.Study` does this automatically for certified
         ensemble studies.
+
+        Faulted ensembles (run with a
+        :class:`~repro.faults.FaultPlan`) certify unchanged: the recorded
+        configurations already hold the post-fault states, so the estimates
+        quantify the valency of what the faulted system actually reached.
+        The estimator's *futures* are still drawn from ``model`` — the
+        certificate asks "how contracted is the reachable set from here
+        under fault-free continuations", which is the quantity the Theorem 6
+        bounds control.  Scenario ``b`` of a faulted ensemble certifies
+        bit-for-bit identically to a single-scenario run of the same
+        scenario under the same resolved plan.
         """
         if not isinstance(ensemble, EnsembleExecution):
             raise ExecutionError(

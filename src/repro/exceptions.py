@@ -72,5 +72,47 @@ class AsynchronyError(ReproError):
     """Raised by the asynchronous message-passing simulator.
 
     Typical causes are scheduling messages with non-positive delays,
-    delivering messages to crashed agents, or exceeding the crash budget.
+    delivering messages to crashed agents, exceeding the crash budget, or a
+    fault schedule starving a round-based agent of its ``n - f`` quorum.
     """
+
+
+class FaultModelError(ExecutionError):
+    """Raised when an injected fault pushes an effective graph outside ``N_A``.
+
+    The crash network model ``N_A`` of Section 8.1 contains exactly the
+    graphs in which every agent has at least ``n - f`` in-neighbors.  The
+    batched fault path checks every realized effective communication graph
+    against this invariant; a violation names the offending scenario, round
+    and agent instead of silently running an execution the certification
+    layer's crash-model guarantees no longer cover.
+
+    Attributes
+    ----------
+    scenario:
+        The ensemble scenario index of the violating graph (``None`` when
+        the violation occurred outside an ensemble context).
+    round_number:
+        The 1-based round of the violating graph.
+    agent:
+        The agent whose effective in-degree fell below the quorum.
+    in_degree / required:
+        The realized in-degree and the required minimum ``n - f``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        scenario=None,
+        round_number=None,
+        agent=None,
+        in_degree=None,
+        required=None,
+    ) -> None:
+        super().__init__(message)
+        self.scenario = scenario
+        self.round_number = round_number
+        self.agent = agent
+        self.in_degree = in_degree
+        self.required = required

@@ -35,8 +35,9 @@ import numpy as np
 
 from repro.algorithms.base import Algorithm
 from repro.config import resolve_use_batch
-from repro.exceptions import EnsembleShapeError, ExecutionError
+from repro.exceptions import ConfigError, EnsembleShapeError, ExecutionError
 from repro.execution.engine import _AdjacencyCache, apply_graph, initial_configuration
+from repro.faults import FaultPlan, FaultSpec, as_fault_plan
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
 from repro.models.patterns import AdversarialPattern, CommunicationPattern, EnsemblePlan
@@ -68,6 +69,10 @@ class EnsembleExecution:
         Provenance: ``True`` when the scenarios ran as one stacked ensemble
         through the batch hooks, ``False`` when the per-scenario fallback
         loop ran (``None`` on records predating the field).
+    fault_plan:
+        Provenance: the resolved :class:`~repro.faults.FaultPlan` the run
+        was executed under (``None`` for fault-free runs — a zero plan is
+        normalized to ``None`` before execution).
     recorded_configurations:
         Per-scenario configuration snapshots, present when the run was asked
         for them (``record_states=True``): entry ``[r][b]`` is scenario
@@ -88,6 +93,7 @@ class EnsembleExecution:
     recorded_configurations: Optional[List[List[Configuration]]] = field(
         default=None, repr=False
     )
+    fault_plan: Optional[FaultPlan] = field(default=None, repr=False)
 
     @property
     def batch_size(self) -> int:
@@ -340,6 +346,7 @@ def run_ensemble(
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
     record_states: bool = False,
+    fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
 ) -> EnsembleExecution:
     """Execute ``B`` independent scenarios through the vectorized fast path.
 
@@ -374,6 +381,18 @@ def run_ensemble(
         On the batched path the snapshots are sliced off the recorded batch
         states; algorithms whose batch state cannot be sliced (no
         ``batch_map``) take the per-scenario fallback loop instead.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` (or
+        :class:`~repro.faults.FaultSpec`).  On the batched path the plan is
+        compiled into per-round keep masks ANDed onto the stacked
+        adjacency tensors — one vectorized mask application per round; the
+        per-scenario fallback masks each scenario's graph with the same
+        deterministic draws, so both paths stay bit-for-bit identical.
+        With ``enforce_model=True`` every realized effective graph is
+        checked against the crash model ``N_A`` and a violation raises
+        :class:`~repro.exceptions.FaultModelError` naming the scenario,
+        round and agent.  A zero plan is normalized to ``None``: the run
+        is bit-for-bit identical to a fault-free one.
     """
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
@@ -384,6 +403,9 @@ def run_ensemble(
     if labels is not None and len(labels) != batch_size:
         raise ExecutionError(f"need {batch_size} scenario labels, got {len(labels)}")
     rounds = len(graph_rounds)
+    plan = as_fault_plan(fault_plan)
+    if plan is not None:
+        plan.validate_for(n)
 
     if use_batch and not algorithm.supports_batch():
         raise ExecutionError(
@@ -391,13 +413,13 @@ def run_ensemble(
         )
     if not algorithm.supports_batch() or not resolve_use_batch(use_batch):
         return _run_ensemble_slow(
-            algorithm, values, graph_rounds, record_every, labels, record_states
+            algorithm, values, graph_rounds, record_every, labels, record_states, plan
         )
 
     batch_state = algorithm.batch_initial(values)
     if record_states and not _supports_state_snapshots(algorithm, batch_state):
         return _run_ensemble_slow(
-            algorithm, values, graph_rounds, record_every, labels, record_states
+            algorithm, values, graph_rounds, record_every, labels, record_states, plan
         )
     recorded_rounds = [0]
     recorded = [np.array(algorithm.batch_outputs(batch_state), dtype=float)]
@@ -409,6 +431,10 @@ def run_ensemble(
     adjacency_cache = _AdjacencyCache()
     for t, round_graphs in enumerate(graph_rounds, start=1):
         adjacency = _round_adjacency(round_graphs, batch_size, n, cache=adjacency_cache)
+        if plan is not None:
+            # One vectorized mask application per round (instead of B
+            # per-scenario Python loops), with the N_A invariant check.
+            adjacency = plan.apply_to_adjacency(adjacency, t, batch_size)
         batch_state = algorithm.batch_transition(batch_state, adjacency, t)
         if t % record_every == 0 or t == rounds:
             recorded_rounds.append(t)
@@ -427,6 +453,7 @@ def run_ensemble(
         scenario_labels=labels,
         batched=True,
         recorded_configurations=recorded_configurations,
+        fault_plan=plan,
     )
 
 
@@ -437,8 +464,15 @@ def _run_ensemble_slow(
     record_every: int,
     labels: Optional[List[object]],
     record_states: bool = False,
+    plan: Optional[FaultPlan] = None,
 ) -> EnsembleExecution:
-    """Per-scenario fallback for algorithms without batch hooks."""
+    """Per-scenario fallback for algorithms without batch hooks.
+
+    Faults are applied per scenario through
+    :meth:`~repro.faults.FaultPlan.apply_to_graph`, whose masks equal the
+    batched path's stacked masks slice-for-slice — the reference loop the
+    fuzz harness checks the vectorized fault path against.
+    """
     batch_size = values.shape[0]
     rounds = len(graph_rounds)
     per_scenario: List[List[np.ndarray]] = []
@@ -452,6 +486,8 @@ def _run_ensemble_slow(
         configs = [configuration] if record_states else None
         for t, round_graphs in enumerate(graph_rounds, start=1):
             graph = _round_graph_of_scenario(round_graphs, scenario)
+            if plan is not None:
+                graph = plan.apply_to_graph(graph, t, scenario)
             configuration = apply_graph(algorithm, configuration, graph)
             if t % record_every == 0 or t == rounds:
                 snapshots.append(configuration.outputs.copy())
@@ -479,6 +515,7 @@ def _run_ensemble_slow(
         scenario_labels=labels,
         batched=False,
         recorded_configurations=recorded_configurations,
+        fault_plan=plan,
     )
 
 
@@ -555,6 +592,7 @@ def run_adversarial_ensemble(
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
     record_states: bool = False,
+    fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
 ) -> AdversarialEnsembleExecution:
     """Drive ``B`` scenarios under an adaptive adversary in one batched loop.
 
@@ -578,9 +616,25 @@ def run_adversarial_ensemble(
     Falls back to scenario-by-scenario :func:`repro.execution.run_execution`
     when the algorithm has no batch hooks, the adversary implements neither
     plan hook, or ``use_batch`` resolves to ``False``.
+
+    Fault injection is not supported on the adversarial route (a non-zero
+    ``fault_plan`` raises :class:`~repro.exceptions.ConfigError`): the
+    adversary evaluates and commits *raw* candidate graphs while faults
+    would mask the applied ones, so the committed history and the realized
+    execution would diverge.  Run the adversary fault-free, then replay its
+    committed per-scenario graph schedules as a faulted ``graphs``-route
+    ensemble (what :func:`repro.analysis.experiments.run_certification_sweep`
+    does for its faulted certification rows).
     """
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
+    if as_fault_plan(fault_plan) is not None:
+        raise ConfigError(
+            "run_adversarial_ensemble does not support fault injection: the "
+            "adversary's committed graph history would diverge from the faulted "
+            "realized graphs; run the adversary fault-free and replay its "
+            "committed schedules as a faulted graphs-route ensemble instead"
+        )
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
     values = stack_initial_values(initial_values)
@@ -811,11 +865,13 @@ def run_pattern_ensemble(
     scenario_labels: Optional[Sequence[object]] = None,
     use_batch: Optional[bool] = None,
     record_states: bool = False,
+    fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
 ) -> EnsembleExecution:
     """Run an ensemble against oblivious communication patterns.
 
     ``patterns`` is a single pattern shared by every scenario or one pattern
-    per scenario.
+    per scenario.  ``fault_plan`` masks the materialized graphs exactly as
+    on the ``graphs`` route (see :func:`run_ensemble`).
     """
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
@@ -842,6 +898,7 @@ def run_pattern_ensemble(
         scenario_labels=scenario_labels,
         use_batch=use_batch,
         record_states=record_states,
+        fault_plan=fault_plan,
     )
 
 

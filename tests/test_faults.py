@@ -1,0 +1,506 @@
+"""The unified fault-injection subsystem (repro.faults) across every engine.
+
+Covers plan construction/validation, the deterministic sampling streams, the
+``N_A`` invariant in both directions (compliant plans pass, violating plans
+raise a structured :class:`~repro.exceptions.FaultModelError`), the batched
+fault-mask path against the per-scenario reference loop, the event-driven
+simulator's fault gating (crashes, recovery, joins, drops, timeouts,
+starvation diagnosis), the MinRelay port onto the round-based contract, the
+config-scoped RNG seed, and certification of faulted ensembles through the
+``Study`` facade.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MidpointAlgorithm
+from repro.api import CertifySpec, EngineConfig, Study
+from repro.asynchrony import (
+    AsynchronousSimulator,
+    MinRelaySyncAlgorithm,
+    RandomDelayScheduler,
+    RoundBasedAsyncAlgorithm,
+)
+from repro.core.adversary import GreedyDiameterAdversary
+from repro.exceptions import AsynchronyError, ConfigError, FaultModelError
+from repro.execution import run_adversarial_ensemble, run_ensemble, run_execution
+from repro.faults import (
+    CrashSpec,
+    FaultMaskingPattern,
+    FaultPlan,
+    FaultSpec,
+    JoinSpec,
+    as_fault_plan,
+)
+from repro.graphs.families import complete_graph
+from repro.models.patterns import SequencePattern
+from repro.models.standard import crash_model, deaf_model
+
+
+def _values(n, d=1, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, size=(n, d))
+
+
+def _ensemble_values(batch, n, d=1, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, size=(batch, n, d))
+
+
+class TestPlanValidation:
+    def test_crash_rounds_are_one_based(self):
+        with pytest.raises(ConfigError):
+            CrashSpec(agent=0, round=0)
+
+    def test_recovery_must_follow_the_crash(self):
+        with pytest.raises(ConfigError):
+            CrashSpec(agent=0, round=3, recovery_round=3)
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(duplicate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(jitter=1.5)
+
+    def test_one_spec_per_agent(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=(CrashSpec(0, 1), CrashSpec(0, 2)))
+        with pytest.raises(ConfigError):
+            FaultPlan(joins=(JoinSpec(1, 1), JoinSpec(1, 2)))
+
+    def test_budget_covers_the_declared_faulty_agents(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=(CrashSpec(0, 1), CrashSpec(1, 1)), f=1)
+
+    def test_crash_before_join_is_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=(CrashSpec(0, 2),), joins=(JoinSpec(0, 5),))
+
+    def test_validate_for_checks_agent_ranges_and_budget(self):
+        plan = FaultPlan(crashes=(CrashSpec(5, 1),))
+        with pytest.raises(ConfigError):
+            plan.validate_for(4)
+        with pytest.raises(ConfigError):
+            FaultPlan(f=4).validate_for(4)  # need f < n
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=(CrashSpec(0, 1), CrashSpec(1, 1))).validate_for(4, f=1)
+
+    def test_as_fault_plan_normalizes(self):
+        assert as_fault_plan(None) is None
+        assert as_fault_plan(FaultPlan()) is None  # zero plans vanish
+        assert as_fault_plan(FaultSpec()) is None
+        plan = as_fault_plan(FaultSpec(drop=0.1, seed=3))
+        assert isinstance(plan, FaultPlan) and plan.seed == 3
+        with pytest.raises(ConfigError):
+            as_fault_plan("nope")
+
+    def test_sampling_requires_a_resolved_seed(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop=0.2).drop_mask(1, 0, 4)
+
+
+class TestPlanSemantics:
+    def test_crash_silences_sends_after_the_crash_round(self):
+        plan = FaultPlan(crashes=(CrashSpec(1, round=2),))
+        assert plan.sends_in_round(1, 2)
+        assert not plan.sends_in_round(1, 3)
+        assert plan.receives_in_round(1, 2)
+        assert not plan.receives_in_round(1, 3)
+
+    def test_recovery_resumes_participation(self):
+        plan = FaultPlan(crashes=(CrashSpec(1, round=2, recovery_round=5),))
+        assert not plan.participates_in_round(1, 4)
+        assert plan.participates_in_round(1, 5)
+
+    def test_late_joiner_listens_before_joining(self):
+        plan = FaultPlan(joins=(JoinSpec(2, round=3),))
+        assert not plan.sends_in_round(2, 2)
+        assert plan.receives_in_round(2, 2)
+        assert plan.participates_in_round(2, 3)
+
+    def test_unclean_crash_restricts_the_final_broadcast(self):
+        plan = FaultPlan(
+            crashes=(CrashSpec(0, round=1, final_recipients=frozenset({2})),), seed=0
+        )
+        mask = plan.structural_mask(1, 4)
+        assert not mask[0, 1] and mask[0, 2] and not mask[0, 3]
+        assert mask[0, 0]  # the diagonal is always kept
+
+    def test_batch_masks_slice_equals_scenario_mask(self):
+        plan = FaultPlan(drop=0.3, crashes=(CrashSpec(0, 1),), f=2, seed=9)
+        stacked = plan.batch_round_masks(2, batch_size=3, n=5)
+        for scenario in range(3):
+            assert np.array_equal(stacked[scenario], plan.round_mask(2, scenario, 5))
+
+    def test_sampling_is_deterministic_per_seed(self):
+        plan = FaultPlan(drop=0.4, f=2, seed=7)
+        assert np.array_equal(plan.drop_mask(3, 1, 6), plan.drop_mask(3, 1, 6))
+        other = replace(plan, seed=8)
+        assert not np.array_equal(plan.drop_mask(3, 1, 6), other.drop_mask(3, 1, 6))
+
+    def test_unresolved_seed_pins_to_the_engine_config(self):
+        with EngineConfig(seed=123):
+            assert FaultPlan(drop=0.1).resolved().seed == 123
+        assert FaultPlan(drop=0.1).resolved().seed == 0  # the default seed
+        assert FaultPlan(drop=0.1, seed=5).resolved().seed == 5
+
+
+class TestCrashModelInvariant:
+    def test_compliant_plan_passes(self):
+        plan = FaultPlan(crashes=(CrashSpec(0, 1),), seed=0)
+        adjacency = complete_graph(5).adjacency
+        masked = plan.apply_to_adjacency(adjacency, 2, batch_size=1)
+        assert masked[0].sum() == 1  # crashed row: self-loop only
+        assert (masked.sum(axis=0)[1:] >= 4).all()
+
+    def test_violation_raises_structured_error(self):
+        # Dropping every off-diagonal edge into agent 1 leaves N_A(n=4, f=1).
+        plan = FaultPlan(f=1, seed=0, enforce_model=True)
+        adjacency = complete_graph(4).adjacency.copy()
+        adjacency[:, 1] = False
+        adjacency[1, 1] = True
+        with pytest.raises(FaultModelError) as excinfo:
+            plan.apply_to_adjacency(adjacency, 3, batch_size=1)
+        error = excinfo.value
+        assert error.round_number == 3
+        assert error.agent == 1
+        assert error.in_degree == 1
+        assert error.required == 3
+        assert "scenario 0, round 3" in str(error)
+
+    def test_batch_violation_names_the_scenario(self):
+        plan = FaultPlan(f=1, seed=0)
+        stacked = np.stack([complete_graph(4).adjacency.copy() for _ in range(3)])
+        stacked[2, :, 1] = False
+        stacked[2, 1, 1] = True
+        with pytest.raises(FaultModelError) as excinfo:
+            plan.apply_to_adjacency(stacked, 1, batch_size=3)
+        assert excinfo.value.scenario == 2
+
+    def test_enforce_model_false_disables_the_check(self):
+        plan = FaultPlan(f=1, seed=0, enforce_model=False)
+        adjacency = complete_graph(4).adjacency.copy()
+        adjacency[:, 1] = False
+        adjacency[1, 1] = True
+        out = plan.apply_to_adjacency(adjacency, 1, batch_size=1)
+        assert out is adjacency  # no mask activity, returned untouched
+
+    def test_silent_agents_are_exempt(self):
+        # The crashed agent's in-degree collapses, but it does not participate.
+        plan = FaultPlan(crashes=(CrashSpec(3, 1),), seed=0)
+        masked = plan.apply_to_adjacency(complete_graph(5).adjacency, 4, batch_size=1)
+        assert masked[:, 3].sum() == 1  # nothing delivered to the crashed agent
+
+    def test_graph_route_matches_adjacency_route(self):
+        plan = FaultPlan(drop=0.2, f=3, seed=4, enforce_model=False)
+        graph = complete_graph(6)
+        masked_graph = plan.apply_to_graph(graph, 2, scenario=1)
+        masked_adj = plan.apply_to_adjacency(
+            np.stack([graph.adjacency, graph.adjacency]), 2, batch_size=2
+        )
+        assert np.array_equal(masked_graph.adjacency, masked_adj[1])
+
+
+class TestBatchedEngineFaults:
+    def test_faulted_batch_equals_reference_loop(self):
+        n, rounds, batch = 5, 6, 3
+        values = _ensemble_values(batch, n)
+        graphs = [complete_graph(n)] * rounds
+        plan = FaultPlan(
+            drop=0.15, crashes=(CrashSpec(0, 2),), f=2, seed=21, enforce_model=False
+        )
+        batched = run_ensemble(
+            MidpointAlgorithm(), values, graphs, use_batch=True, fault_plan=plan
+        )
+        loop = run_ensemble(
+            MidpointAlgorithm(), values, graphs, use_batch=False, fault_plan=plan
+        )
+        assert np.array_equal(batched.recorded_outputs, loop.recorded_outputs)
+
+    def test_zero_plan_is_bit_for_bit_invisible(self):
+        n, rounds, batch = 5, 6, 2
+        values = _ensemble_values(batch, n)
+        graphs = [complete_graph(n)] * rounds
+        bare = run_ensemble(MidpointAlgorithm(), values, graphs)
+        zeroed = run_ensemble(
+            MidpointAlgorithm(), values, graphs, fault_plan=FaultPlan()
+        )
+        assert np.array_equal(bare.recorded_outputs, zeroed.recorded_outputs)
+
+    def test_crashed_agent_state_freezes(self):
+        n, rounds = 4, 5
+        values = _ensemble_values(1, n)
+        graphs = [complete_graph(n)] * rounds
+        plan = FaultPlan(crashes=(CrashSpec(2, 1),), seed=0)
+        result = run_ensemble(MidpointAlgorithm(), values, graphs, fault_plan=plan)
+        # After its final round-1 broadcast the agent receives nothing, so its
+        # output stays at its post-round-1 value for the rest of the run.
+        outputs = result.recorded_outputs  # (R, B, n, d)
+        assert np.array_equal(outputs[1, 0, 2], outputs[-1, 0, 2])
+
+    def test_adversarial_route_rejects_fault_plans(self):
+        values = _ensemble_values(2, 4)
+        adversary = GreedyDiameterAdversary(deaf_model(n=4))
+        with pytest.raises(ConfigError, match="committed"):
+            run_adversarial_ensemble(
+                MidpointAlgorithm(), values, adversary, 3,
+                fault_plan=FaultPlan(drop=0.1, seed=0),
+            )
+
+    def test_faulted_run_raises_when_leaving_the_model(self):
+        n = 4
+        values = _ensemble_values(2, n)
+        graphs = [complete_graph(n)] * 4
+        plan = FaultPlan(drop=0.6, f=1, seed=2)  # aggressive drops, tight budget
+        with pytest.raises(FaultModelError) as excinfo:
+            run_ensemble(MidpointAlgorithm(), values, graphs, fault_plan=plan)
+        assert excinfo.value.scenario is not None
+        assert excinfo.value.round_number is not None
+
+
+class TestStudyFacadeFaults:
+    def test_zero_fault_study_is_bit_for_bit(self):
+        n, rounds = 5, 4
+        values = _values(n)
+        graphs = [complete_graph(n)] * rounds
+        bare = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs
+        ).run()
+        zeroed = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs,
+            faults=FaultSpec(),
+        ).run()
+        assert not zeroed.provenance.faulted
+        assert np.array_equal(bare.final_outputs, zeroed.final_outputs)
+
+    def test_single_scenario_equals_ensemble_scenario_zero(self):
+        n, rounds = 5, 4
+        values = _values(n)
+        graphs = [complete_graph(n)] * rounds
+        plan = FaultPlan(drop=0.1, f=2, seed=6)
+        solo = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs,
+            faults=plan,
+        ).run()
+        ensemble = Study(
+            algorithm=MidpointAlgorithm(), initial_values=values[None],
+            graphs=[[g] for g in graphs], faults=plan,
+        ).run()
+        assert solo.provenance.faulted and ensemble.provenance.faulted
+        assert np.array_equal(solo.final_outputs, ensemble.final_outputs[0])
+
+    def test_faults_and_adversary_cannot_combine(self):
+        with pytest.raises(ConfigError, match="adversary"):
+            Study(
+                algorithm=MidpointAlgorithm(),
+                initial_values=_values(4),
+                rounds=3,
+                adversary=GreedyDiameterAdversary(deaf_model(n=4)),
+                faults=FaultPlan(drop=0.1, seed=0),
+            )
+
+    def test_config_seed_scopes_the_realized_faults(self):
+        n, rounds = 5, 4
+        values = _values(n)
+        graphs = [complete_graph(n)] * rounds
+
+        def run():
+            return Study(
+                algorithm=MidpointAlgorithm(), initial_values=values, graphs=graphs,
+                faults=FaultPlan(drop=0.15, f=2, enforce_model=False),
+            ).run().final_outputs
+
+        with EngineConfig(seed=1):
+            first = run()
+            again = run()
+        with EngineConfig(seed=2):
+            other = run()
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, other)
+
+    def test_certified_faulted_ensemble_returns_per_scenario_certificates(self):
+        n, rounds, batch = 4, 4, 2
+        values = _ensemble_values(batch, n)
+        graphs = [[complete_graph(n)] * batch] * rounds
+        result = Study(
+            algorithm=MidpointAlgorithm(),
+            initial_values=values,
+            graphs=graphs,
+            faults=FaultPlan(drop=0.08, f=2, seed=11),
+            model=crash_model(n, 1, limit=32),
+            certify=CertifySpec(suffix_rounds=12),
+        ).run()
+        assert result.provenance.faulted
+        assert isinstance(result.certificates, list)
+        assert len(result.certificates) == batch
+        for certificate in result.certificates:
+            lower, upper = certificate.rate_interval
+            assert np.isfinite(lower) or np.isnan(lower)
+
+
+class TestFaultMaskingPattern:
+    def test_records_raw_choices_and_masks(self):
+        plan = FaultPlan(crashes=(CrashSpec(0, 1),), seed=0)
+        inner = SequencePattern([complete_graph(4)] * 3)
+        pattern = FaultMaskingPattern(inner, plan)
+        masked = pattern.graph_at(2)
+        assert len(pattern.raw_choices) == 1
+        assert pattern.raw_choices[0].adjacency.all()
+        assert masked.adjacency[0].sum() == 1
+        pattern.reset()
+        assert pattern.raw_choices == []
+
+
+class TestSimulatorFaults:
+    def _simulate(self, plan, n=4, f=1, values=None, timeout=None, policy="proceed",
+                  max_time=12.0):
+        algorithm = RoundBasedAsyncAlgorithm(
+            MidpointAlgorithm(), round_timeout=timeout, timeout_policy=policy
+        )
+        return AsynchronousSimulator(
+            algorithm,
+            _values(n) if values is None else values,
+            f=f,
+            fault_plan=plan,
+            max_time=max_time,
+        ).run()
+
+    def test_zero_plan_matches_no_plan(self):
+        bare = self._simulate(None)
+        zeroed = self._simulate(FaultPlan())
+        assert np.array_equal(bare.final_outputs, zeroed.final_outputs)
+        assert len(bare.samples) == len(zeroed.samples)
+
+    def test_plan_crash_freezes_the_agent(self):
+        execution = self._simulate(FaultPlan(crashes=(CrashSpec(1, 1),), seed=0))
+        assert 1 in execution.crashed_agents
+        # The crashed agent never advances past round 1: its output is still
+        # its initial value.
+        assert np.array_equal(execution.final_outputs[1], _values(4)[1])
+
+    def test_unclean_final_broadcast_reaches_only_named_recipients(self):
+        # Event-driven MinRelay: agent 0 holds the minimum and crashes on its
+        # first broadcast.  Delivered to agent 1 only, the minimum still
+        # propagates transitively; delivered to nobody, it dies with agent 0.
+        from repro.asynchrony import MinRelayAlgorithm
+
+        n = 4
+        values = np.array([[0.0], [0.4], [0.7], [1.0]])
+        witnessed = AsynchronousSimulator(
+            MinRelayAlgorithm(), values, f=1,
+            fault_plan=FaultPlan(
+                crashes=(CrashSpec(0, 1, final_recipients=frozenset({1})),), seed=0
+            ),
+            max_time=8.0,
+        ).run()
+        for agent in range(1, n):
+            assert np.allclose(witnessed.final_outputs[agent], 0.0)
+        silenced = AsynchronousSimulator(
+            MinRelayAlgorithm(), values, f=1,
+            fault_plan=FaultPlan(
+                crashes=(CrashSpec(0, 1, final_recipients=frozenset()),), seed=0
+            ),
+            max_time=8.0,
+        ).run()
+        for agent in range(1, n):
+            assert np.allclose(silenced.final_outputs[agent], 0.4)
+
+    def test_starvation_is_diagnosed_not_hung(self):
+        # Heavy drops leave some agent below its n - f quorum with an empty
+        # event queue: the simulator must diagnose the starved agent and
+        # round instead of looping forever.
+        plan = FaultPlan(drop=0.7, f=1, seed=0, enforce_model=False)
+        with pytest.raises(AsynchronyError, match=r"starved in round \d+"):
+            self._simulate(plan, n=4, f=1)
+
+    def test_abort_policy_names_agent_and_round(self):
+        plan = FaultPlan(drop=0.7, f=1, seed=0, enforce_model=False)
+        with pytest.raises(AsynchronyError, match=r"timed out in round \d+"):
+            self._simulate(plan, n=4, f=1, timeout=2.0, policy="abort")
+
+    def test_proceed_policy_degrades_gracefully(self):
+        plan = FaultPlan(drop=0.7, f=1, seed=0, enforce_model=False)
+        execution = self._simulate(plan, n=4, f=1, timeout=2.0, policy="proceed")
+        # Agents keep making rounds on whatever arrives before each timeout.
+        diameter = execution.correct_diameter_at(execution.final_time)
+        assert diameter < 1.0
+
+    def test_retry_policy_survives_heavy_drops(self):
+        plan = FaultPlan(drop=0.5, f=1, seed=13, enforce_model=False)
+        execution = self._simulate(
+            plan, n=4, f=1, timeout=1.5, policy="retry", max_time=40.0
+        )
+        # Retransmissions draw fresh drop decisions, so every agent
+        # eventually clears every round and the system contracts.
+        assert execution.correct_diameter_at(execution.final_time) < 0.5
+
+    def test_fault_scenario_selects_the_stream(self):
+        plan = FaultPlan(drop=0.15, f=2, seed=3, enforce_model=False)
+        runs = []
+        for scenario in (0, 1):
+            algorithm = RoundBasedAsyncAlgorithm(MidpointAlgorithm())
+            execution = AsynchronousSimulator(
+                algorithm, _values(4), f=2, fault_plan=plan,
+                fault_scenario=scenario, max_time=8.0,
+            ).run()
+            runs.append(execution.final_outputs)
+        assert not np.array_equal(runs[0], runs[1])
+
+
+class TestMinRelaySync:
+    def test_sync_port_relays_the_minimum(self):
+        n = 5
+        values = np.linspace(0.3, 0.9, n).reshape(n, 1)
+        execution = run_execution(
+            MinRelaySyncAlgorithm(), values,
+            SequencePattern([complete_graph(n)] * 2), 2,
+        )
+        assert np.allclose(execution.outputs(), values.min())
+
+    def test_runs_under_crash_plans_via_the_round_wrapper(self):
+        n = 5
+        values = np.linspace(0.3, 0.9, n).reshape(n, 1)
+        plan = FaultPlan(crashes=(CrashSpec(0, 1, final_recipients=frozenset()),), seed=0)
+        execution = AsynchronousSimulator(
+            RoundBasedAsyncAlgorithm(MinRelaySyncAlgorithm()),
+            values, f=1, fault_plan=plan, max_time=8.0,
+        ).run()
+        # Agent 0's minimum never escaped its unclean crash, so the correct
+        # agents agree on the smallest surviving value; every output is valid
+        # (some agent's initial value).
+        finals = execution.final_outputs
+        for agent in range(1, n):
+            assert np.allclose(finals[agent], values[1])
+        for agent in range(n):
+            assert any(np.allclose(finals[agent], values[i]) for i in range(n))
+
+    def test_listed_in_the_fuzz_registry(self):
+        from tests.test_fuzz_equivalence import ALGORITHMS
+
+        assert any(key == "min-relay-sync" for key, _, _ in ALGORITHMS)
+
+
+class TestSeedThreading:
+    def test_random_delay_scheduler_reads_the_config_seed(self):
+        scheduler = RandomDelayScheduler()
+        with EngineConfig(seed=10):
+            first = scheduler.delay(0, 1, 0.0, None)
+        with EngineConfig(seed=20):
+            second = scheduler.delay(0, 1, 0.0, None)
+        assert first != second
+        with EngineConfig(seed=10):
+            assert scheduler.delay(0, 1, 0.0, None) == first
+
+    def test_explicit_scheduler_seed_wins_over_the_config(self):
+        scheduler = RandomDelayScheduler(seed=5)
+        baseline = scheduler.delay(0, 1, 0.0, None)
+        with EngineConfig(seed=99):
+            assert scheduler.delay(0, 1, 0.0, None) == baseline
+
+    def test_invalid_config_seed_is_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(seed=-1)
+        with pytest.raises(ConfigError):
+            EngineConfig(seed=True)

@@ -12,8 +12,14 @@ from a registry — and differentially checks
   ``use_batch`` on/off, plus per-scenario state snapshots),
 * **adversarial batch vs loop** (``run_adversarial_ensemble`` vs per-scenario
   adversary runs, choices and outputs),
-* **packed vs dense** masked reductions, and
+* **packed vs dense** masked reductions,
 * **facade vs direct** (``Study`` vs the engine call it compiles to),
+* **faulted batch vs loop** (the vectorized fault-mask path vs the
+  per-scenario reference loop under randomized ``FaultPlan``s, including
+  both paths raising :class:`~repro.exceptions.FaultModelError` together),
+  and
+* **zero-fault vs none** (``FaultPlan()`` / ``FaultSpec()`` must be
+  bit-for-bit invisible on the batch, facade and event-simulator routes),
 
 each over ``CASES_PER_PAIR`` (200+) generated cases under one fixed master
 seed.  Everything is deterministic — cases derive from
@@ -24,6 +30,8 @@ failing case:
     from tests.test_fuzz_equivalence import run_case
     run_case("fast_vs_reference", 123)
 """
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -38,13 +46,16 @@ from repro.algorithms import (
 )
 from repro.algorithms.base import masked_min_max, masked_reduction_impl
 from repro.api import Study
+from repro.asynchrony import AsynchronousSimulator, MinRelaySyncAlgorithm, RoundBasedAsyncAlgorithm
 from repro.core.adversary import GreedyDiameterAdversary
+from repro.exceptions import FaultModelError
 from repro.execution import (
     run_adversarial_ensemble,
     run_ensemble,
     run_execution,
     run_pattern_ensemble,
 )
+from repro.faults import CrashSpec, FaultMaskingPattern, FaultPlan, FaultSpec, JoinSpec
 from repro.graphs.generators import random_graph
 from repro.models.network_model import NetworkModel
 from repro.models.patterns import PeriodicPattern, SequencePattern
@@ -72,6 +83,9 @@ ALGORITHMS = [
         lambda rng, n: SelfWeightedAveraging(float(rng.uniform(0.1, 0.9))),
         False,
     ),
+    # No batch hooks (set-valued messages): exercises the per-agent reference
+    # paths of every engine; pairs that force a vectorized side skip it.
+    ("min-relay-sync", lambda rng, n: MinRelaySyncAlgorithm(), True),
 ]
 
 
@@ -156,6 +170,8 @@ def _scenario_graphs(case, scenario):
 
 def _case_fast_vs_reference(case_seed):
     case = build_scenario(case_seed)
+    if not case["algorithm"].supports_batch():
+        return  # forcing use_fast_path=True would (correctly) raise
     pattern = SequencePattern(_scenario_graphs(case, 0)) if case["rounds"] else None
     if pattern is None:
         return
@@ -231,6 +247,8 @@ def _case_batch_vs_loop(case_seed):
 
 def _case_adversarial_batch_vs_loop(case_seed):
     case = build_scenario(case_seed)
+    if not case["algorithm"].supports_batch():
+        return  # forcing use_batch=True would (correctly) raise
     rng = case["rng"]
     n = case["n"]
     model_size = int(rng.integers(2, 5))
@@ -334,12 +352,200 @@ def _case_facade_vs_direct(case_seed):
     )
 
 
+def _random_fault_plan(rng, n, rounds):
+    """Draw a deterministic random :class:`FaultPlan` from the case rng.
+
+    ``enforce_model=False`` by default — random drops legitimately leave
+    ``N_A`` and the output-equivalence half of the pair wants runs that
+    complete; the invariant half flips enforcement back on.
+    """
+    drop = float(rng.uniform(0.05, 0.35)) if rng.random() < 0.7 else 0.0
+    crashes, joins = [], []
+    agents = [int(a) for a in rng.permutation(n)]
+    for agent in agents[: int(rng.integers(0, min(2, n - 1) + 1))]:
+        if rng.random() < 0.6:
+            crash_round = int(rng.integers(1, rounds + 1))
+            recipients = None
+            if rng.random() < 0.4:
+                recipients = frozenset(
+                    int(a) for a in rng.permutation(n)[: int(rng.integers(0, n))]
+                )
+            recovery = None
+            if rng.random() < 0.3:
+                recovery = crash_round + int(rng.integers(1, 4))
+            crashes.append(
+                CrashSpec(
+                    agent,
+                    crash_round,
+                    final_recipients=recipients,
+                    recovery_round=recovery,
+                )
+            )
+        else:
+            joins.append(JoinSpec(agent, int(rng.integers(1, rounds + 2))))
+    return FaultPlan(
+        drop=drop,
+        crashes=tuple(crashes),
+        joins=tuple(joins),
+        seed=int(rng.integers(0, 2**31)),
+        enforce_model=False,
+    )
+
+
+def _case_faulted_batch_vs_loop(case_seed):
+    case = build_scenario(case_seed)
+    if not case["algorithm"].supports_batch():
+        return  # forcing use_batch=True would (correctly) raise
+    rng = case["rng"]
+    plan = _random_fault_plan(rng, case["n"], case["rounds"])
+    if plan.is_zero():
+        plan = replace(plan, drop=0.2)
+    if rng.random() < 0.35:
+        # The invariant half: both paths must trip (or not trip) together.
+        plan = replace(plan, enforce_model=True)
+
+    def run(toggle):
+        try:
+            return (
+                run_ensemble(
+                    case["algorithm"], case["values"], case["graph_rounds"],
+                    record_every=case["record_every"], use_batch=toggle,
+                    record_states=True, fault_plan=plan,
+                ),
+                None,
+            )
+        except FaultModelError as error:
+            return None, error
+
+    batched, batch_error = run(True)
+    loop, loop_error = run(False)
+    assert (batch_error is None) == (loop_error is None), (
+        f"{case['key']}: FaultModelError on one path only "
+        f"(batch={batch_error!r}, loop={loop_error!r})"
+        + _repro_snippet("faulted_batch_vs_loop", case_seed)
+    )
+    if batch_error is not None:
+        # With a single scenario there is no processing-order ambiguity: the
+        # two paths must blame the identical (scenario, round, agent).
+        if case["batch_size"] == 1:
+            assert (
+                batch_error.scenario, batch_error.round_number, batch_error.agent
+            ) == (loop_error.scenario, loop_error.round_number, loop_error.agent), (
+                f"{case['key']}: FaultModelError attributes differ"
+                + _repro_snippet("faulted_batch_vs_loop", case_seed)
+            )
+        return
+    assert batched.recorded_rounds == loop.recorded_rounds, (
+        "recorded rounds differ" + _repro_snippet("faulted_batch_vs_loop", case_seed)
+    )
+    _assert_outputs_match(
+        "faulted_batch_vs_loop", case_seed, f"{case['key']} recorded outputs",
+        batched.recorded_outputs, loop.recorded_outputs, True,
+    )
+    _assert_outputs_match(
+        "faulted_batch_vs_loop", case_seed, f"{case['key']} diameters",
+        batched.diameters(), loop.diameters(), True,
+    )
+    # A per-scenario snapshot must match a single-scenario run whose pattern
+    # is masked by the same plan at the same scenario index.
+    if case["rounds"]:
+        scenario = int(rng.integers(case["batch_size"]))
+        solo = run_execution(
+            case["algorithm"], case["values"][scenario],
+            FaultMaskingPattern(
+                SequencePattern(_scenario_graphs(case, scenario)), plan, scenario=scenario
+            ),
+            case["rounds"], record_every=case["record_every"],
+        )
+        for config_batch, config_solo in zip(
+            batched.scenario_configurations(scenario), solo.configurations
+        ):
+            _assert_outputs_match(
+                "faulted_batch_vs_loop", case_seed,
+                f"{case['key']} scenario {scenario} snapshot round "
+                f"{config_batch.round_number}",
+                config_batch.outputs, config_solo.outputs, True,
+            )
+
+
+def _case_zero_fault_vs_none(case_seed):
+    case = build_scenario(case_seed)
+    rng = case["rng"]
+    zero = FaultPlan() if rng.random() < 0.5 else FaultSpec()
+
+    # Batch engine, both toggles: the zero plan must be bit-for-bit invisible.
+    for toggle in (True, False):
+        if toggle and not case["algorithm"].supports_batch():
+            continue
+        bare = run_ensemble(
+            case["algorithm"], case["values"], case["graph_rounds"],
+            record_every=case["record_every"], use_batch=toggle,
+        )
+        zeroed = run_ensemble(
+            case["algorithm"], case["values"], case["graph_rounds"],
+            record_every=case["record_every"], use_batch=toggle, fault_plan=zero,
+        )
+        _assert_outputs_match(
+            "zero_fault_vs_none", case_seed,
+            f"{case['key']} use_batch={toggle} recorded outputs",
+            zeroed.recorded_outputs, bare.recorded_outputs, True,
+        )
+
+    # Facade route (ensemble graphs).
+    bare_study = Study(
+        algorithm=case["algorithm"], initial_values=case["values"],
+        graphs=case["graph_rounds"], record_every=case["record_every"],
+    ).run()
+    zero_study = Study(
+        algorithm=case["algorithm"], initial_values=case["values"],
+        graphs=case["graph_rounds"], record_every=case["record_every"], faults=zero,
+    ).run()
+    assert not zero_study.provenance.faulted, (
+        "a zero plan must not mark the study as faulted"
+        + _repro_snippet("zero_fault_vs_none", case_seed)
+    )
+    _assert_outputs_match(
+        "zero_fault_vs_none", case_seed, f"{case['key']} facade outputs",
+        zero_study.execution.recorded_outputs, bare_study.execution.recorded_outputs,
+        True,
+    )
+
+    # Event-driven simulator route.
+    wrapped = RoundBasedAsyncAlgorithm(case["algorithm"])
+    runs = []
+    for fault_plan in (None, zero):
+        execution = AsynchronousSimulator(
+            wrapped, case["values"][0], f=0, fault_plan=fault_plan, max_time=4.0,
+        ).run()
+        runs.append(execution)
+    bare_sim, zero_sim = runs
+    assert len(bare_sim.samples) == len(zero_sim.samples), (
+        f"{case['key']}: simulator sample counts differ"
+        + _repro_snippet("zero_fault_vs_none", case_seed)
+    )
+    for sample_bare, sample_zero in zip(bare_sim.samples, zero_sim.samples):
+        assert (
+            sample_zero.time == sample_bare.time
+            and sample_zero.agent == sample_bare.agent
+            and np.array_equal(sample_zero.value, sample_bare.value)
+        ), (
+            f"{case['key']}: simulator samples diverge under the zero plan"
+            + _repro_snippet("zero_fault_vs_none", case_seed)
+        )
+    _assert_outputs_match(
+        "zero_fault_vs_none", case_seed, f"{case['key']} simulator final outputs",
+        zero_sim.final_outputs, bare_sim.final_outputs, True,
+    )
+
+
 _PAIRS = {
     "fast_vs_reference": _case_fast_vs_reference,
     "batch_vs_loop": _case_batch_vs_loop,
     "adversarial_batch_vs_loop": _case_adversarial_batch_vs_loop,
     "packed_vs_dense": _case_packed_vs_dense,
     "facade_vs_direct": _case_facade_vs_direct,
+    "faulted_batch_vs_loop": _case_faulted_batch_vs_loop,
+    "zero_fault_vs_none": _case_zero_fault_vs_none,
 }
 
 

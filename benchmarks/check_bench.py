@@ -35,6 +35,16 @@ _TIMING_PAIRS = (
 _FACADE_PAIR = ("direct_s", "facade_s")
 _FACADE_MAX_SLOWDOWN = 1.05
 
+#: The sharded study service pays worker spawn + IPC + journal fsyncs that a
+#: single-process Study never does, so its gate is a relative limit *plus* a
+#: fixed allowance: ``service_s <= direct_s * limit + allowance``.  The
+#: allowance absorbs the constant process-pool cost that dominates the tiny
+#: smoke workload; the relative limit still catches a merge or serialization
+#: path that starts recomputing shards.
+_SERVICE_PAIR = ("direct_s", "service_s")
+_SERVICE_MAX_SLOWDOWN = 4.0
+_SERVICE_FIXED_ALLOWANCE_S = 5.0
+
 #: Benchmark families whose batched path must *beat* its loop baseline by at
 #: least this factor (a minimum speedup, not just an absence of slowdown).
 #: Ensemble-scale certification stacks all B scenarios' sampled futures into
@@ -64,6 +74,7 @@ _REQUIRED_BENCHMARKS = (
     "masked_reduction_memory",
     "packed_masked_reduction",
     "facade_overhead",
+    "service_overhead",
 )
 
 
@@ -108,6 +119,18 @@ def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACA
                     f"only {speedup:.2f}x faster than loop_s={loop_s:.6f}s "
                     f"(required >= {min_speedup:.1f}x)"
                 )
+        direct_key, service_key = _SERVICE_PAIR
+        if direct_key in entry and service_key in entry:
+            direct_s, service_s = entry[direct_key], entry[service_key]
+            budget = direct_s * _SERVICE_MAX_SLOWDOWN + _SERVICE_FIXED_ALLOWANCE_S
+            if service_s > budget:
+                violations.append(
+                    f"service_overhead ({_entry_detail(entry)}): "
+                    f"{service_key}={service_s:.6f}s exceeds "
+                    f"{direct_key}={direct_s:.6f}s * {_SERVICE_MAX_SLOWDOWN:.1f} "
+                    f"+ {_SERVICE_FIXED_ALLOWANCE_S:.1f}s allowance "
+                    f"(= {budget:.6f}s)"
+                )
         direct_key, facade_key = _FACADE_PAIR
         if direct_key in entry and facade_key in entry:
             direct_s, facade_s = entry[direct_key], entry[facade_key]
@@ -147,7 +170,7 @@ def main() -> int:
         for entry in payload.get("results", [])
         if any(
             old in entry and new in entry
-            for old, new in _TIMING_PAIRS + (_FACADE_PAIR,)
+            for old, new in _TIMING_PAIRS + (_FACADE_PAIR, _SERVICE_PAIR)
         )
     )
     if violations:

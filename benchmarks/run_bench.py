@@ -815,6 +815,72 @@ def bench_facade(single_grid, ensemble_grid, repeats: int) -> list:
     return results
 
 
+def bench_service(grid, repeats: int) -> list:
+    """Dispatch cost of the sharded study service over a direct Study run.
+
+    Three timings per workload: the single-process ``Study(...).run()``
+    baseline, the sharded ``run_study_service`` run (worker spawn + IPC +
+    journal appends), and a journal replay of the same run (every shard
+    served from the checkpoint, no workers spawned).  ``check_bench.py``
+    gates ``service_s`` against ``direct_s`` with a relative limit plus a
+    fixed allowance — process spawn is a constant cost that dwarfs tiny
+    smoke workloads but amortizes on real sweeps.
+    """
+    import tempfile
+
+    from repro.service import run_study_service
+
+    results = []
+    algorithm = MidpointAlgorithm()
+    for batch_size, n, rounds, workers, shard_size in grid:
+        values = np.stack([_initial_values(n, 1, seed=b) for b in range(batch_size)])
+        pattern = _pattern(n)
+        kwargs = dict(
+            algorithm=algorithm,
+            initial_values=values,
+            rounds=rounds,
+            pattern=pattern,
+        )
+        direct_s = _best_of(lambda: Study(**kwargs).run(), repeats)
+        service_s = _best_of(
+            lambda: run_study_service(**kwargs, workers=workers, shard_size=shard_size),
+            repeats,
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = str(Path(tmp) / "journal.jsonl")
+            run_study_service(
+                **kwargs, workers=workers, shard_size=shard_size, journal=journal
+            )
+            replay_s = _best_of(
+                lambda: run_study_service(
+                    **kwargs, workers=workers, shard_size=shard_size, journal=journal
+                ),
+                repeats,
+            )
+        entry = {
+            "benchmark": "service_overhead",
+            "route": "run_study_service",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "rounds": rounds,
+            "d": 1,
+            "workers": workers,
+            "shard_size": shard_size,
+            "direct_s": direct_s,
+            "service_s": service_s,
+            "replay_s": replay_s,
+            "overhead": service_s / direct_s if direct_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"service       run_study_service    B={batch_size:3d} n={n:4d} rounds={rounds:4d} "
+            f"workers={workers} direct={direct_s * 1e3:8.2f}ms "
+            f"service={service_s * 1e3:8.2f}ms replay={replay_s * 1e3:8.2f}ms"
+        )
+    return results
+
+
 def bench_async(grid, repeats: int) -> list:
     """End-to-end async simulation + single-sweep agreement_time timings."""
     results = []
@@ -882,6 +948,9 @@ def main() -> int:
         # Best-of-9 on the ~ms smoke workloads keeps the tight 5% facade gate
         # from flaking on noisy CI runners.
         facade_repeats = 9
+        # One mid-size ensemble split across 2 workers: big enough that the
+        # rounds dominate a shard, small enough for a CI runner.
+        service_grid = [(16, 48, 60, 2, 8)]
         repeats = 1
     else:
         engine_grid = [(16, 100), (64, 100), (64, 500), (256, 100)]
@@ -906,6 +975,7 @@ def main() -> int:
         facade_single_grid = [(64, 100)]
         facade_ensemble_grid = [(16, 64, 100)]
         facade_repeats = 5
+        service_grid = [(32, 64, 100, 4, 8), (64, 32, 100, 4, 8)]
         repeats = 3
 
     results = []
@@ -925,6 +995,7 @@ def main() -> int:
     results += bench_reduction_memory(*memory_case)
     results += bench_packed_reduction(*packed_reduction_case, repeats=repeats)
     results += bench_facade(facade_single_grid, facade_ensemble_grid, repeats=facade_repeats)
+    results += bench_service(service_grid, repeats=repeats)
     results += bench_async(async_grid, repeats=repeats)
 
     payload = {

@@ -39,9 +39,19 @@ from repro.faults import (
     JoinSpec,
     as_fault_plan,
 )
+from repro.service import (
+    CheckpointJournal,
+    PartialStudyResult,
+    RetryPolicy,
+    ShardFailure,
+    ShardRecord,
+    run_certification_sweep_service,
+    run_study_service,
+)
 
 __all__ = [
     "CertifySpec",
+    "CheckpointJournal",
     "ConfigError",
     "CrashSpec",
     "EngineConfig",
@@ -51,12 +61,18 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "JoinSpec",
+    "PartialStudyResult",
     "ReproError",
+    "RetryPolicy",
     "ScenarioSpec",
+    "ShardFailure",
+    "ShardRecord",
     "Study",
     "StudyCertificates",
     "StudyProvenance",
     "StudyResult",
     "as_fault_plan",
     "current_engine_config",
+    "run_certification_sweep_service",
+    "run_study_service",
 ]

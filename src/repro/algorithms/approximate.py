@@ -17,7 +17,7 @@ extract decision values and decision rounds from executions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,23 @@ class DecidingState:
     inner: Any
     decision: Optional[np.ndarray]
     decision_round: Optional[int]
+
+
+@dataclass(frozen=True)
+class DecidingBatchState:
+    """Stacked deciding state: the inner batch state plus frozen decisions.
+
+    ``decision`` is an ``(..., n, d)`` float tensor whose entries are the
+    frozen decision values where ``decided`` is true and stale placeholders
+    (never read — :meth:`DecidingAlgorithm.batch_outputs` masks them out)
+    elsewhere; ``decided`` is ``(..., n)`` boolean and ``decision_round``
+    ``(..., n)`` integer with ``-1`` marking undecided agents.
+    """
+
+    inner: Any
+    decision: np.ndarray
+    decided: np.ndarray
+    decision_round: np.ndarray
 
 
 class DecidingAlgorithm(Algorithm):
@@ -95,6 +112,143 @@ class DecidingAlgorithm(Algorithm):
         if state.decision is not None:
             return state.decision
         return np.asarray(self._inner.output(agent_id, state.inner), dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized fast path
+    # ------------------------------------------------------------------ #
+
+    def supports_batch(self) -> bool:
+        return self._inner.supports_batch()
+
+    def batch_initial(self, values: np.ndarray) -> DecidingBatchState:
+        inner_state = self._inner.batch_initial(values)
+        outputs = np.asarray(self._inner.batch_outputs(inner_state), dtype=float)
+        lead = outputs.shape[:-1]
+        if self._decision_round == 0:
+            return DecidingBatchState(
+                inner=inner_state,
+                decision=outputs.copy(),
+                decided=np.ones(lead, dtype=bool),
+                decision_round=np.zeros(lead, dtype=np.int64),
+            )
+        return DecidingBatchState(
+            inner=inner_state,
+            decision=outputs.copy(),
+            decided=np.zeros(lead, dtype=bool),
+            decision_round=np.full(lead, -1, dtype=np.int64),
+        )
+
+    def batch_transition(
+        self, batch_state: DecidingBatchState, adjacency: np.ndarray, round_number: int
+    ) -> DecidingBatchState:
+        new_inner = self._inner.batch_transition(batch_state.inner, adjacency, round_number)
+        if round_number < self._decision_round or bool(batch_state.decided.all()):
+            return DecidingBatchState(
+                inner=new_inner,
+                decision=batch_state.decision,
+                decided=batch_state.decided,
+                decision_round=batch_state.decision_round,
+            )
+        outputs = np.asarray(self._inner.batch_outputs(new_inner), dtype=float)
+        newly = ~batch_state.decided
+        decision = np.where(newly[..., None], outputs, batch_state.decision)
+        decision_round = np.where(
+            newly, np.int64(round_number), batch_state.decision_round
+        )
+        decided = np.ones_like(batch_state.decided)
+        return DecidingBatchState(
+            inner=new_inner,
+            decision=decision,
+            decided=decided,
+            decision_round=decision_round,
+        )
+
+    def batch_outputs(self, batch_state: DecidingBatchState) -> np.ndarray:
+        inner_outputs = np.asarray(
+            self._inner.batch_outputs(batch_state.inner), dtype=float
+        )
+        if not batch_state.decided.any():
+            return inner_outputs
+        return np.where(
+            batch_state.decided[..., None], batch_state.decision, inner_outputs
+        )
+
+    def batch_map(self, batch_state: DecidingBatchState, fn) -> DecidingBatchState:
+        return DecidingBatchState(
+            inner=self._inner.batch_map(batch_state.inner, fn),
+            decision=fn(batch_state.decision),
+            decided=fn(batch_state.decided),
+            decision_round=fn(batch_state.decision_round),
+        )
+
+    def batch_states(self, batch_state: DecidingBatchState) -> Tuple[DecidingState, ...]:
+        inner_states = self._inner.batch_states(batch_state.inner)
+        states = []
+        for agent, inner_state in enumerate(inner_states):
+            if bool(batch_state.decided[agent]):
+                decision = np.array(batch_state.decision[agent], dtype=float)
+                decision_round = int(batch_state.decision_round[agent])
+            else:
+                decision = None
+                decision_round = None
+            states.append(
+                DecidingState(
+                    inner=inner_state, decision=decision, decision_round=decision_round
+                )
+            )
+        return tuple(states)
+
+    def supports_batch_state(self) -> bool:
+        return self._inner.supports_batch_state()
+
+    def batch_state_from_states(
+        self, states: Sequence[DecidingState]
+    ) -> DecidingBatchState:
+        states = tuple(states)
+        if not states:
+            raise AlgorithmError("cannot restore a batch state from zero agent states")
+        inner_state = self._inner.batch_state_from_states(
+            tuple(state.inner for state in states)
+        )
+        decided = np.array([state.decision is not None for state in states], dtype=bool)
+        decision = np.stack(
+            [
+                np.asarray(state.decision, dtype=float)
+                if state.decision is not None
+                else np.asarray(self._inner.output(agent, state.inner), dtype=float)
+                for agent, state in enumerate(states)
+            ]
+        )
+        decision_round = np.array(
+            [
+                state.decision_round if state.decision_round is not None else -1
+                for state in states
+            ],
+            dtype=np.int64,
+        )
+        return DecidingBatchState(
+            inner=inner_state,
+            decision=decision,
+            decided=decided,
+            decision_round=decision_round,
+        )
+
+    def batch_state_fixpoint(
+        self, previous: DecidingBatchState, new: DecidingBatchState
+    ) -> Optional[np.ndarray]:
+        """Scenarios whose deciding-wrapper outputs provably never change.
+
+        A scenario whose agents have *all* decided outputs only its frozen
+        decision values forever — sound regardless of the inner dynamics.
+        Otherwise the claim defers to the inner algorithm: frozen entries
+        cannot change, and if the inner outputs are fixed bit-for-bit then
+        any future decision freezes exactly the value already shown.
+        """
+        all_decided = np.asarray(new.decided).all(axis=-1)
+        inner_fixed = self._inner.batch_state_fixpoint(previous.inner, new.inner)
+        if inner_fixed is None:
+            return all_decided
+        return np.asarray(inner_fixed) | all_decided
 
     # ------------------------------------------------------------------ #
     # Accessors for experiments

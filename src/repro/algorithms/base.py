@@ -406,7 +406,9 @@ def _masked_extremes(
     values = np.asarray(values)
     if adjacency_arr.ndim < 2 or adjacency_arr.shape[-1] != adjacency_arr.shape[-2]:
         raise EnsembleShapeError(
-            f"adjacency must be a square (..., n, n) tensor, got shape {adjacency_arr.shape}"
+            f"adjacency must be a square (..., n, n) tensor, got shape {adjacency_arr.shape}",
+            expected="(..., n, n)",
+            actual=tuple(adjacency_arr.shape),
         )
     if values.ndim < 2:
         raise EnsembleShapeError(

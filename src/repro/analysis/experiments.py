@@ -37,6 +37,7 @@ from repro.core.lower_bounds import (
     round_based_crash_upper_bound,
     two_agent_lower_bound,
 )
+from repro.exceptions import ConfigError
 from repro.execution import run_execution
 from repro.execution.metrics import convergence_round, empirical_contraction_rate
 from repro.faults import FaultPlan, FaultSpec, as_fault_plan
@@ -173,6 +174,302 @@ def experiment_decision_times(
     }
 
 
+#: Finite-horizon slack on the fitted rates of the certification sweep.
+_SWEEP_TOLERANCE = 0.15
+
+
+def _plain(value: object) -> object:
+    """Coerce numpy scalars to JSON-native Python scalars."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _json_row(row: Dict[str, object]) -> Dict[str, object]:
+    return {key: _plain(value) for key, value in row.items()}
+
+
+def certification_sweep_rows(
+    sizes: Sequence[int] = (4, 6),
+    rounds: int = 24,
+    suffix_rounds: int = 40,
+    exploration_depth: int = 0,
+    use_batch: Optional[bool] = None,
+    ensemble_size: Optional[int] = None,
+    ensemble_spread: float = 0.05,
+    seed: int = 0,
+    faults: Union[FaultSpec, FaultPlan, None] = None,
+) -> List[Dict[str, object]]:
+    """JSON-safe descriptors of the certification sweep's grid rows.
+
+    Each descriptor is a self-contained, serializable job description:
+    :func:`run_certification_row` reconstructs the row's algorithm, model
+    and proof adversary from it and executes the measurement, so the
+    service layer can dispatch rows to worker processes and journal them
+    by content hash.  ``run_certification_sweep(...)`` is exactly
+    ``[run_certification_row(r) for r in certification_sweep_rows(...)]``.
+
+    The fault plan is normalized here — resolved under the ambient
+    :class:`~repro.config.EngineConfig` seed and, as in the sweep, relaxed
+    to ``enforce_model=False`` (the committed schedules are minimal
+    ``N_A`` members already, so replayed drops legitimately leave the
+    model) — and embedded in its serialized form.
+    """
+    fault_plan = as_fault_plan(faults)
+    if fault_plan is not None:
+        fault_plan = _dc_replace(fault_plan, enforce_model=False)
+    common = {
+        "suffix_rounds": int(suffix_rounds),
+        "exploration_depth": int(exploration_depth),
+        "use_batch": use_batch,
+        "ensemble_size": None if ensemble_size is None else int(ensemble_size),
+        "ensemble_spread": float(ensemble_spread),
+        "seed": int(seed),
+        "faults": None if fault_plan is None else fault_plan.to_dict(),
+    }
+    rows: List[Dict[str, object]] = [
+        {"theorem": "thm1", "n": 2, "rounds": int(rounds), **common}
+    ]
+    for n in sizes:
+        rows.append({"theorem": "thm2", "n": int(n), "rounds": int(rounds), **common})
+    for n in sizes:
+        if n < 4:
+            continue
+        phase_rounds = max(rounds, 2 * (n - 1))
+        rows.append(
+            {"theorem": "thm3", "n": int(n), "rounds": int(phase_rounds), **common}
+        )
+    return rows
+
+
+def _certify_faulted_replay(
+    row: Dict[str, object],
+    algorithm,
+    model,
+    initial_values,
+    round_graphs,
+    descriptor: Dict[str, object],
+    fault_plan: FaultPlan,
+) -> None:
+    """Replay a committed schedule under ``fault_plan`` and extend ``row``.
+
+    ``round_graphs`` is round-major: entry ``t`` is either one graph
+    (single scenario) or the length-``B`` per-scenario graphs of round
+    ``t + 1`` — exactly the two shapes :class:`repro.api.Study` accepts
+    for ``graphs=``.
+    """
+    from repro.api import CertifySpec, Study
+
+    result = Study(
+        algorithm=algorithm,
+        initial_values=initial_values,
+        graphs=round_graphs,
+        model=model,
+        certify=CertifySpec(
+            suffix_rounds=descriptor["suffix_rounds"],
+            exploration_depth=descriptor["exploration_depth"],
+            use_batch=descriptor["use_batch"],
+        ),
+        faults=fault_plan,
+    ).run()
+    row["faulted"] = True
+    if result.is_ensemble:
+        lower = [c.rate_interval[0] for c in result.certificates]
+        upper = [c.rate_interval[1] for c in result.certificates]
+        row["faulted_output_rate_max"] = max(upper)
+        row["faulted_valency_lower_rate_min"] = min(lower)
+    else:
+        lower_rate, upper_rate = result.certificates.rate_interval
+        row["faulted_output_rate"] = upper_rate
+        row["faulted_valency_lower_rate"] = lower_rate
+
+
+def _certify_single_row(
+    descriptor: Dict[str, object],
+    name: str,
+    algorithm,
+    model,
+    adversary,
+    initial_values,
+    bound: float,
+    n: int,
+    total_rounds: int,
+    fault_plan: Optional[FaultPlan],
+) -> Dict[str, object]:
+    from repro.core.contraction import certified_rate_interval, measure_contraction_rate
+    from repro.core.valency import ValencyEstimator
+
+    measurement = measure_contraction_rate(
+        algorithm, model, adversary, initial_values, total_rounds
+    )
+    estimator = ValencyEstimator(
+        algorithm,
+        model,
+        suffix_rounds=descriptor["suffix_rounds"],
+        exploration_depth=descriptor["exploration_depth"],
+        use_batch=descriptor["use_batch"],
+    )
+    trace = [
+        float(estimate.lower_diameter)
+        for estimate in estimator.trace(measurement.execution.configurations)
+    ]
+    lower_rate, upper_rate = certified_rate_interval(measurement, trace)
+    row = {
+        "name": name,
+        "n": n,
+        "rounds": total_rounds,
+        "paper": bound,
+        "output_rate": upper_rate,
+        "valency_lower_rate": lower_rate,
+        "measured": upper_rate,
+        "certified": lower_rate <= bound + _SWEEP_TOLERANCE
+        and upper_rate >= bound - _SWEEP_TOLERANCE,
+    }
+    if fault_plan is not None:
+        _certify_faulted_replay(
+            row,
+            algorithm,
+            model,
+            initial_values,
+            list(measurement.execution.graphs),
+            descriptor,
+            fault_plan,
+        )
+    return row
+
+
+def _certify_ensemble_row(
+    descriptor: Dict[str, object],
+    name: str,
+    algorithm,
+    model,
+    adversary,
+    initial_values,
+    bound: float,
+    n: int,
+    total_rounds: int,
+    fault_plan: Optional[FaultPlan],
+) -> Dict[str, object]:
+    from repro.api import CertifySpec, Study
+
+    ensemble_size = descriptor["ensemble_size"]
+    base = np.asarray(initial_values, dtype=float).reshape(n, -1)
+    rng = np.random.default_rng(descriptor["seed"])
+    scale = descriptor["ensemble_spread"] * max(float(base.max() - base.min()), 1.0)
+    stacked = np.stack(
+        [base] + [
+            base + rng.uniform(-scale, scale, size=base.shape)
+            for _ in range(ensemble_size - 1)
+        ]
+    )
+    result = Study(
+        algorithm=algorithm,
+        initial_values=stacked,
+        adversary=adversary,
+        rounds=total_rounds,
+        model=model,
+        certify=CertifySpec(
+            suffix_rounds=descriptor["suffix_rounds"],
+            exploration_depth=descriptor["exploration_depth"],
+            use_batch=descriptor["use_batch"],
+        ),
+    ).run()
+    lower_rates = [c.rate_interval[0] for c in result.certificates]
+    upper_rates = [c.rate_interval[1] for c in result.certificates]
+    certified = all(
+        lower <= bound + _SWEEP_TOLERANCE and upper >= bound - _SWEEP_TOLERANCE
+        for lower, upper in zip(lower_rates, upper_rates)
+    )
+    row = {
+        "name": name,
+        "n": n,
+        "rounds": total_rounds,
+        "ensemble_B": ensemble_size,
+        "paper": bound,
+        "output_rate": upper_rates[0],
+        "output_rate_max": max(upper_rates),
+        "valency_lower_rate": lower_rates[0],
+        "valency_lower_rate_min": min(lower_rates),
+        "measured": max(upper_rates),
+        "certified": certified,
+    }
+    if fault_plan is not None:
+        _certify_faulted_replay(
+            row,
+            algorithm,
+            model,
+            stacked,
+            result.execution.round_choices,
+            descriptor,
+            fault_plan,
+        )
+    return row
+
+
+def run_certification_row(descriptor: Dict[str, object]) -> Dict[str, object]:
+    """Execute one :func:`certification_sweep_rows` descriptor.
+
+    Rebuilds the row's algorithm, model and proof adversary from the
+    descriptor's theorem tag, runs the contraction measurement and the
+    valency certification (single execution or perturbed ensemble), and
+    returns the sweep's row dictionary with every value JSON-native — the
+    unit of work :func:`repro.service.orchestrator.run_certification_sweep_service`
+    dispatches to workers and journals.
+    """
+    theorem = descriptor["theorem"]
+    n = descriptor["n"]
+    total_rounds = descriptor["rounds"]
+    fault_plan = (
+        None
+        if descriptor["faults"] is None
+        else FaultPlan.from_dict(descriptor["faults"])
+    )
+    if theorem == "thm1":
+        name = "thm1: two-agent thirds vs {H0,H1,H2}"
+        algorithm = TwoAgentThirdsAlgorithm()
+        model = two_agent_model()
+        adversary = TwoAgentAdversary()
+        initial_values = [0.0, 1.0]
+        bound = two_agent_lower_bound()
+    elif theorem == "thm2":
+        name = f"thm2: midpoint vs deaf(K_{n})"
+        algorithm = MidpointAlgorithm()
+        model = deaf_model(n=n)
+        adversary = GreedyDiameterAdversary(model)
+        initial_values = np.linspace(0.0, 1.0, n)
+        bound = deaf_graphs_lower_bound()
+    elif theorem == "thm3":
+        name = f"thm3: amortized midpoint vs Psi(n={n})"
+        algorithm = AmortizedMidpointAlgorithm()
+        model = psi_model(n)
+        adversary = PsiBlockAdversary(n)
+        initial_values = np.linspace(0.0, 1.0, n)
+        bound = psi_lower_bound(n)
+    else:
+        raise ConfigError(f"unknown sweep-row theorem tag {theorem!r}")
+    certify = (
+        _certify_single_row
+        if descriptor["ensemble_size"] is None
+        else _certify_ensemble_row
+    )
+    row = certify(
+        descriptor,
+        name,
+        algorithm,
+        model,
+        adversary,
+        initial_values,
+        bound,
+        n,
+        total_rounds,
+        fault_plan,
+    )
+    if theorem == "thm3":
+        row["alpha_diameter"] = model.alpha_diameter()
+        row["upper_bound"] = amortized_midpoint_upper_bound(n)
+    return _json_row(row)
+
+
 def run_certification_sweep(
     sizes: Sequence[int] = (4, 6),
     rounds: int = 24,
@@ -205,7 +502,7 @@ def run_certification_sweep(
     Each row carries ``paper`` (the lower bound), ``output_rate`` (measured
     upper estimate), ``valency_lower_rate`` (the fitted decay of the valency
     trace, a certified lower estimate), and ``certified`` (whether the
-    interval brackets the bound up to ``tolerance``).  ``use_batch=False``
+    interval brackets the bound up to the tolerance).  ``use_batch=False``
     forces every estimate through the per-sequence reference loops (used by
     the equivalence tests; bit-for-bit identical results).  ``config``
     scopes the whole sweep inside an
@@ -233,11 +530,13 @@ def run_certification_sweep(
     and the faulted certificates land in ``faulted_output_rate`` /
     ``faulted_valency_lower_rate`` (ensembles: ``..._max`` / ``..._min``)
     next to the fault-free ones.
-    """
-    from repro.api import CertifySpec, Study
-    from repro.core.contraction import certified_rate_interval, measure_contraction_rate
-    from repro.core.valency import ValencyEstimator
 
+    The sweep factors into serializable units: it is literally
+    ``[run_certification_row(r) for r in certification_sweep_rows(...)]``,
+    which is what lets
+    :func:`repro.service.orchestrator.run_certification_sweep_service`
+    dispatch the identical rows as crash-safe worker jobs.
+    """
     if config is not None:
         with config:
             return run_certification_sweep(
@@ -252,209 +551,18 @@ def run_certification_sweep(
                 seed=seed,
                 faults=faults,
             )
-
-    tolerance = 0.15  # finite-horizon slack on the fitted rates
-    results: List[Dict[str, object]] = []
-    fault_plan = as_fault_plan(faults)
-    if fault_plan is not None:
-        # The committed schedules are minimal N_A members already; replayed
-        # drops legitimately push below the n - f in-degree floor.
-        fault_plan = _dc_replace(fault_plan, enforce_model=False)
-
-    def certify_faulted_replay(
-        row: Dict[str, object],
-        algorithm,
-        model,
-        initial_values,
-        round_graphs,
-        n: int,
-    ) -> None:
-        """Replay a committed schedule under ``fault_plan`` and extend ``row``.
-
-        ``round_graphs`` is round-major: entry ``t`` is either one graph
-        (single scenario) or the length-``B`` per-scenario graphs of round
-        ``t + 1`` — exactly the two shapes :class:`repro.api.Study` accepts
-        for ``graphs=``.
-        """
-        from repro.api import CertifySpec, Study
-
-        result = Study(
-            algorithm=algorithm,
-            initial_values=initial_values,
-            graphs=round_graphs,
-            model=model,
-            certify=CertifySpec(
-                suffix_rounds=suffix_rounds,
-                exploration_depth=exploration_depth,
-                use_batch=use_batch,
-            ),
-            faults=fault_plan,
-        ).run()
-        row["faulted"] = True
-        if result.is_ensemble:
-            lower = [c.rate_interval[0] for c in result.certificates]
-            upper = [c.rate_interval[1] for c in result.certificates]
-            row["faulted_output_rate_max"] = max(upper)
-            row["faulted_valency_lower_rate_min"] = min(lower)
-        else:
-            lower_rate, upper_rate = result.certificates.rate_interval
-            row["faulted_output_rate"] = upper_rate
-            row["faulted_valency_lower_rate"] = lower_rate
-
-    def certify_single(
-        name: str,
-        algorithm,
-        model,
-        adversary,
-        initial_values,
-        bound: float,
-        n: int,
-        total_rounds: int,
-    ) -> Dict[str, object]:
-        measurement = measure_contraction_rate(
-            algorithm, model, adversary, initial_values, total_rounds
-        )
-        estimator = ValencyEstimator(
-            algorithm,
-            model,
-            suffix_rounds=suffix_rounds,
-            exploration_depth=exploration_depth,
-            use_batch=use_batch,
-        )
-        trace = [
-            float(estimate.lower_diameter)
-            for estimate in estimator.trace(measurement.execution.configurations)
-        ]
-        lower_rate, upper_rate = certified_rate_interval(measurement, trace)
-        row = {
-            "name": name,
-            "n": n,
-            "rounds": total_rounds,
-            "paper": bound,
-            "output_rate": upper_rate,
-            "valency_lower_rate": lower_rate,
-            "measured": upper_rate,
-            "certified": lower_rate <= bound + tolerance and upper_rate >= bound - tolerance,
-        }
-        if fault_plan is not None:
-            certify_faulted_replay(
-                row,
-                algorithm,
-                model,
-                initial_values,
-                list(measurement.execution.graphs),
-                n,
-            )
-        return row
-
-    def certify_ensemble_row(
-        name: str,
-        algorithm,
-        model,
-        adversary,
-        initial_values,
-        bound: float,
-        n: int,
-        total_rounds: int,
-    ) -> Dict[str, object]:
-        base = np.asarray(initial_values, dtype=float).reshape(n, -1)
-        rng = np.random.default_rng(seed)
-        scale = ensemble_spread * max(float(base.max() - base.min()), 1.0)
-        stacked = np.stack(
-            [base] + [
-                base + rng.uniform(-scale, scale, size=base.shape)
-                for _ in range(ensemble_size - 1)
-            ]
-        )
-        result = Study(
-            algorithm=algorithm,
-            initial_values=stacked,
-            adversary=adversary,
-            rounds=total_rounds,
-            model=model,
-            certify=CertifySpec(
-                suffix_rounds=suffix_rounds,
-                exploration_depth=exploration_depth,
-                use_batch=use_batch,
-            ),
-        ).run()
-        lower_rates = [c.rate_interval[0] for c in result.certificates]
-        upper_rates = [c.rate_interval[1] for c in result.certificates]
-        certified = all(
-            lower <= bound + tolerance and upper >= bound - tolerance
-            for lower, upper in zip(lower_rates, upper_rates)
-        )
-        row = {
-            "name": name,
-            "n": n,
-            "rounds": total_rounds,
-            "ensemble_B": ensemble_size,
-            "paper": bound,
-            "output_rate": upper_rates[0],
-            "output_rate_max": max(upper_rates),
-            "valency_lower_rate": lower_rates[0],
-            "valency_lower_rate_min": min(lower_rates),
-            "measured": max(upper_rates),
-            "certified": certified,
-        }
-        if fault_plan is not None:
-            certify_faulted_replay(
-                row,
-                algorithm,
-                model,
-                stacked,
-                result.execution.round_choices,
-                n,
-            )
-        return row
-
-    certify = certify_single if ensemble_size is None else certify_ensemble_row
-
-    results.append(
-        certify(
-            "thm1: two-agent thirds vs {H0,H1,H2}",
-            TwoAgentThirdsAlgorithm(),
-            two_agent_model(),
-            TwoAgentAdversary(),
-            [0.0, 1.0],
-            two_agent_lower_bound(),
-            2,
-            rounds,
-        )
+    descriptors = certification_sweep_rows(
+        sizes=sizes,
+        rounds=rounds,
+        suffix_rounds=suffix_rounds,
+        exploration_depth=exploration_depth,
+        use_batch=use_batch,
+        ensemble_size=ensemble_size,
+        ensemble_spread=ensemble_spread,
+        seed=seed,
+        faults=faults,
     )
-    for n in sizes:
-        model = deaf_model(n=n)
-        results.append(
-            certify(
-                f"thm2: midpoint vs deaf(K_{n})",
-                MidpointAlgorithm(),
-                model,
-                GreedyDiameterAdversary(model),
-                np.linspace(0.0, 1.0, n),
-                deaf_graphs_lower_bound(),
-                n,
-                rounds,
-            )
-        )
-    for n in sizes:
-        if n < 4:
-            continue
-        model = psi_model(n)
-        phase_rounds = max(rounds, 2 * (n - 1))
-        row = certify(
-            f"thm3: amortized midpoint vs Psi(n={n})",
-            AmortizedMidpointAlgorithm(),
-            model,
-            PsiBlockAdversary(n),
-            np.linspace(0.0, 1.0, n),
-            psi_lower_bound(n),
-            n,
-            phase_rounds,
-        )
-        row["alpha_diameter"] = model.alpha_diameter()
-        row["upper_bound"] = amortized_midpoint_upper_bound(n)
-        results.append(row)
-    return results
+    return [run_certification_row(descriptor) for descriptor in descriptors]
 
 
 def experiment_solvability() -> Dict[str, object]:

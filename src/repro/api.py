@@ -133,6 +133,24 @@ class ScenarioSpec:
         if self.record_every < 1:
             raise ConfigError(f"record_every must be >= 1, got {self.record_every}")
 
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`.
+
+        Adversary-routed scenarios raise
+        :class:`~repro.exceptions.SerializationError` — an adaptive
+        adversary's decision procedure is arbitrary code; replay its
+        committed schedules as a ``graphs=`` scenario instead.
+        """
+        from repro.service.serialization import encode_scenario_spec
+
+        return encode_scenario_spec(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        from repro.service.serialization import decode_scenario_spec
+
+        return decode_scenario_spec(payload)
+
     def is_ensemble(self) -> bool:
         """Whether the initial values describe a stacked ``(B, n, d)`` ensemble."""
         values = self.initial_values
@@ -150,7 +168,9 @@ class ScenarioSpec:
             return True
         raise EnsembleShapeError(
             f"initial values must stack to a 1-D/2-D (single scenario) or 3-D "
-            f"(ensemble) array, got shape {values.shape}"
+            f"(ensemble) array, got shape {values.shape}",
+            expected="1-D/2-D (single scenario) or 3-D (ensemble)",
+            actual=tuple(values.shape),
         )
 
 
@@ -167,6 +187,18 @@ class CertifySpec:
     exploration_depth: int = 0
     use_batch: Optional[bool] = None
     scenario_chunk: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`."""
+        from repro.service.serialization import encode_certify_spec
+
+        return encode_certify_spec(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CertifySpec":
+        from repro.service.serialization import decode_certify_spec
+
+        return decode_certify_spec(payload)
 
 
 @dataclass(frozen=True)
@@ -288,6 +320,24 @@ class StudyResult:
         if isinstance(self.execution, Execution):
             return [[graph] for graph in self.execution.graphs]
         raise ExecutionError("round choices are only recorded for adversarial studies")
+
+    def to_dict(self) -> dict:
+        """A versioned, bit-for-bit JSON encoding; invert with :meth:`from_dict`.
+
+        Float arrays travel as raw bytes, so the decoded result's outputs,
+        diameters and certificates are array-for-array identical — which is
+        what lets the service layer journal shard results and merge them
+        into a result indistinguishable from a single-process run.
+        """
+        from repro.service.serialization import encode_study_result
+
+        return encode_study_result(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StudyResult":
+        from repro.service.serialization import decode_study_result
+
+        return decode_study_result(payload)
 
     def __repr__(self) -> str:
         return (

@@ -193,7 +193,10 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
             raise AsynchronyError(
                 f"agent {agent_id} timed out in round {state.current_round} at time "
                 f"{time} after waiting {self._round_timeout} time units for its "
-                f"n - f = {state.n - state.f} quorum (timeout_policy='abort')"
+                f"n - f = {state.n - state.f} quorum (timeout_policy='abort')",
+                agent=agent_id,
+                round_number=state.current_round,
+                time=time,
             )
         if self._timeout_policy == "retry":
             history = state.sent_messages

@@ -510,7 +510,10 @@ class AsynchronousSimulator:
                     f"n - f = {self._n - self._f} round-{stuck_round} messages could "
                     f"form (a fault schedule dropped or silenced too many messages); "
                     f"set a round_timeout/timeout_policy on the round-based wrapper "
-                    f"for graceful degradation"
+                    f"for graceful degradation",
+                    agent=agent,
+                    round_number=stuck_round,
+                    time=current_time,
                 )
 
     def _record_output(

@@ -146,6 +146,35 @@ class EngineConfig:
                 f"seed must be a non-negative int or None, got {self.seed!r}"
             )
 
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`.
+
+        Every field is already JSON-native (``None``/bool/int/str), so the
+        encoding is the field dict plus a type/version header — canonical
+        for a given config, which lets the service layer content-hash it.
+        """
+        payload = {"__type__": "EngineConfig", "version": 1}
+        for name in _CONFIG_FIELDS:
+            payload[name] = getattr(self, name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineConfig":
+        from repro.exceptions import SerializationError
+
+        if not isinstance(payload, dict) or payload.get("__type__") != "EngineConfig":
+            raise SerializationError(
+                f"expected an EngineConfig payload, got "
+                f"__type__={payload.get('__type__') if isinstance(payload, dict) else payload!r}"
+            )
+        version = payload.get("version")
+        if version != 1:
+            raise SerializationError(
+                f"EngineConfig payload version {version!r} is not supported "
+                "(this library reads version 1)"
+            )
+        return cls(**{name: payload.get(name) for name in _CONFIG_FIELDS})
+
     # ------------------------------------------------------------------ #
     # Context-manager protocol
     # ------------------------------------------------------------------ #

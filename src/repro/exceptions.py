@@ -42,7 +42,29 @@ class EnsembleShapeError(ExecutionError):
     candidate adjacency stacks and per-scenario plan collections; this error
     names the offending shapes instead of letting NumPy raise an opaque
     broadcast error deep inside a masked reduction.
+
+    Attributes
+    ----------
+    expected / actual:
+        The shape (or shape description) the engine required and the one it
+        received, when the raise site can name them (``None`` otherwise).
+        Preserved across process boundaries — see :meth:`__reduce__`.
     """
+
+    def __init__(self, message: str, *, expected=None, actual=None) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+    def __reduce__(self):
+        # The default Exception reduction replays only ``self.args``; the
+        # keyword-only diagnostics would vanish when a worker's error is
+        # pickled back to the orchestrator.
+        return (_rebuild_ensemble_shape_error, (self.args[0], self.expected, self.actual))
+
+
+def _rebuild_ensemble_shape_error(message, expected, actual):
+    return EnsembleShapeError(message, expected=expected, actual=actual)
 
 
 class ConfigError(ReproError):
@@ -74,7 +96,32 @@ class AsynchronyError(ReproError):
     Typical causes are scheduling messages with non-positive delays,
     delivering messages to crashed agents, exceeding the crash budget, or a
     fault schedule starving a round-based agent of its ``n - f`` quorum.
+
+    Attributes
+    ----------
+    agent / round_number / time:
+        The agent, (1-based) round and simulation time of the failure, when
+        the raise site can name them (``None`` otherwise).  Preserved across
+        process boundaries — see :meth:`__reduce__`.
     """
+
+    def __init__(
+        self, message: str, *, agent=None, round_number=None, time=None
+    ) -> None:
+        super().__init__(message)
+        self.agent = agent
+        self.round_number = round_number
+        self.time = time
+
+    def __reduce__(self):
+        return (
+            _rebuild_asynchrony_error,
+            (self.args[0], self.agent, self.round_number, self.time),
+        )
+
+
+def _rebuild_asynchrony_error(message, agent, round_number, time):
+    return AsynchronyError(message, agent=agent, round_number=round_number, time=time)
 
 
 class FaultModelError(ExecutionError):
@@ -116,3 +163,88 @@ class FaultModelError(ExecutionError):
         self.agent = agent
         self.in_degree = in_degree
         self.required = required
+
+    def __reduce__(self):
+        # The default Exception reduction replays only ``self.args`` (the
+        # message), so the diagnostic fields would be silently dropped when
+        # the error crosses a process boundary (multiprocessing pickles
+        # worker exceptions back to the orchestrator).
+        kwargs = {
+            "scenario": self.scenario,
+            "round_number": self.round_number,
+            "agent": self.agent,
+            "in_degree": self.in_degree,
+            "required": self.required,
+        }
+        return (_rebuild_fault_model_error, (self.args[0], kwargs))
+
+
+def _rebuild_fault_model_error(message, kwargs):
+    return FaultModelError(message, **kwargs)
+
+
+class ServiceError(ReproError):
+    """Raised by the crash-safe study orchestrator (:mod:`repro.service`).
+
+    Typical causes are shards exhausting their retry budget in strict mode,
+    malformed checkpoint journals, or dispatching a job kind no worker
+    runner is registered for.
+    """
+
+
+class SerializationError(ServiceError):
+    """Raised when a spec, plan, config or result cannot cross a process
+    boundary as JSON.
+
+    Typical causes are algorithms built from arbitrary callables
+    (``CallableWeightAveraging``), adversary-routed studies (replay the
+    committed schedules as a ``graphs=`` study instead), or payloads written
+    by a newer serialization schema version.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """Raised when a shard worker process dies without reporting a result.
+
+    Carries the worker's exit code (negative values are the signal number,
+    e.g. ``-9`` for SIGKILL).  Classified as *transient* by the retry
+    policy: a killed worker says nothing deterministic about the shard.
+    """
+
+    def __init__(self, message: str, *, exitcode=None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (_rebuild_worker_crash_error, (self.args[0], self.exitcode))
+
+
+def _rebuild_worker_crash_error(message, exitcode):
+    return WorkerCrashError(message, exitcode=exitcode)
+
+
+class ShardTimeoutError(ServiceError):
+    """Raised when a shard exceeds its wall-clock budget or stops heartbeating.
+
+    Classified as *transient* by the retry policy.
+
+    Attributes
+    ----------
+    elapsed:
+        Seconds the shard had been running when it was killed.
+    kind:
+        ``"timeout"`` for a hard per-shard budget, ``"heartbeat"`` for a
+        worker that stopped sending liveness beats.
+    """
+
+    def __init__(self, message: str, *, elapsed=None, kind="timeout") -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.kind = kind
+
+    def __reduce__(self):
+        return (_rebuild_shard_timeout_error, (self.args[0], self.elapsed, self.kind))
+
+
+def _rebuild_shard_timeout_error(message, elapsed, kind):
+    return ShardTimeoutError(message, elapsed=elapsed, kind=kind)

@@ -245,7 +245,9 @@ def _validate_ensemble_values(values: np.ndarray) -> None:
     """Reject degenerate ``(B, n, d)`` stacks with a named-shape error."""
     if values.ndim != 3:
         raise EnsembleShapeError(
-            f"ensemble initial values must stack to (B, n, d), got shape {values.shape}"
+            f"ensemble initial values must stack to (B, n, d), got shape {values.shape}",
+            expected="(B, n, d)",
+            actual=tuple(values.shape),
         )
     batch_size, n, d = values.shape
     if batch_size < 1 or n < 1 or d < 1:
@@ -277,7 +279,9 @@ def _round_adjacency(
         ) from exc
     if len(graphs) != batch_size:
         raise EnsembleShapeError(
-            f"per-scenario round needs {batch_size} graphs, got {len(graphs)}"
+            f"per-scenario round needs {batch_size} graphs, got {len(graphs)}",
+            expected=batch_size,
+            actual=len(graphs),
         )
     for graph in graphs:
         if not isinstance(graph, CommunicationGraph):
@@ -943,4 +947,109 @@ def sweep(
         graph_rounds,
         record_every=record_every,
         scenario_labels=labels,
+    )
+
+
+def merge_ensemble_executions(
+    shards: Sequence[EnsembleExecution],
+    fault_plan: Optional[FaultPlan] = None,
+) -> EnsembleExecution:
+    """Concatenate shard ensembles along the scenario axis, deterministically.
+
+    The inverse of slicing an ensemble study into shard jobs: given the
+    shards **in scenario order**, rebuilds the ``(R, B, n, d)`` record a
+    single run over the full ensemble would have produced — recorded
+    outputs, labels and per-scenario configuration snapshots are
+    concatenated bit-for-bit (no recomputation happens here).  The shards
+    must agree on algorithm, recorded rounds and the ``batched`` provenance
+    flag; labels and configuration snapshots must be present on all shards
+    or on none.
+
+    ``fault_plan`` overrides the merged record's provenance plan: each
+    shard ran under a ``scenario_base``-offset copy of the study's plan, so
+    the caller passes the study-level plan the full run would have carried.
+    Without the override the shards must all carry the same plan (the
+    fault-free ``None`` included).
+    """
+    shard_list = list(shards)
+    if not shard_list:
+        raise ExecutionError("merging needs at least one shard ensemble")
+    for shard in shard_list:
+        if isinstance(shard, AdversarialEnsembleExecution):
+            raise ExecutionError(
+                "adversarial ensembles cannot be merged from shards: the "
+                "adversary adapts to the whole ensemble, so slicing changes "
+                "its choices"
+            )
+        if not isinstance(shard, EnsembleExecution):
+            raise ExecutionError(
+                f"merging needs EnsembleExecution shards, got {type(shard).__name__}"
+            )
+    first = shard_list[0]
+    for index, shard in enumerate(shard_list[1:], start=1):
+        if shard.algorithm_name != first.algorithm_name:
+            raise ExecutionError(
+                f"shard {index} ran algorithm {shard.algorithm_name!r}, "
+                f"shard 0 ran {first.algorithm_name!r}"
+            )
+        if list(shard.recorded_rounds) != list(first.recorded_rounds):
+            raise ExecutionError(
+                f"shard {index} recorded rounds {shard.recorded_rounds}, "
+                f"shard 0 recorded {first.recorded_rounds}"
+            )
+        if shard.batched != first.batched:
+            raise ExecutionError(
+                f"shard {index} has batched={shard.batched}, "
+                f"shard 0 has batched={first.batched}: shards must run under "
+                "the same engine configuration"
+            )
+        if shard.recorded_outputs.shape[2:] != first.recorded_outputs.shape[2:]:
+            raise ExecutionError(
+                f"shard {index} has per-scenario shape "
+                f"{shard.recorded_outputs.shape[2:]}, shard 0 has "
+                f"{first.recorded_outputs.shape[2:]}"
+            )
+    with_labels = [shard.scenario_labels is not None for shard in shard_list]
+    if any(with_labels) and not all(with_labels):
+        raise ExecutionError(
+            "scenario labels must be present on every shard or on none"
+        )
+    with_states = [shard.recorded_configurations is not None for shard in shard_list]
+    if any(with_states) and not all(with_states):
+        raise ExecutionError(
+            "recorded configurations must be present on every shard or on none"
+        )
+    if fault_plan is None:
+        plans = {shard.fault_plan for shard in shard_list}
+        if len(plans) != 1:
+            raise ExecutionError(
+                "shards carry differing fault plans; pass fault_plan= with the "
+                "study-level plan the merged record should report"
+            )
+        fault_plan = shard_list[0].fault_plan
+    merged_labels = (
+        [label for shard in shard_list for label in shard.scenario_labels]
+        if all(with_labels)
+        else None
+    )
+    merged_configurations = None
+    if all(with_states):
+        merged_configurations = [
+            [
+                configuration
+                for shard in shard_list
+                for configuration in shard.recorded_configurations[r]
+            ]
+            for r in range(len(first.recorded_rounds))
+        ]
+    return EnsembleExecution(
+        algorithm_name=first.algorithm_name,
+        recorded_rounds=list(first.recorded_rounds),
+        recorded_outputs=np.concatenate(
+            [shard.recorded_outputs for shard in shard_list], axis=1
+        ),
+        scenario_labels=merged_labels,
+        batched=first.batched,
+        recorded_configurations=merged_configurations,
+        fault_plan=fault_plan,
     )

@@ -115,6 +115,32 @@ class CrashSpec:
         """Whether the final broadcast is delivered unrestricted."""
         return self.final_recipients is None
 
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`."""
+        return {
+            "__type__": "CrashSpec",
+            "version": 1,
+            "agent": self.agent,
+            "round": self.round,
+            "final_recipients": (
+                None
+                if self.final_recipients is None
+                else sorted(self.final_recipients)
+            ),
+            "recovery_round": self.recovery_round,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashSpec":
+        _check_payload(payload, "CrashSpec", 1)
+        recipients = payload["final_recipients"]
+        return cls(
+            agent=payload["agent"],
+            round=payload["round"],
+            final_recipients=None if recipients is None else frozenset(recipients),
+            recovery_round=payload["recovery_round"],
+        )
+
 
 @dataclass(frozen=True)
 class JoinSpec:
@@ -126,6 +152,41 @@ class JoinSpec:
     def __post_init__(self) -> None:
         if self.round < 1:
             raise ConfigError(f"join rounds are 1-based, got round={self.round}")
+
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`."""
+        return {
+            "__type__": "JoinSpec",
+            "version": 1,
+            "agent": self.agent,
+            "round": self.round,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JoinSpec":
+        _check_payload(payload, "JoinSpec", 1)
+        return cls(agent=payload["agent"], round=payload["round"])
+
+
+def _check_payload(payload: dict, expected_type: str, max_version: int) -> None:
+    """Shared payload-header validation for the fault codecs."""
+    from repro.exceptions import SerializationError
+
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"expected a dict payload for {expected_type}, got {type(payload).__name__}"
+        )
+    found = payload.get("__type__")
+    if found != expected_type:
+        raise SerializationError(
+            f"expected a {expected_type} payload, got __type__={found!r}"
+        )
+    version = payload.get("version")
+    if not isinstance(version, int) or not 1 <= version <= max_version:
+        raise SerializationError(
+            f"{expected_type} payload version {version!r} is not supported "
+            f"(this library reads versions 1..{max_version})"
+        )
 
 
 @dataclass(frozen=True)
@@ -149,6 +210,13 @@ class FaultPlan:
     f: Optional[int] = None
     seed: Optional[int] = None
     enforce_model: bool = True
+    #: Global index of this plan's scenario 0.  A shard covering global
+    #: scenarios ``[s, s + k)`` of a larger ensemble runs as a local
+    #: ``(k, n, d)`` ensemble with ``scenario_base=s``: every sampling
+    #: method then reads the counter blocks of the *global* scenario
+    #: indices, so the shard's draws are bit-for-bit the slices the
+    #: unsharded run would have drawn.
+    scenario_base: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -190,6 +258,14 @@ class FaultPlan:
             isinstance(self.seed, bool) or not isinstance(self.seed, int) or self.seed < 0
         ):
             raise ConfigError(f"seed must be a non-negative int or None, got {self.seed!r}")
+        if (
+            isinstance(self.scenario_base, bool)
+            or not isinstance(self.scenario_base, int)
+            or self.scenario_base < 0
+        ):
+            raise ConfigError(
+                f"scenario_base must be a non-negative int, got {self.scenario_base!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -252,6 +328,42 @@ class FaultPlan:
                 f"the fault plan declares {len(self.faulty_agents)} faulty agents "
                 f"but the execution budget is f={f}"
             )
+
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`.
+
+        The encoding is canonical for a given plan (crash/join specs keep
+        their declared order, recipient sets are sorted), so the service
+        layer can content-hash it for checkpoint deduplication.
+        """
+        return {
+            "__type__": "FaultPlan",
+            "version": 1,
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "jitter": self.jitter,
+            "crashes": [spec.to_dict() for spec in self.crashes],
+            "joins": [spec.to_dict() for spec in self.joins],
+            "f": self.f,
+            "seed": self.seed,
+            "enforce_model": self.enforce_model,
+            "scenario_base": self.scenario_base,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        _check_payload(payload, "FaultPlan", 1)
+        return cls(
+            drop=payload["drop"],
+            duplicate=payload["duplicate"],
+            jitter=payload["jitter"],
+            crashes=tuple(CrashSpec.from_dict(item) for item in payload["crashes"]),
+            joins=tuple(JoinSpec.from_dict(item) for item in payload["joins"]),
+            f=payload["f"],
+            seed=payload["seed"],
+            enforce_model=payload["enforce_model"],
+            scenario_base=payload.get("scenario_base", 0),
+        )
 
     def _crash_of(self, agent: int) -> Optional[CrashSpec]:
         for spec in self.crashes:
@@ -316,15 +428,19 @@ class FaultPlan:
         (one float64 consumes one 64-bit PCG64 output).
         """
         rng = self._round_rng(stream, round_number)
-        if scenario:
-            rng.bit_generator.advance(scenario * n * n)
+        offset = self.scenario_base + scenario
+        if offset:
+            rng.bit_generator.advance(offset * n * n)
         return rng.random((n, n))
 
     def _batch_uniforms(
         self, stream: int, round_number: int, batch_size: int, n: int
     ) -> np.ndarray:
         """All ``batch_size`` scenarios' uniform draws as one ``(B, n, n)`` pass."""
-        return self._round_rng(stream, round_number).random((batch_size, n, n))
+        rng = self._round_rng(stream, round_number)
+        if self.scenario_base:
+            rng.bit_generator.advance(self.scenario_base * n * n)
+        return rng.random((batch_size, n, n))
 
     def structural_mask(self, round_number: int, n: int) -> Optional[np.ndarray]:
         """The crash/join keep mask of one round, or ``None`` if inactive.
@@ -481,6 +597,9 @@ class FaultPlan:
         else:
             bad_scenario, agent = (int(v) for v in np.argwhere(violating)[0])
             degree = int(in_degrees[bad_scenario, agent])
+        # Report the *global* scenario index so a sharded run names the same
+        # scenario the unsharded run would have.
+        bad_scenario += self.scenario_base
         raise FaultModelError(
             f"faulted effective graph leaves the crash model N_A(n={n}, f={budget}) "
             f"in scenario {bad_scenario}, round {round_number}: agent {agent} has "
@@ -570,7 +689,14 @@ class FaultPlan:
                 "sampling from an unresolved FaultPlan; call plan.resolved() first"
             )
         rng = np.random.default_rng(
-            (self.seed, _STREAM_TAG, _STREAM_RETRY, scenario, round_number, attempt)
+            (
+                self.seed,
+                _STREAM_TAG,
+                _STREAM_RETRY,
+                self.scenario_base + scenario,
+                round_number,
+                attempt,
+            )
         )
         return bool(rng.random((n, n))[sender, recipient] >= self.drop)
 
@@ -605,6 +731,27 @@ class FaultSpec:
             f=self.f,
             seed=self.seed,
             enforce_model=self.enforce_model,
+        )
+
+    def to_dict(self) -> dict:
+        """A versioned JSON-safe encoding; invert with :meth:`from_dict`."""
+        payload = self.compile().to_dict()
+        payload["__type__"] = "FaultSpec"
+        del payload["scenario_base"]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        _check_payload(payload, "FaultSpec", 1)
+        return cls(
+            drop=payload["drop"],
+            duplicate=payload["duplicate"],
+            jitter=payload["jitter"],
+            crashes=tuple(CrashSpec.from_dict(item) for item in payload["crashes"]),
+            joins=tuple(JoinSpec.from_dict(item) for item in payload["joins"]),
+            f=payload["f"],
+            seed=payload["seed"],
+            enforce_model=payload["enforce_model"],
         )
 
 

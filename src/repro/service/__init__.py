@@ -1,0 +1,45 @@
+"""Crash-safe study orchestration: sharded ensembles across worker processes.
+
+The :class:`~repro.api.Study` facade is declarative — this package makes it
+*serializable* and puts a crash-safe orchestrator in front of it:
+
+* :mod:`repro.service.serialization` — versioned JSON codecs for every
+  spec, plan, config and result, so studies cross process boundaries and
+  results can be journaled;
+* :mod:`repro.service.checkpoint` — an append-only on-disk journal of
+  completed shard results keyed by content hash, for resume-after-crash
+  and cross-study deduplication;
+* :mod:`repro.service.retry` — bounded retries with exponential backoff
+  and deterministic jitter, distinguishing transient failures (killed
+  worker, timeout) from deterministic ones (fail fast);
+* :mod:`repro.service.worker` — the shard worker process entry point,
+  with liveness heartbeats and structured error reporting;
+* :mod:`repro.service.orchestrator` — :func:`run_study_service` and
+  :func:`run_certification_sweep_service`, which shard the ``(B, n, d)``
+  scenario axis (or the sweep's grid rows) across a pool of workers and
+  merge the results deterministically: the orchestrated result is
+  bit-for-bit identical to the single-process run regardless of worker
+  count, completion order, or crash/resume cycles.
+"""
+
+from repro.service.checkpoint import CheckpointJournal, content_key
+from repro.service.orchestrator import (
+    PartialStudyResult,
+    ShardFailure,
+    ShardRecord,
+    run_certification_sweep_service,
+    run_study_service,
+)
+from repro.service.retry import RetryPolicy, is_transient_failure
+
+__all__ = [
+    "CheckpointJournal",
+    "PartialStudyResult",
+    "RetryPolicy",
+    "ShardFailure",
+    "ShardRecord",
+    "content_key",
+    "is_transient_failure",
+    "run_certification_sweep_service",
+    "run_study_service",
+]

@@ -1,0 +1,126 @@
+"""Retry policy for shard jobs: bounded attempts, backoff, failure triage.
+
+A shard can fail two fundamentally different ways, and the orchestrator
+must not treat them alike:
+
+* **Transient** failures — a worker killed by a signal
+  (:class:`~repro.exceptions.WorkerCrashError`), a shard that exceeded its
+  wall-clock or heartbeat budget (:class:`~repro.exceptions.ShardTimeoutError`),
+  or an *unrecognized* exception (assumed environmental) — are retried with
+  exponential backoff up to :attr:`RetryPolicy.max_attempts`.
+* **Deterministic** failures — any other :class:`~repro.exceptions.ReproError`
+  subclass, e.g. :class:`~repro.exceptions.FaultModelError` or
+  :class:`~repro.exceptions.EnsembleShapeError` — would recur identically on
+  every attempt (the engines are deterministic by construction), so they
+  fail fast on the first attempt.
+
+Backoff jitter is *deterministic*: derived by hashing ``(shard key,
+attempt)`` rather than sampling a clock-seeded RNG, so two orchestrator
+runs over the same study schedule retries identically — reproducibility
+extends to the failure path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    ConfigError,
+    ReproError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+
+#: Exception types the orchestrator treats as transient (worth retrying).
+_TRANSIENT_TYPES = (WorkerCrashError, ShardTimeoutError)
+
+
+def is_transient_failure(error: BaseException) -> bool:
+    """Whether a shard failure is worth retrying.
+
+    Worker crashes and timeouts are transient.  Every *other* ``ReproError``
+    is deterministic — the engines recompute the identical failure on every
+    attempt — so it is never retried.  Unknown exception types (``OSError``,
+    ``MemoryError``-adjacent failures from a dying worker, ...) are assumed
+    environmental and retried.
+    """
+    if isinstance(error, _TRANSIENT_TYPES):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule with exponential backoff and deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per shard (first run included).  ``1`` disables
+        retries entirely.
+    base_delay:
+        Delay in seconds before the second attempt.
+    backoff:
+        Multiplier applied per additional attempt.
+    max_delay:
+        Cap on the pre-jitter delay.
+    jitter:
+        Fraction of the delay randomized (``0.25`` = up to ±0%…+25% added).
+        The jitter value is a pure function of ``(key, attempt)`` — see
+        :meth:`delay_before` — so schedules replay identically.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_attempts, bool) or not isinstance(
+            self.max_attempts, int
+        ):
+            raise ConfigError(f"max_attempts must be an int, got {self.max_attempts!r}")
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        for name in ("base_delay", "backoff", "max_delay", "jitter"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(f"{name} must be a number, got {value!r}")
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether to schedule attempt ``attempt + 1`` after ``error``.
+
+        ``attempt`` is 1-based (the attempt that just failed).
+        """
+        if attempt >= self.max_attempts:
+            return False
+        return is_transient_failure(error)
+
+    def delay_before(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before launching (1-based) attempt ``attempt``.
+
+        Attempt 1 launches immediately.  Later attempts back off
+        exponentially, capped at :attr:`max_delay`, plus a deterministic
+        jitter fraction derived from ``sha256(key || attempt)`` — no clock,
+        no global RNG, so identical inputs give identical schedules.
+        """
+        if attempt <= 1:
+            return 0.0
+        delay = self.base_delay * (self.backoff ** (attempt - 2))
+        delay = min(delay, self.max_delay)
+        if self.jitter > 0.0:
+            digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+            (word,) = struct.unpack("<Q", digest[:8])
+            fraction = word / float(2**64)  # in [0, 1)
+            delay *= 1.0 + self.jitter * fraction
+        return delay
+
+
+__all__ = ["RetryPolicy", "is_transient_failure"]

@@ -1,0 +1,847 @@
+"""Versioned JSON codecs for specs, plans, configs and results.
+
+Everything the orchestrator ships to a worker process — and everything a
+worker journals back — crosses the boundary as JSON produced here.  The
+encodings are
+
+* **bit-for-bit faithful**: float arrays travel as base64-encoded raw
+  bytes (dtype and shape alongside), scalar floats rely on Python's
+  shortest-repr round-trip, so a decoded :class:`~repro.api.StudyResult`
+  is array-for-array identical to the one the worker computed;
+* **versioned**: every payload carries ``__type__`` and ``version``
+  headers, and decoding a payload written by a newer schema raises
+  :class:`~repro.exceptions.SerializationError` instead of guessing; and
+* **canonical**: a given object always encodes to the same payload
+  (sorted recipient sets, registry-named algorithms), which is what lets
+  the checkpoint journal content-hash ``(spec, config, shard)`` and
+  deduplicate identical shards across studies.
+
+Not everything is serializable by design: adversary-routed studies carry
+an adaptive :class:`~repro.models.patterns.AdversarialPattern` whose
+decision procedure is arbitrary code — replay its committed schedules as
+a ``graphs=`` study instead — and algorithms built from arbitrary
+callables (``CallableWeightAveraging``) are likewise rejected with a
+clear error.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+_ARRAY = "ndarray"
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text of a payload (stable key order, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+def _check_header(payload: Any, expected: str, max_version: int = 1) -> None:
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"expected a dict payload for {expected}, got {type(payload).__name__}"
+        )
+    found = payload.get("__type__")
+    if found != expected:
+        raise SerializationError(f"expected a {expected} payload, got __type__={found!r}")
+    version = payload.get("version")
+    if not isinstance(version, int) or not 1 <= version <= max_version:
+        raise SerializationError(
+            f"{expected} payload version {version!r} is not supported "
+            f"(this library reads versions 1..{max_version})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Arrays and opaque state values
+# ---------------------------------------------------------------------- #
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode an ndarray as raw little-endian bytes (bit-for-bit)."""
+    array = np.ascontiguousarray(array)
+    if array.dtype == bool:
+        dtype = "bool"
+        data = np.packbits(array.reshape(-1))
+    else:
+        dtype = array.dtype.str
+        data = array
+    return {
+        "__type__": _ARRAY,
+        "version": 1,
+        "dtype": dtype,
+        "shape": list(array.shape),
+        "data": base64.b64encode(data.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    _check_header(payload, _ARRAY)
+    raw = base64.b64decode(payload["data"])
+    shape = tuple(payload["shape"])
+    if payload["dtype"] == "bool":
+        count = int(np.prod(shape)) if shape else 1
+        flat = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=count)
+        return flat.astype(bool).reshape(shape)
+    return np.frombuffer(raw, dtype=np.dtype(payload["dtype"])).reshape(shape).copy()
+
+
+#: Registered dataclass state types, by payload name.  Agent states recorded
+#: in configurations are opaque to the engines; the codec handles any
+#: dataclass registered here whose fields are themselves encodable values.
+_STATE_TYPES: Dict[str, Type] = {}
+
+
+def register_state_type(cls: Type, name: Optional[str] = None) -> Type:
+    """Register a dataclass agent-state type with the value codec."""
+    _STATE_TYPES[name or cls.__name__] = cls
+    return cls
+
+
+def _state_name(cls: Type) -> Optional[str]:
+    for name, registered in _STATE_TYPES.items():
+        if registered is cls:
+            return name
+    return None
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary (state-like) value tree as JSON.
+
+    Handles JSON natives, numpy arrays and scalars, tuples vs lists
+    (distinguished — configuration-state equality is type-sensitive),
+    frozensets, string-keyed dicts, and registered dataclass state types.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return {"__type__": "npscalar", "kind": "bool", "value": bool(value)}
+    if isinstance(value, np.integer):
+        return {"__type__": "npscalar", "kind": "int", "value": int(value)}
+    if isinstance(value, np.floating):
+        # Encode through the array codec so NaN payloads and signed zeros
+        # survive bit-for-bit.
+        return {
+            "__type__": "npscalar",
+            "kind": "float",
+            "value": encode_array(np.asarray(value)),
+        }
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, tuple):
+        return {"__type__": "tuple", "items": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"__type__": "list", "items": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        items = [encode_value(item) for item in value]
+        items.sort(key=canonical_json)
+        return {"__type__": "frozenset", "items": items}
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise SerializationError(
+                "only string-keyed dicts are JSON-serializable; got keys "
+                f"{sorted(map(repr, value))[:3]}"
+            )
+        return {
+            "__type__": "dict",
+            "items": {key: encode_value(item) for key, item in value.items()},
+        }
+    name = _state_name(type(value))
+    if name is not None and hasattr(value, "__dataclass_fields__"):
+        return {
+            "__type__": "state",
+            "version": 1,
+            "state_type": name,
+            "fields": {
+                field: encode_value(getattr(value, field))
+                for field in value.__dataclass_fields__
+            },
+        }
+    raise SerializationError(
+        f"cannot serialize a value of type {type(value).__name__}; register "
+        "dataclass state types with repro.service.serialization.register_state_type"
+    )
+
+
+def decode_value(payload: Any) -> Any:
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if not isinstance(payload, dict):
+        raise SerializationError(f"cannot decode value payload {payload!r}")
+    kind = payload.get("__type__")
+    if kind == _ARRAY:
+        return decode_array(payload)
+    if kind == "npscalar":
+        if payload["kind"] == "bool":
+            return np.bool_(payload["value"])
+        if payload["kind"] == "int":
+            return np.int64(payload["value"])
+        return decode_array(payload["value"])[()]
+    if kind == "tuple":
+        return tuple(decode_value(item) for item in payload["items"])
+    if kind == "list":
+        return [decode_value(item) for item in payload["items"]]
+    if kind == "frozenset":
+        return frozenset(decode_value(item) for item in payload["items"])
+    if kind == "dict":
+        return {key: decode_value(item) for key, item in payload["items"].items()}
+    if kind == "state":
+        _check_header(payload, "state")
+        name = payload["state_type"]
+        cls = _STATE_TYPES.get(name)
+        if cls is None:
+            raise SerializationError(f"unknown registered state type {name!r}")
+        return cls(
+            **{field: decode_value(item) for field, item in payload["fields"].items()}
+        )
+    raise SerializationError(f"cannot decode value payload of type {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Graphs, models, patterns
+# ---------------------------------------------------------------------- #
+
+
+def encode_graph(graph) -> dict:
+    from repro.graphs.digraph import CommunicationGraph
+
+    if not isinstance(graph, CommunicationGraph):
+        raise SerializationError(
+            f"expected a CommunicationGraph, got {type(graph).__name__}"
+        )
+    return {
+        "__type__": "CommunicationGraph",
+        "version": 1,
+        "n": graph.n,
+        "adjacency": encode_array(graph.adjacency),
+        "name": graph.name,
+    }
+
+
+def decode_graph(payload: dict):
+    from repro.graphs.digraph import CommunicationGraph
+
+    _check_header(payload, "CommunicationGraph")
+    return CommunicationGraph(
+        payload["n"], adjacency=decode_array(payload["adjacency"]), name=payload["name"]
+    )
+
+
+def encode_model(model) -> dict:
+    from repro.models.network_model import NetworkModel
+
+    if not isinstance(model, NetworkModel):
+        raise SerializationError(f"expected a NetworkModel, got {type(model).__name__}")
+    return {
+        "__type__": "NetworkModel",
+        "version": 1,
+        "graphs": [encode_graph(graph) for graph in model.graphs],
+        "name": model.name,
+    }
+
+
+def decode_model(payload: dict):
+    from repro.models.network_model import NetworkModel
+
+    _check_header(payload, "NetworkModel")
+    return NetworkModel(
+        [decode_graph(item) for item in payload["graphs"]], name=payload["name"]
+    )
+
+
+#: Oblivious pattern codecs, by payload name: (class, encode, decode).
+_PATTERN_CODECS: Dict[str, Tuple[Type, Callable, Callable]] = {}
+
+
+def _register_patterns() -> None:
+    if _PATTERN_CODECS:
+        return
+    from repro.models.patterns import (
+        ConstantPattern,
+        PeriodicPattern,
+        RandomPattern,
+        SequencePattern,
+        SigmaBlockPattern,
+    )
+
+    _PATTERN_CODECS.update(
+        {
+            "constant": (
+                ConstantPattern,
+                lambda p: {"graph": encode_graph(p._graph)},
+                lambda body: ConstantPattern(decode_graph(body["graph"])),
+            ),
+            "periodic": (
+                PeriodicPattern,
+                lambda p: {"graphs": [encode_graph(g) for g in p._graphs]},
+                lambda body: PeriodicPattern(
+                    [decode_graph(g) for g in body["graphs"]]
+                ),
+            ),
+            "sequence": (
+                SequencePattern,
+                lambda p: {
+                    "prefix": [encode_graph(g) for g in p._prefix],
+                    "suffix": encode_pattern(p._suffix),
+                },
+                lambda body: SequencePattern(
+                    [decode_graph(g) for g in body["prefix"]],
+                    suffix=decode_pattern(body["suffix"]),
+                ),
+            ),
+            "random": (
+                RandomPattern,
+                lambda p: {
+                    "graphs": [encode_graph(g) for g in p._graphs],
+                    "seed": p._seed,
+                },
+                lambda body: RandomPattern(
+                    [decode_graph(g) for g in body["graphs"]], seed=body["seed"]
+                ),
+            ),
+            "sigma-block": (
+                SigmaBlockPattern,
+                lambda p: {
+                    "n": p._n,
+                    "choices": list(p._choices) if p._choices is not None else None,
+                    "seed": p._seed,
+                },
+                lambda body: SigmaBlockPattern(
+                    body["n"], choices=body["choices"], seed=body["seed"]
+                ),
+            ),
+        }
+    )
+
+
+def encode_pattern(pattern) -> dict:
+    from repro.models.patterns import AdversarialPattern
+
+    _register_patterns()
+    if isinstance(pattern, AdversarialPattern):
+        raise SerializationError(
+            "adversarial patterns are not serializable: their decision procedure "
+            "is arbitrary code; run the adversary fault-free and replay its "
+            "committed schedules as a graphs= study instead"
+        )
+    for name, (cls, encode, _decode) in _PATTERN_CODECS.items():
+        if type(pattern) is cls:
+            body = encode(pattern)
+            return {"__type__": "pattern", "version": 1, "pattern": name, **body}
+    raise SerializationError(
+        f"no pattern codec is registered for {type(pattern).__name__}; "
+        "serializable patterns: " + ", ".join(sorted(_PATTERN_CODECS))
+    )
+
+
+def decode_pattern(payload: dict):
+    _register_patterns()
+    _check_header(payload, "pattern")
+    name = payload["pattern"]
+    codec = _PATTERN_CODECS.get(name)
+    if codec is None:
+        raise SerializationError(f"unknown pattern codec {name!r}")
+    return codec[2](payload)
+
+
+# ---------------------------------------------------------------------- #
+# Algorithms
+# ---------------------------------------------------------------------- #
+
+#: Algorithm codecs, by payload name: (class, encode params, decode).
+_ALGORITHM_CODECS: Dict[str, Tuple[Type, Callable, Callable]] = {}
+
+
+def register_algorithm_codec(
+    name: str, cls: Type, encode: Callable, decode: Callable
+) -> None:
+    """Register a codec for an :class:`~repro.algorithms.base.Algorithm` type.
+
+    ``encode(algorithm)`` returns a JSON-safe constructor-parameter dict;
+    ``decode(params)`` rebuilds an equivalent instance.  New algorithms
+    become service-shardable by registering here.
+    """
+    _ALGORITHM_CODECS[name] = (cls, encode, decode)
+
+
+def _register_algorithms() -> None:
+    if _ALGORITHM_CODECS:
+        return
+    from repro.algorithms import (
+        AmortizedMidpointAlgorithm,
+        DecidingAlgorithm,
+        FloodingExactConsensus,
+        HegselmannKrauseAlgorithm,
+        MassSplittingAlgorithm,
+        MeanAlgorithm,
+        MidpointAlgorithm,
+        SelfWeightedAveraging,
+        TwoAgentThirdsAlgorithm,
+    )
+    from repro.asynchrony import MinRelaySyncAlgorithm
+
+    register_algorithm_codec(
+        "midpoint", MidpointAlgorithm, lambda a: {}, lambda p: MidpointAlgorithm()
+    )
+    register_algorithm_codec(
+        "mean", MeanAlgorithm, lambda a: {}, lambda p: MeanAlgorithm()
+    )
+    register_algorithm_codec(
+        "two-agent-thirds",
+        TwoAgentThirdsAlgorithm,
+        lambda a: {},
+        lambda p: TwoAgentThirdsAlgorithm(),
+    )
+    register_algorithm_codec(
+        "amortized-midpoint",
+        AmortizedMidpointAlgorithm,
+        lambda a: {"phase_length": a._phase_length_override},
+        lambda p: AmortizedMidpointAlgorithm(phase_length=p["phase_length"]),
+    )
+    register_algorithm_codec(
+        "hegselmann-krause",
+        HegselmannKrauseAlgorithm,
+        lambda a: {"confidence": a.confidence, "validate": a._validate},
+        lambda p: HegselmannKrauseAlgorithm(p["confidence"], validate=p["validate"]),
+    )
+    register_algorithm_codec(
+        "self-weighted",
+        SelfWeightedAveraging,
+        lambda a: {"self_weight": a._self_weight, "validate": a._validate},
+        lambda p: SelfWeightedAveraging(p["self_weight"], validate=p["validate"]),
+    )
+    register_algorithm_codec(
+        "flooding-exact",
+        FloodingExactConsensus,
+        lambda a: {"horizon": a.horizon},
+        lambda p: FloodingExactConsensus(p["horizon"]),
+    )
+    register_algorithm_codec(
+        "mass-splitting",
+        MassSplittingAlgorithm,
+        lambda a: {"graph": encode_graph(a.graph)},
+        lambda p: MassSplittingAlgorithm(decode_graph(p["graph"])),
+    )
+    register_algorithm_codec(
+        "min-relay-sync",
+        MinRelaySyncAlgorithm,
+        lambda a: {},
+        lambda p: MinRelaySyncAlgorithm(),
+    )
+    register_algorithm_codec(
+        "deciding",
+        DecidingAlgorithm,
+        lambda a: {
+            "inner": encode_algorithm(a.inner),
+            "decision_round": a.decision_round,
+        },
+        lambda p: DecidingAlgorithm(
+            decode_algorithm(p["inner"]), p["decision_round"]
+        ),
+    )
+
+
+def encode_algorithm(algorithm) -> dict:
+    _register_algorithms()
+    for name, (cls, encode, _decode) in _ALGORITHM_CODECS.items():
+        if type(algorithm) is cls:
+            return {
+                "__type__": "algorithm",
+                "version": 1,
+                "algorithm": name,
+                "params": encode(algorithm),
+            }
+    raise SerializationError(
+        f"no algorithm codec is registered for {type(algorithm).__name__}; "
+        "register one with repro.service.serialization.register_algorithm_codec "
+        "(algorithms built from arbitrary callables cannot cross process "
+        "boundaries)"
+    )
+
+
+def decode_algorithm(payload: dict):
+    _register_algorithms()
+    _check_header(payload, "algorithm")
+    name = payload["algorithm"]
+    codec = _ALGORITHM_CODECS.get(name)
+    if codec is None:
+        raise SerializationError(f"unknown algorithm codec {name!r}")
+    return codec[2](payload["params"])
+
+
+# ---------------------------------------------------------------------- #
+# Scenario and certify specs
+# ---------------------------------------------------------------------- #
+
+
+def encode_scenario_spec(spec) -> dict:
+    from repro.api import ScenarioSpec
+
+    if not isinstance(spec, ScenarioSpec):
+        raise SerializationError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    if spec.adversary is not None:
+        raise SerializationError(
+            "adversary-routed scenarios are not serializable (the adversary's "
+            "decision procedure is arbitrary code); replay its committed "
+            "schedules as a graphs= scenario instead"
+        )
+    pattern: Any = None
+    if spec.pattern is not None:
+        if isinstance(spec.pattern, (list, tuple)):
+            pattern = {
+                "kind": "per-scenario",
+                "patterns": [encode_pattern(p) for p in spec.pattern],
+            }
+        else:
+            pattern = {"kind": "shared", "patterns": [encode_pattern(spec.pattern)]}
+    graphs: Any = None
+    if spec.graphs is not None:
+        rounds = []
+        for entry in spec.graphs:
+            if isinstance(entry, (list, tuple)):
+                rounds.append(
+                    {"kind": "per-scenario", "graphs": [encode_graph(g) for g in entry]}
+                )
+            else:
+                rounds.append({"kind": "shared", "graphs": [encode_graph(entry)]})
+        graphs = rounds
+    values = np.asarray(spec.initial_values, dtype=float)
+    return {
+        "__type__": "ScenarioSpec",
+        "version": 1,
+        "initial_values": encode_array(values),
+        "rounds": spec.rounds,
+        "pattern": pattern,
+        "graphs": graphs,
+        "record_every": spec.record_every,
+        "scenario_labels": (
+            None
+            if spec.scenario_labels is None
+            else [encode_value(label) for label in spec.scenario_labels]
+        ),
+    }
+
+
+def decode_scenario_spec(payload: dict):
+    from repro.api import ScenarioSpec
+
+    _check_header(payload, "ScenarioSpec")
+    pattern = None
+    if payload["pattern"] is not None:
+        decoded = [decode_pattern(p) for p in payload["pattern"]["patterns"]]
+        pattern = decoded if payload["pattern"]["kind"] == "per-scenario" else decoded[0]
+    graphs = None
+    if payload["graphs"] is not None:
+        graphs = []
+        for entry in payload["graphs"]:
+            decoded = [decode_graph(g) for g in entry["graphs"]]
+            graphs.append(decoded if entry["kind"] == "per-scenario" else decoded[0])
+    labels = payload["scenario_labels"]
+    return ScenarioSpec(
+        initial_values=decode_array(payload["initial_values"]),
+        rounds=None if graphs is not None else payload["rounds"],
+        pattern=pattern,
+        graphs=graphs,
+        record_every=payload["record_every"],
+        scenario_labels=(
+            None if labels is None else [decode_value(label) for label in labels]
+        ),
+    )
+
+
+def encode_certify_spec(spec) -> dict:
+    from repro.api import CertifySpec
+
+    if not isinstance(spec, CertifySpec):
+        raise SerializationError(f"expected a CertifySpec, got {type(spec).__name__}")
+    return {
+        "__type__": "CertifySpec",
+        "version": 1,
+        "suffix_rounds": spec.suffix_rounds,
+        "exploration_depth": spec.exploration_depth,
+        "use_batch": spec.use_batch,
+        "scenario_chunk": spec.scenario_chunk,
+    }
+
+
+def decode_certify_spec(payload: dict):
+    from repro.api import CertifySpec
+
+    _check_header(payload, "CertifySpec")
+    return CertifySpec(
+        suffix_rounds=payload["suffix_rounds"],
+        exploration_depth=payload["exploration_depth"],
+        use_batch=payload["use_batch"],
+        scenario_chunk=payload["scenario_chunk"],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Executions, certificates, results
+# ---------------------------------------------------------------------- #
+
+
+def _encode_configuration(configuration) -> dict:
+    return {
+        "round_number": configuration.round_number,
+        "outputs": encode_array(configuration.outputs),
+        "states": [encode_value(state) for state in configuration.states],
+    }
+
+
+def _decode_configuration(payload: dict):
+    from repro.execution.state import Configuration
+
+    return Configuration(
+        states=tuple(decode_value(state) for state in payload["states"]),
+        outputs=decode_array(payload["outputs"]),
+        round_number=payload["round_number"],
+    )
+
+
+def encode_execution(execution) -> dict:
+    from repro.execution.batch import AdversarialEnsembleExecution, EnsembleExecution
+    from repro.execution.execution import Execution
+
+    if isinstance(execution, EnsembleExecution):
+        payload = {
+            "__type__": "EnsembleExecution",
+            "version": 1,
+            "algorithm_name": execution.algorithm_name,
+            "recorded_rounds": list(execution.recorded_rounds),
+            "recorded_outputs": encode_array(execution.recorded_outputs),
+            "scenario_labels": (
+                None
+                if execution.scenario_labels is None
+                else [encode_value(label) for label in execution.scenario_labels]
+            ),
+            "batched": execution.batched,
+            "recorded_configurations": (
+                None
+                if execution.recorded_configurations is None
+                else [
+                    [_encode_configuration(c) for c in per_round]
+                    for per_round in execution.recorded_configurations
+                ]
+            ),
+            "fault_plan": (
+                None if execution.fault_plan is None else execution.fault_plan.to_dict()
+            ),
+        }
+        if isinstance(execution, AdversarialEnsembleExecution):
+            payload["__type__"] = "AdversarialEnsembleExecution"
+            payload["round_choices"] = [
+                [encode_graph(graph) for graph in choices]
+                for choices in execution.round_choices
+            ]
+        return payload
+    if isinstance(execution, Execution):
+        return {
+            "__type__": "Execution",
+            "version": 1,
+            "algorithm_name": execution.algorithm_name,
+            "configurations": [
+                _encode_configuration(c) for c in execution.configurations
+            ],
+            "graphs": [encode_graph(graph) for graph in execution.graphs],
+        }
+    raise SerializationError(
+        f"expected an Execution or EnsembleExecution, got {type(execution).__name__}"
+    )
+
+
+def decode_execution(payload: dict):
+    from repro.execution.batch import AdversarialEnsembleExecution, EnsembleExecution
+    from repro.execution.execution import Execution
+    from repro.faults import FaultPlan
+
+    kind = payload.get("__type__") if isinstance(payload, dict) else None
+    if kind == "Execution":
+        _check_header(payload, "Execution")
+        return Execution(
+            algorithm_name=payload["algorithm_name"],
+            configurations=[
+                _decode_configuration(c) for c in payload["configurations"]
+            ],
+            graphs=[decode_graph(graph) for graph in payload["graphs"]],
+        )
+    if kind in ("EnsembleExecution", "AdversarialEnsembleExecution"):
+        _check_header(payload, kind)
+        labels = payload["scenario_labels"]
+        recorded = payload["recorded_configurations"]
+        common = dict(
+            algorithm_name=payload["algorithm_name"],
+            recorded_rounds=list(payload["recorded_rounds"]),
+            recorded_outputs=decode_array(payload["recorded_outputs"]),
+            scenario_labels=(
+                None if labels is None else [decode_value(label) for label in labels]
+            ),
+            batched=payload["batched"],
+            recorded_configurations=(
+                None
+                if recorded is None
+                else [
+                    [_decode_configuration(c) for c in per_round]
+                    for per_round in recorded
+                ]
+            ),
+            fault_plan=(
+                None
+                if payload["fault_plan"] is None
+                else FaultPlan.from_dict(payload["fault_plan"])
+            ),
+        )
+        if kind == "AdversarialEnsembleExecution":
+            return AdversarialEnsembleExecution(
+                **common,
+                round_choices=[
+                    [decode_graph(graph) for graph in choices]
+                    for choices in payload["round_choices"]
+                ],
+            )
+        return EnsembleExecution(**common)
+    raise SerializationError(f"cannot decode execution payload of type {kind!r}")
+
+
+def _encode_float(value: Optional[float]) -> Any:
+    # json handles nan/inf via the non-strict allow_nan mode; None passes.
+    return value if value is None else float(value)
+
+
+def _encode_estimate(estimate) -> dict:
+    return {
+        "limits": encode_array(estimate.limits),
+        "lower_diameter": _encode_float(estimate.lower_diameter),
+        "upper_diameter": _encode_float(estimate.upper_diameter),
+    }
+
+
+def _decode_estimate(payload: dict):
+    from repro.core.valency import ValencyEstimate
+
+    return ValencyEstimate(
+        limits=decode_array(payload["limits"]),
+        lower_diameter=payload["lower_diameter"],
+        upper_diameter=payload["upper_diameter"],
+    )
+
+
+def _encode_certificates(certificates) -> dict:
+    return {
+        "estimates": [_encode_estimate(e) for e in certificates.estimates],
+        "valency_trace": [float(v) for v in certificates.valency_trace],
+        "output_rate": _encode_float(certificates.output_rate),
+        "rate_interval": [
+            _encode_float(certificates.rate_interval[0]),
+            _encode_float(certificates.rate_interval[1]),
+        ],
+    }
+
+
+def _decode_certificates(payload: dict):
+    from repro.api import StudyCertificates
+
+    return StudyCertificates(
+        estimates=[_decode_estimate(e) for e in payload["estimates"]],
+        valency_trace=list(payload["valency_trace"]),
+        output_rate=payload["output_rate"],
+        rate_interval=(payload["rate_interval"][0], payload["rate_interval"][1]),
+    )
+
+
+def encode_provenance(provenance) -> dict:
+    return {
+        "__type__": "StudyProvenance",
+        "version": 1,
+        "route": provenance.route,
+        "fast_path": provenance.fast_path,
+        "batched": provenance.batched,
+        "config": provenance.config.to_dict(),
+        "faulted": provenance.faulted,
+    }
+
+
+def decode_provenance(payload: dict):
+    from repro.api import StudyProvenance
+    from repro.config import EngineConfig
+
+    _check_header(payload, "StudyProvenance")
+    return StudyProvenance(
+        route=payload["route"],
+        fast_path=payload["fast_path"],
+        batched=payload["batched"],
+        config=EngineConfig.from_dict(payload["config"]),
+        faulted=payload["faulted"],
+    )
+
+
+def encode_study_result(result) -> dict:
+    from repro.api import StudyResult
+
+    if not isinstance(result, StudyResult):
+        raise SerializationError(f"expected a StudyResult, got {type(result).__name__}")
+    if result.certificates is None:
+        certificates: Any = None
+    elif isinstance(result.certificates, list):
+        certificates = {
+            "kind": "per-scenario",
+            "items": [_encode_certificates(c) for c in result.certificates],
+        }
+    else:
+        certificates = {
+            "kind": "single",
+            "items": [_encode_certificates(result.certificates)],
+        }
+    return {
+        "__type__": "StudyResult",
+        "version": 1,
+        "execution": encode_execution(result.execution),
+        "provenance": encode_provenance(result.provenance),
+        "certificates": certificates,
+    }
+
+
+def decode_study_result(payload: dict):
+    from repro.api import StudyResult
+
+    _check_header(payload, "StudyResult")
+    encoded = payload["certificates"]
+    if encoded is None:
+        certificates: Any = None
+    elif encoded["kind"] == "per-scenario":
+        certificates = [_decode_certificates(c) for c in encoded["items"]]
+    else:
+        certificates = _decode_certificates(encoded["items"][0])
+    return StudyResult(
+        execution=decode_execution(payload["execution"]),
+        provenance=decode_provenance(payload["provenance"]),
+        certificates=certificates,
+    )
+
+
+def _register_default_states() -> None:
+    from repro.algorithms.amortized_midpoint import (
+        AmortizedMidpointBatchState,
+        AmortizedMidpointState,
+    )
+    from repro.algorithms.approximate import DecidingBatchState, DecidingState
+
+    for cls in (
+        AmortizedMidpointState,
+        AmortizedMidpointBatchState,
+        DecidingState,
+        DecidingBatchState,
+    ):
+        if _state_name(cls) is None:
+            register_state_type(cls)
+
+
+_register_default_states()

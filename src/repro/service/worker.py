@@ -1,0 +1,167 @@
+"""Shard worker process: runs one job, reports results, proves liveness.
+
+A worker receives one *job payload* — ``{"kind", "body", "service"}`` where
+``body`` is the content-hashed job description and ``service`` carries the
+orchestration envelope (job key, attempt number, heartbeat interval) — and
+communicates with the orchestrator exclusively through a multiprocessing
+queue:
+
+* ``("heartbeat", key, attempt)`` every ``heartbeat_interval`` seconds from
+  a daemon thread, so the orchestrator can distinguish a *slow* shard from a
+  *hung* one;
+* ``("result", key, attempt, result_payload)`` on success — the payload is
+  the JSON-safe encoding of the shard's :class:`~repro.api.StudyResult` (or
+  sweep row), ready for the checkpoint journal;
+* ``("error", key, attempt, descriptor)`` on failure — the descriptor
+  carries the pickled exception (the structured exception types round-trip
+  with their diagnostic fields intact) plus plain-text type/message/
+  traceback fallbacks for exceptions that refuse to pickle.
+
+A worker killed by a signal sends nothing; the orchestrator detects the
+death from the process exit code and classifies it as transient.
+
+The ``service`` section may carry *fault-injection markers* (used by the
+crash tests and the CI smoke job): ``kill_marker`` names a file whose
+existence makes the worker remove the file and ``SIGKILL`` itself before
+doing any work; ``hang_marker`` likewise, but the worker sleeps forever
+without ever heartbeating.  Both fire **before** the heartbeat thread
+starts and consume their marker file, so the retry attempt runs clean.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+from typing import Any, Dict
+
+from repro.exceptions import ServiceError
+
+
+def _maybe_trigger_markers(markers: Dict[str, Any]) -> None:
+    kill_marker = markers.get("kill_marker")
+    if kill_marker and os.path.exists(kill_marker):
+        os.remove(kill_marker)
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang_marker = markers.get("hang_marker")
+    if hang_marker and os.path.exists(hang_marker):
+        os.remove(hang_marker)
+        while True:  # pragma: no cover - killed by the orchestrator
+            time.sleep(3600.0)
+
+
+def describe_error(error: BaseException) -> Dict[str, Any]:
+    """A queue-safe descriptor of a worker-side exception.
+
+    The exception itself travels pickled (the library's structured
+    exceptions define ``__reduce__`` so their keyword-only diagnostic
+    fields survive); type name, message and traceback travel as plain
+    strings so an unpicklable exception still produces a useful failure.
+    """
+    try:
+        pickled = base64.b64encode(pickle.dumps(error)).decode("ascii")
+    except Exception:
+        pickled = None
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+        "pickled": pickled,
+    }
+
+
+def error_from_descriptor(descriptor: Dict[str, Any]) -> BaseException:
+    """Rebuild the worker-side exception (or a ``ServiceError`` stand-in)."""
+    pickled = descriptor.get("pickled")
+    if pickled is not None:
+        try:
+            error = pickle.loads(base64.b64decode(pickled))
+            if isinstance(error, BaseException):
+                return error
+        except Exception:
+            pass
+    return ServiceError(
+        f"worker failed with {descriptor.get('type')}: {descriptor.get('message')}"
+    )
+
+
+def _run_study_shard(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.api import CertifySpec, ScenarioSpec, Study
+    from repro.config import EngineConfig
+    from repro.faults import FaultPlan
+    from repro.service.serialization import decode_algorithm, decode_model
+
+    result = Study(
+        algorithm=decode_algorithm(body["algorithm"]),
+        scenario=ScenarioSpec.from_dict(body["scenario"]),
+        model=None if body["model"] is None else decode_model(body["model"]),
+        certify=(
+            None if body["certify"] is None else CertifySpec.from_dict(body["certify"])
+        ),
+        faults=None if body["faults"] is None else FaultPlan.from_dict(body["faults"]),
+        config=EngineConfig.from_dict(body["config"]),
+    ).run()
+    return result.to_dict()
+
+
+def _run_sweep_row(body: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.analysis.experiments import run_certification_row
+    from repro.config import EngineConfig
+
+    with EngineConfig.from_dict(body["config"]):
+        return {"row": run_certification_row(body["row"])}
+
+
+_RUNNERS = {
+    "study_shard": _run_study_shard,
+    "sweep_row": _run_sweep_row,
+}
+
+
+def shard_worker_main(payload: Dict[str, Any], queue) -> None:
+    """Process entry point: run one job payload, report through ``queue``."""
+    service = payload.get("service", {})
+    key = service["key"]
+    attempt = service["attempt"]
+    _maybe_trigger_markers(service.get("markers") or {})
+
+    stop = threading.Event()
+    interval = float(service.get("heartbeat_interval", 0.2))
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            try:
+                queue.put(("heartbeat", key, attempt))
+            except Exception:  # queue torn down: the orchestrator is gone
+                return
+
+    heartbeats = threading.Thread(target=_beat, daemon=True)
+    heartbeats.start()
+    try:
+        runner = _RUNNERS.get(payload.get("kind"))
+        if runner is None:
+            raise ServiceError(f"unknown job kind {payload.get('kind')!r}")
+        result = runner(payload["body"])
+    except BaseException as error:
+        stop.set()
+        queue.put(("error", key, attempt, describe_error(error)))
+    else:
+        stop.set()
+        queue.put(("result", key, attempt, result))
+    finally:
+        # Make sure the feeder thread has flushed the pipe before exit.
+        queue.close()
+        queue.join_thread()
+
+
+__all__ = [
+    "describe_error",
+    "error_from_descriptor",
+    "shard_worker_main",
+]

@@ -38,6 +38,7 @@ import pytest
 
 from repro.algorithms import (
     AmortizedMidpointAlgorithm,
+    DecidingAlgorithm,
     HegselmannKrauseAlgorithm,
     MeanAlgorithm,
     MidpointAlgorithm,
@@ -71,6 +72,14 @@ CASES_PER_PAIR = 200
 ALGORITHMS = [
     ("midpoint", lambda rng, n: MidpointAlgorithm(), True),
     ("amortized-midpoint", lambda rng, n: AmortizedMidpointAlgorithm(), True),
+    # The Section 9 approximate-consensus wrapper: decide-and-freeze over a
+    # min/max inner algorithm, with a randomized decision round so cases hit
+    # pre-decision, mid-run and instant (round-0) freezes.
+    (
+        "deciding-midpoint",
+        lambda rng, n: DecidingAlgorithm(MidpointAlgorithm(), int(rng.integers(0, 7))),
+        True,
+    ),
     ("two-agent", lambda rng, n: TwoAgentThirdsAlgorithm(), True),
     ("mean", lambda rng, n: MeanAlgorithm(), False),
     (

@@ -45,6 +45,17 @@ _SERVICE_PAIR = ("direct_s", "service_s")
 _SERVICE_MAX_SLOWDOWN = 4.0
 _SERVICE_FIXED_ALLOWANCE_S = 5.0
 
+#: The campaign loop pays planning, novelty scoring, content-keyed corpus
+#: writes and one fsync-ed journal append per round on top of executing the
+#: same differential cases as a raw harness loop.  Like the service gate,
+#: the bound is relative plus a fixed allowance: the allowance absorbs the
+#: constant persistence cost that dominates a tiny smoke budget, while the
+#: relative limit catches a campaign loop that starts re-executing or
+#: re-minimizing cases it should not.
+_CAMPAIGN_PAIR = ("harness_s", "campaign_s")
+_CAMPAIGN_MAX_SLOWDOWN = 3.0
+_CAMPAIGN_FIXED_ALLOWANCE_S = 1.0
+
 #: Benchmark families whose batched path must *beat* its loop baseline by at
 #: least this factor (a minimum speedup, not just an absence of slowdown).
 #: Ensemble-scale certification stacks all B scenarios' sampled futures into
@@ -75,13 +86,14 @@ _REQUIRED_BENCHMARKS = (
     "packed_masked_reduction",
     "facade_overhead",
     "service_overhead",
+    "campaign_round",
 )
 
 
 def _entry_detail(entry: dict) -> str:
     return ", ".join(
         f"{key}={entry[key]}"
-        for key in ("route", "algorithm", "n", "B", "rounds", "model_size", "d")
+        for key in ("route", "algorithm", "n", "B", "rounds", "model_size", "d", "seed", "budget")
         if key in entry
     )
 
@@ -131,6 +143,18 @@ def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACA
                     f"+ {_SERVICE_FIXED_ALLOWANCE_S:.1f}s allowance "
                     f"(= {budget:.6f}s)"
                 )
+        harness_key, campaign_key = _CAMPAIGN_PAIR
+        if harness_key in entry and campaign_key in entry:
+            harness_s, campaign_s = entry[harness_key], entry[campaign_key]
+            budget = harness_s * _CAMPAIGN_MAX_SLOWDOWN + _CAMPAIGN_FIXED_ALLOWANCE_S
+            if campaign_s > budget:
+                violations.append(
+                    f"campaign_round ({_entry_detail(entry)}): "
+                    f"{campaign_key}={campaign_s:.6f}s exceeds "
+                    f"{harness_key}={harness_s:.6f}s * {_CAMPAIGN_MAX_SLOWDOWN:.1f} "
+                    f"+ {_CAMPAIGN_FIXED_ALLOWANCE_S:.1f}s allowance "
+                    f"(= {budget:.6f}s)"
+                )
         direct_key, facade_key = _FACADE_PAIR
         if direct_key in entry and facade_key in entry:
             direct_s, facade_s = entry[direct_key], entry[facade_key]
@@ -170,7 +194,7 @@ def main() -> int:
         for entry in payload.get("results", [])
         if any(
             old in entry and new in entry
-            for old, new in _TIMING_PAIRS + (_FACADE_PAIR, _SERVICE_PAIR)
+            for old, new in _TIMING_PAIRS + (_FACADE_PAIR, _SERVICE_PAIR, _CAMPAIGN_PAIR)
         )
     )
     if violations:

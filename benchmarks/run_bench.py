@@ -881,6 +881,64 @@ def bench_service(grid, repeats: int) -> list:
     return results
 
 
+def bench_campaign(grid, repeats: int) -> list:
+    """Campaign-loop overhead over a raw loop of the same differential cases.
+
+    A single-round campaign over an empty corpus plans exactly the fresh
+    generator draws of its planner, so both timings execute the identical
+    case specs: ``harness_s`` runs them back to back with no persistence,
+    ``campaign_s`` runs ``run_campaign`` into fresh corpus/journal
+    directories — paying planning, novelty scoring, content-keyed corpus
+    writes and the fsync-ed journal append on top.  ``check_bench.py``
+    gates ``campaign_s`` against ``harness_s`` with a relative limit plus a
+    fixed allowance for the constant persistence cost.
+    """
+    import tempfile
+
+    from repro.campaign import build_case, execute_case, run_campaign
+    from repro.campaign.campaign import _CAMPAIGN_NAMESPACE
+    from repro.campaign.targets import TARGETS
+
+    results = []
+    targets = tuple(TARGETS)
+    for seed, budget in grid:
+        # Reconstruct the round's fresh draws (an empty corpus plans no
+        # mutations), so the harness loop executes the campaign's cases.
+        rng = np.random.default_rng((_CAMPAIGN_NAMESPACE, seed, 0))
+        specs = [
+            build_case(
+                targets[int(rng.integers(len(targets)))],
+                (seed * 1_000_003) * 10_000 + slot,
+            )
+            for slot in range(budget)
+        ]
+        harness_s = _best_of(lambda: [execute_case(spec) for spec in specs], repeats)
+
+        def campaign_once():
+            with tempfile.TemporaryDirectory() as tmp:
+                run_campaign(
+                    seed, budget, Path(tmp) / "corpus",
+                    Path(tmp) / "journal.jsonl", batch_size=budget,
+                )
+
+        campaign_s = _best_of(campaign_once, repeats)
+        entry = {
+            "benchmark": "campaign_round",
+            "seed": seed,
+            "budget": budget,
+            "harness_s": harness_s,
+            "campaign_s": campaign_s,
+            "overhead": campaign_s / harness_s if harness_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"campaign      round      seed={seed:4d} budget={budget:4d} "
+            f"harness={harness_s * 1e3:9.2f}ms campaign={campaign_s * 1e3:9.2f}ms "
+            f"overhead={entry['overhead']:6.2f}x"
+        )
+    return results
+
+
 def bench_async(grid, repeats: int) -> list:
     """End-to-end async simulation + single-sweep agreement_time timings."""
     results = []
@@ -951,6 +1009,9 @@ def main() -> int:
         # One mid-size ensemble split across 2 workers: big enough that the
         # rounds dominate a shard, small enough for a CI runner.
         service_grid = [(16, 48, 60, 2, 8)]
+        # One single-round campaign; the fixed allowance in check_bench.py
+        # absorbs the corpus/journal fsyncs that dominate a tiny budget.
+        campaign_grid = [(0, 8)]
         repeats = 1
     else:
         engine_grid = [(16, 100), (64, 100), (64, 500), (256, 100)]
@@ -976,6 +1037,7 @@ def main() -> int:
         facade_ensemble_grid = [(16, 64, 100)]
         facade_repeats = 5
         service_grid = [(32, 64, 100, 4, 8), (64, 32, 100, 4, 8)]
+        campaign_grid = [(0, 16), (1, 32)]
         repeats = 3
 
     results = []
@@ -996,6 +1058,7 @@ def main() -> int:
     results += bench_packed_reduction(*packed_reduction_case, repeats=repeats)
     results += bench_facade(facade_single_grid, facade_ensemble_grid, repeats=facade_repeats)
     results += bench_service(service_grid, repeats=repeats)
+    results += bench_campaign(campaign_grid, repeats=repeats)
     results += bench_async(async_grid, repeats=repeats)
 
     payload = {

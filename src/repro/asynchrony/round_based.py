@@ -135,8 +135,14 @@ class RoundBasedAsyncAlgorithm(AsyncAlgorithm):
     # ------------------------------------------------------------------ #
 
     def on_init(self, agent_id: int, initial_value: np.ndarray, n: int, f: int) -> RoundBasedState:
-        if n - f < 1:
-            raise AsynchronyError(f"the quorum n - f must be at least 1, got n={n}, f={f}")
+        if n - f < 2:
+            # A quorum of 1 is always satisfied by the agent's own buffered
+            # message, so the wrapper would advance rounds without bound in a
+            # single event-free step.  Reject the degenerate configuration
+            # loudly instead of hanging the simulator.
+            raise AsynchronyError(
+                f"the round quorum n - f must be at least 2, got n={n}, f={f}"
+            )
         inner_state = self._inner.initial_state(agent_id, initial_value, n)
         return RoundBasedState(
             inner=inner_state,

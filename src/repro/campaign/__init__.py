@@ -1,0 +1,70 @@
+"""Coverage-guided counterexample campaigns over the differential fuzz targets.
+
+The campaign subsystem turns the fixed-count CI fuzz suite into a
+persistent, feedback-driven correctness asset:
+
+* :mod:`repro.campaign.registry` — the shared fuzz registry (one entry per
+  algorithm, audited against the serialization codec registry);
+* :mod:`repro.campaign.targets` — auto-generated toggle-pair targets and the
+  deterministic case generator/executor;
+* :mod:`repro.campaign.corpus` / :mod:`repro.campaign.mutate` — the
+  content-hash-keyed corpus of behaviorally novel scenarios and the
+  seed-deterministic structured mutator that breeds new cases from it;
+* :mod:`repro.campaign.minimize` — deterministic delta-debugging of any
+  divergence down to a minimal ``(n, d, rounds, graph, plan)`` scenario;
+* :mod:`repro.campaign.artifacts` — self-contained replayable failure
+  artifacts;
+* :mod:`repro.campaign.campaign` — the crash-safe bounded-budget campaign
+  loop (resumable through the checkpoint journal).
+
+Run a campaign from the command line::
+
+    PYTHONPATH=src python -m repro.campaign run --seed 1 --budget 5 \
+        --corpus campaign-corpus --journal campaign-journal.jsonl
+"""
+
+from repro.campaign.artifacts import replay_artifact, write_artifact
+from repro.campaign.campaign import CampaignReport, run_campaign
+from repro.campaign.corpus import Corpus, case_features
+from repro.campaign.minimize import minimize
+from repro.campaign.mutate import mutate_spec
+from repro.campaign.registry import (
+    REGISTRY,
+    FuzzEntry,
+    RegistryAudit,
+    audit_registry,
+)
+from repro.campaign.repro import artifact_repro_command, repro_snippet
+from repro.campaign.targets import (
+    TARGETS,
+    CaseResult,
+    CaseSpec,
+    PerturbedAlgorithm,
+    build_case,
+    execute_case,
+    run_case,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CaseResult",
+    "CaseSpec",
+    "Corpus",
+    "FuzzEntry",
+    "PerturbedAlgorithm",
+    "REGISTRY",
+    "RegistryAudit",
+    "TARGETS",
+    "artifact_repro_command",
+    "audit_registry",
+    "build_case",
+    "case_features",
+    "execute_case",
+    "minimize",
+    "mutate_spec",
+    "replay_artifact",
+    "repro_snippet",
+    "run_campaign",
+    "run_case",
+    "write_artifact",
+]

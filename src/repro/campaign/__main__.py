@@ -1,0 +1,132 @@
+"""Command-line entry point for counterexample campaigns.
+
+Subcommands::
+
+    python -m repro.campaign run --seed 1 --budget 32 --corpus DIR --journal FILE
+    python -m repro.campaign replay ARTIFACT.json
+    python -m repro.campaign audit [--strict]
+
+``run`` exits 0 unless ``--fail-on-divergence`` is given and a divergence
+was found (exit 1).  ``replay`` exits 0 only when the artifact reproduces
+bit-for-bit.  ``audit`` exits 0 only when every registered algorithm has a
+fuzz entry and capability flags match reality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.campaign.artifacts import replay_artifact
+from repro.campaign.campaign import run_campaign
+from repro.campaign.registry import audit_registry
+from repro.campaign.targets import TARGETS
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Coverage-guided counterexample campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run (or resume) a campaign")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--budget", type=int, default=32, help="total cases to execute")
+    run.add_argument("--batch", type=int, default=16, help="cases per journaled round")
+    run.add_argument("--corpus", default="campaign-corpus", help="corpus directory")
+    run.add_argument(
+        "--journal", default="campaign-journal.jsonl", help="checkpoint journal file"
+    )
+    run.add_argument("--artifacts", default=None, help="artifact directory")
+    run.add_argument(
+        "--targets",
+        nargs="+",
+        choices=sorted(TARGETS),
+        default=None,
+        help="restrict to these toggle pairs",
+    )
+    run.add_argument(
+        "--fail-on-divergence",
+        action="store_true",
+        help="exit 1 when any divergence is found (CI smoke mode)",
+    )
+    run.add_argument(
+        "--broken",
+        action="store_true",
+        help="deliberately break one toggle side (self-test: the campaign "
+        "must find, minimize and persist the planted divergence)",
+    )
+
+    replay = sub.add_parser("replay", help="replay a failure artifact")
+    replay.add_argument("artifact", help="path to a campaign artifact JSON file")
+
+    audit = sub.add_parser("audit", help="audit the fuzz registry")
+    audit.add_argument(
+        "--strict", action="store_true", help="raise instead of printing on failure"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    perturb = None
+    if args.broken:
+        perturb = {"side": "left", "round": 1, "agent": 0, "epsilon": 1e-3}
+    report = run_campaign(
+        args.seed,
+        args.budget,
+        args.corpus,
+        args.journal,
+        batch_size=args.batch,
+        targets=args.targets,
+        perturb=perturb,
+        artifact_dir=args.artifacts,
+    )
+    print(
+        json.dumps(
+            {
+                "seed": report.seed,
+                "budget": report.budget,
+                "rounds": report.rounds,
+                "replayed_rounds": report.replayed_rounds,
+                "executed": report.executed,
+                "agreements": report.agreements,
+                "skips": report.skips,
+                "divergences": list(report.divergences),
+                "corpus_size": report.corpus_size,
+                "new_corpus_entries": report.new_corpus_entries,
+                "artifacts": list(report.artifact_paths),
+            },
+            indent=2,
+        )
+    )
+    if args.fail_on_divergence and not report.clean:
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    result = replay_artifact(args.artifact)
+    print(f"{result.status}: {result.detail}")
+    return 0 if result.reproduced else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    audit = audit_registry(strict=args.strict)
+    print(audit.summary())
+    return 0 if audit.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_audit(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Self-contained replayable failure artifacts.
+
+Every divergence the campaign confirms is persisted as one JSON file under
+the minimized spec's content hash: the full case spec, the expected and
+actual payloads of both sides (bit-for-bit, via the array codec), and a
+one-line repro command.  ``python -m repro.campaign replay <artifact>``
+rebuilds the case from the spec alone, re-executes both sides, and checks
+the recorded payloads reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.campaign.repro import artifact_repro_command
+from repro.campaign.targets import CaseResult, CaseSpec, execute_case
+from repro.exceptions import CampaignError
+from repro.service.serialization import canonical_json, decode_array, encode_array
+
+_ARTIFACT_TYPE = "campaign-artifact"
+
+
+def _encode_payload(payload: Dict[str, np.ndarray]) -> dict:
+    return {label: encode_array(array) for label, array in sorted(payload.items())}
+
+
+def _decode_payload(payload: dict) -> Dict[str, np.ndarray]:
+    return {label: decode_array(encoded) for label, encoded in payload.items()}
+
+
+def make_artifact_payload(
+    spec: CaseSpec,
+    result: CaseResult,
+    campaign: Optional[dict] = None,
+    minimized_from: Optional[str] = None,
+) -> dict:
+    """Build the artifact JSON payload for a diverging case."""
+    if result.status != "divergence" or result.divergence is None:
+        raise CampaignError("artifacts are only written for diverging cases")
+    divergence = result.divergence
+    key = spec.key()
+    return {
+        "__type__": _ARTIFACT_TYPE,
+        "version": 1,
+        "spec": spec.to_dict(),
+        "divergence": {
+            "label": divergence.label,
+            "reason": result.reason,
+            "exact": result.exact,
+            "expected": _encode_payload(divergence.expected),
+            "actual": _encode_payload(divergence.actual),
+        },
+        "repro": {"command": artifact_repro_command(f"<artifact-dir>/{key}.json")},
+        "campaign": campaign or {},
+        "minimized_from": minimized_from,
+    }
+
+
+def write_artifact(directory, payload: dict) -> Path:
+    """Persist an artifact payload (atomic, idempotent); returns its path."""
+    _validate(payload, "<payload>")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = CaseSpec.from_dict(payload["spec"]).key()
+    path = directory / f"{key}.json"
+    resolved = dict(payload)
+    resolved["repro"] = {"command": artifact_repro_command(str(path))}
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(canonical_json(resolved))
+    os.replace(tmp, path)
+    return path
+
+
+def _validate(payload: dict, origin: object) -> None:
+    if not isinstance(payload, dict) or payload.get("__type__") != _ARTIFACT_TYPE:
+        raise CampaignError(f"not a campaign artifact: {origin}")
+    if payload.get("version") != 1:
+        raise CampaignError(
+            f"artifact {origin} has unsupported version {payload.get('version')!r}"
+        )
+
+
+def load_artifact(path) -> dict:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"cannot read artifact {path}: {exc}") from exc
+    _validate(payload, path)
+    return payload
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The outcome of replaying an artifact."""
+
+    status: str  # "reproduced" | "mismatch" | "vanished"
+    detail: str
+
+    @property
+    def reproduced(self) -> bool:
+        return self.status == "reproduced"
+
+
+def replay_artifact(path) -> ReplayResult:
+    """Re-execute an artifact's case and check it reproduces bit-for-bit."""
+    payload = load_artifact(path)
+    spec = CaseSpec.from_dict(payload["spec"])
+    result = execute_case(spec)
+    if result.status != "divergence" or result.divergence is None:
+        return ReplayResult(
+            status="vanished",
+            detail=f"case no longer diverges (status: {result.status} {result.reason})",
+        )
+    recorded = payload["divergence"]
+    if result.divergence.label != recorded["label"]:
+        return ReplayResult(
+            status="mismatch",
+            detail=(
+                f"divergence moved: recorded label {recorded['label']!r}, "
+                f"got {result.divergence.label!r}"
+            ),
+        )
+    for name, want_payload, got_payload in (
+        ("expected", _decode_payload(recorded["expected"]), result.divergence.expected),
+        ("actual", _decode_payload(recorded["actual"]), result.divergence.actual),
+    ):
+        if sorted(want_payload) != sorted(got_payload):
+            return ReplayResult(
+                status="mismatch", detail=f"{name} payload labels differ"
+            )
+        for label, want in want_payload.items():
+            got = got_payload[label]
+            if got.shape != want.shape or not np.array_equal(got, want, equal_nan=True):
+                return ReplayResult(
+                    status="mismatch",
+                    detail=f"{name}[{label}] is not bit-for-bit identical",
+                )
+    return ReplayResult(status="reproduced", detail=f"divergence at {recorded['label']!r}")
+
+
+__all__ = [
+    "ReplayResult",
+    "load_artifact",
+    "make_artifact_payload",
+    "replay_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,333 @@
+"""The crash-safe, resumable coverage-guided campaign loop.
+
+A campaign runs a bounded budget of differential-fuzz cases in *rounds*.
+Each round plans its cases deterministically from ``(campaign seed, round
+index, corpus state)``: roughly half are structured mutations of corpus
+parents, the rest fresh generator draws.  Every case runs through the
+executor (under the service :class:`~repro.service.retry.RetryPolicy`);
+divergences are minimized and persisted as replayable artifacts; cases
+exhibiting new behavior features enter the corpus.
+
+Crash safety reuses the orchestrator machinery: a completed round is one
+fsync-ed record in a :class:`~repro.service.checkpoint.CheckpointJournal`,
+keyed by the content hash of the campaign configuration plus the round
+index.  The record carries the round's *effects* — the corpus-entry and
+artifact payloads it produced — so a resumed campaign replays journaled
+rounds without re-executing a single case, reconstructing bit-for-bit the
+corpus and artifacts of an uninterrupted run.  Disk effects are only
+applied after the round's journal record is durable, so a SIGKILL at any
+instant leaves either a fully replayable round or no trace of it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.artifacts import make_artifact_payload, write_artifact
+from repro.campaign.corpus import Corpus, case_features
+from repro.campaign.minimize import minimize
+from repro.campaign.mutate import mutate_spec
+from repro.campaign.targets import CaseSpec, TARGETS, build_case, execute_case
+from repro.exceptions import CampaignError
+from repro.service.checkpoint import CheckpointJournal, content_key
+from repro.service.retry import RetryPolicy
+
+_CAMPAIGN_NAMESPACE = 0xFA27
+_ROUND_KIND = "campaign-round"
+_ROUND_TYPE = "campaign-round"
+
+#: Fraction of a round bred from corpus parents (when the corpus is non-empty).
+_MUTATION_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :func:`run_campaign` call did (including replayed rounds)."""
+
+    seed: int
+    budget: int
+    rounds: int
+    executed: int
+    replayed_rounds: int
+    agreements: int
+    skips: int
+    divergences: Tuple[dict, ...]
+    corpus_size: int
+    new_corpus_entries: int
+    artifact_paths: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class _RoundTally:
+    executed: int = 0
+    agreements: int = 0
+    skips: int = 0
+    divergences: List[dict] = field(default_factory=list)
+    corpus_payloads: List[dict] = field(default_factory=list)
+    artifact_payloads: List[dict] = field(default_factory=list)
+
+
+def _round_key(config: dict, round_index: int) -> str:
+    return content_key(
+        {"__type__": _ROUND_TYPE, "config": config, "round": round_index}
+    )
+
+
+def _apply_perturb(spec: CaseSpec, perturb: Optional[dict]) -> CaseSpec:
+    if perturb is None or spec.perturb is not None:
+        return spec
+    return dc_replace(spec, perturb=dict(perturb))
+
+
+def _plan_round(
+    rng: np.random.Generator,
+    cases: int,
+    targets: Sequence[str],
+    corpus: Corpus,
+    seed: int,
+    round_index: int,
+    perturb: Optional[dict],
+) -> List[CaseSpec]:
+    """Plan one round's case specs; pure in (rng state, corpus content)."""
+    parents = corpus.keys()
+    specs: List[CaseSpec] = []
+    for slot in range(cases):
+        mutate = bool(parents) and rng.random() < _MUTATION_FRACTION
+        if mutate:
+            parent = corpus.spec(parents[int(rng.integers(len(parents)))])
+            mutation_seed = int(rng.integers(0, 2**31))
+            spec = mutate_spec(parent, mutation_seed)
+        else:
+            target = targets[int(rng.integers(len(targets)))]
+            # A wide deterministic seed window disjoint across rounds.
+            case_seed = (seed * 1_000_003 + round_index) * 10_000 + slot
+            spec = build_case(target, case_seed)
+        specs.append(_apply_perturb(spec, perturb))
+    return specs
+
+
+def _execute_with_retry(spec: CaseSpec, retry: RetryPolicy, key: str):
+    attempt = 1
+    while True:
+        try:
+            return execute_case(spec)
+        except Exception as error:  # noqa: BLE001 - triaged by the policy
+            if not retry.should_retry(error, attempt):
+                raise
+            attempt += 1
+            delay = retry.delay_before(attempt, key=key)
+            if delay > 0.0:
+                time.sleep(delay)
+
+
+def _replay_round(corpus: Corpus, artifact_dir: Path, record: dict) -> _RoundTally:
+    """Re-apply a journaled round's effects without executing anything."""
+    tally = _RoundTally(
+        executed=int(record["executed"]),
+        agreements=int(record["agreements"]),
+        skips=int(record["skips"]),
+        divergences=list(record["divergences"]),
+        corpus_payloads=list(record["corpus_payloads"]),
+        artifact_payloads=list(record["artifact_payloads"]),
+    )
+    for payload in tally.corpus_payloads:
+        corpus.write_payload(payload)
+    for payload in tally.artifact_payloads:
+        write_artifact(artifact_dir, payload)
+    return tally
+
+
+def run_campaign(
+    seed: int,
+    budget: int,
+    corpus_dir,
+    journal_path,
+    *,
+    batch_size: int = 16,
+    targets: Optional[Sequence[str]] = None,
+    retry: Optional[RetryPolicy] = None,
+    perturb: Optional[dict] = None,
+    artifact_dir=None,
+    _kill_after_cases: Optional[int] = None,
+) -> CampaignReport:
+    """Run (or resume) a coverage-guided campaign of ``budget`` cases.
+
+    Parameters
+    ----------
+    seed:
+        The campaign seed; together with the configuration it determines
+        every case the campaign will ever plan.
+    budget:
+        Total number of cases, executed in rounds of ``batch_size``.
+    corpus_dir / journal_path:
+        The persistent corpus directory and checkpoint journal.  Pointing a
+        new invocation at the same pair resumes: journaled rounds replay
+        their recorded effects instead of re-executing.
+    targets:
+        Target keys to fuzz (default: all registered targets).
+    perturb:
+        Optional ``{"side", "round", "agent", "epsilon"}`` mapping injected
+        into every planned case — the deliberately-broken-toggle mode used
+        by the mutation-kill tests and ``--broken`` CLI flag.
+    _kill_after_cases:
+        Test hook: SIGKILL this process after executing that many cases.
+    """
+    if budget < 1:
+        raise CampaignError(f"campaign budget must be >= 1, got {budget}")
+    if batch_size < 1:
+        raise CampaignError(f"campaign batch size must be >= 1, got {batch_size}")
+    targets = tuple(targets) if targets is not None else tuple(TARGETS)
+    for key in targets:
+        if key not in TARGETS:
+            raise CampaignError(f"unknown target {key!r} (known: {sorted(TARGETS)})")
+    retry = retry if retry is not None else RetryPolicy()
+    corpus_dir = Path(corpus_dir)
+    artifact_dir = Path(artifact_dir) if artifact_dir is not None else corpus_dir / "artifacts"
+
+    config = {
+        "seed": int(seed),
+        "batch_size": int(batch_size),
+        "targets": list(targets),
+        "perturb": None if perturb is None else dict(perturb),
+    }
+    rounds = -(-budget // batch_size)  # ceil
+    corpus = Corpus(corpus_dir)
+    initial_corpus = len(corpus)
+
+    executed = agreements = skips = replayed = 0
+    divergences: List[dict] = []
+    artifact_paths: List[str] = []
+    killed = 0  # cases executed, for the _kill_after_cases hook
+
+    with CheckpointJournal(journal_path) as journal:
+        for round_index in range(rounds):
+            cases = min(batch_size, budget - round_index * batch_size)
+            round_key = _round_key(config, round_index)
+            record = journal.get(round_key)
+            if record is not None:
+                tally = _replay_round(corpus, artifact_dir, record)
+                replayed += 1
+            else:
+                rng = np.random.default_rng(
+                    (_CAMPAIGN_NAMESPACE, int(seed), round_index)
+                )
+                specs = _plan_round(
+                    rng, cases, targets, corpus, int(seed), round_index, perturb
+                )
+                tally = _RoundTally()
+                # Novelty within the round is judged against the corpus at
+                # round start plus earlier same-round admissions, all in
+                # memory: nothing touches disk until the record is durable.
+                seen = set(corpus.seen_features)
+                for spec in specs:
+                    spec_key = spec.key()
+                    result = _execute_with_retry(spec, retry, spec_key)
+                    tally.executed += 1
+                    killed += 1
+                    if result.status == "skip":
+                        tally.skips += 1
+                    elif result.status == "agree":
+                        tally.agreements += 1
+                    features = case_features(spec, result)
+                    if result.status != "divergence":
+                        if not set(features) <= seen:
+                            seen.update(features)
+                            tally.corpus_payloads.append(
+                                corpus.make_entry(
+                                    spec,
+                                    features,
+                                    origin={
+                                        "campaign_seed": int(seed),
+                                        "round": round_index,
+                                        "status": result.status,
+                                    },
+                                )
+                            )
+                    else:
+                        minimal = minimize(spec)
+                        minimal_result = execute_case(minimal)
+                        artifact = make_artifact_payload(
+                            minimal,
+                            minimal_result,
+                            campaign={"seed": int(seed), "round": round_index},
+                            minimized_from=spec_key,
+                        )
+                        tally.artifact_payloads.append(artifact)
+                        seen.update(features)
+                        tally.corpus_payloads.append(
+                            corpus.make_entry(
+                                spec,
+                                features,
+                                origin={
+                                    "campaign_seed": int(seed),
+                                    "round": round_index,
+                                    "status": "divergence",
+                                },
+                            )
+                        )
+                        tally.divergences.append(
+                            {
+                                "case_key": spec_key,
+                                "minimal_key": minimal.key(),
+                                "target": spec.target,
+                                "algorithm": spec.algorithm,
+                                "reason": result.reason,
+                            }
+                        )
+                    if _kill_after_cases is not None and killed >= _kill_after_cases:
+                        os.kill(os.getpid(), signal.SIGKILL)
+                # Durable record first; only then the disk effects.  A crash
+                # in between is healed on resume by replaying the record.
+                journal.put(
+                    round_key,
+                    {
+                        "round": round_index,
+                        "executed": tally.executed,
+                        "agreements": tally.agreements,
+                        "skips": tally.skips,
+                        "divergences": tally.divergences,
+                        "corpus_payloads": tally.corpus_payloads,
+                        "artifact_payloads": tally.artifact_payloads,
+                    },
+                    kind=_ROUND_KIND,
+                )
+                for payload in tally.corpus_payloads:
+                    corpus.write_payload(payload)
+                for payload in tally.artifact_payloads:
+                    write_artifact(artifact_dir, payload)
+
+            executed += tally.executed
+            agreements += tally.agreements
+            skips += tally.skips
+            divergences.extend(tally.divergences)
+            for payload in tally.artifact_payloads:
+                key = CaseSpec.from_dict(payload["spec"]).key()
+                artifact_paths.append(str(artifact_dir / f"{key}.json"))
+
+    return CampaignReport(
+        seed=int(seed),
+        budget=int(budget),
+        rounds=rounds,
+        executed=executed,
+        replayed_rounds=replayed,
+        agreements=agreements,
+        skips=skips,
+        divergences=tuple(divergences),
+        corpus_size=len(corpus),
+        new_corpus_entries=len(corpus) - initial_corpus,
+        artifact_paths=tuple(dict.fromkeys(artifact_paths)),
+    )
+
+
+__all__ = ["CampaignReport", "run_campaign"]

@@ -1,0 +1,32 @@
+"""Shared repro-line formatting for the CI fuzz suite and campaign artifacts.
+
+The differential fuzz suite prints a deterministic repro snippet on every
+mismatch, and campaign failure artifacts carry a one-line replay command.
+Both come from here, so a printed repro line is guaranteed to match what the
+campaign replays.
+"""
+
+from __future__ import annotations
+
+
+def repro_snippet(
+    pair: str,
+    case_seed: int,
+    module: str = "tests.test_fuzz_equivalence",
+    func: str = "run_case",
+) -> str:
+    """The deterministic repro snippet for one generated case of one pair."""
+    return (
+        f"\nDifferential fuzz mismatch in pair {pair!r} (case_seed={case_seed}).\n"
+        "Deterministic repro:\n"
+        f"    from {module} import {func}\n"
+        f"    {func}({pair!r}, {case_seed})\n"
+    )
+
+
+def artifact_repro_command(path: str) -> str:
+    """The one-line shell command that replays a failure artifact bit-for-bit."""
+    return f"PYTHONPATH=src python -m repro.campaign replay {path}"
+
+
+__all__ = ["repro_snippet", "artifact_repro_command"]

@@ -248,3 +248,12 @@ class ShardTimeoutError(ServiceError):
 
 def _rebuild_shard_timeout_error(message, elapsed, kind):
     return ShardTimeoutError(message, elapsed=elapsed, kind=kind)
+
+
+class CampaignError(ServiceError):
+    """Raised by the counterexample campaign service (:mod:`repro.campaign`).
+
+    Typical causes are a registry audit finding an algorithm with no fuzz
+    entry, a malformed corpus entry or failure artifact, or a replay whose
+    re-execution does not reproduce the recorded divergence.
+    """

@@ -101,7 +101,12 @@ class CheckpointJournal:
                 if index == len(lines):
                     # A torn final line is the expected signature of a crash
                     # mid-append: everything before it is intact, so resume
-                    # from there and let the orchestrator re-run the shard.
+                    # from there and re-run the lost shard.  Truncate the
+                    # torn tail so records appended by this resume start on
+                    # a fresh line instead of concatenating onto the tear.
+                    intact = len(text.encode("utf-8")) - len(line.encode("utf-8"))
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(intact)
                     break
                 raise ServiceError(
                     f"{self.path} line {index} is corrupt (not at end of file): {exc}"

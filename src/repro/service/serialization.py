@@ -477,6 +477,18 @@ def decode_algorithm(payload: dict):
     return codec[2](payload["params"])
 
 
+def registered_algorithm_names() -> Tuple[str, ...]:
+    """The names of every registered algorithm codec, sorted.
+
+    This is the authoritative list of serializable algorithms — the campaign
+    registry audit (:func:`repro.campaign.registry.audit_registry`) compares
+    it against the fuzz registry so every algorithm that can cross a process
+    boundary is also differentially fuzzed.
+    """
+    _register_algorithms()
+    return tuple(sorted(_ALGORITHM_CODECS))
+
+
 # ---------------------------------------------------------------------- #
 # Scenario and certify specs
 # ---------------------------------------------------------------------- #

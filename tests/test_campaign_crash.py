@@ -1,0 +1,130 @@
+"""Crash safety: a SIGKILLed campaign resumes to the exact same state.
+
+A child process runs a campaign and is SIGKILLed mid-round (via the
+``_kill_after_cases`` hook).  Resuming over the same corpus + journal must
+produce a corpus and journal *identical* to an uninterrupted run of the same
+configuration: journaled rounds replay their recorded effects, the
+interrupted round re-executes deterministically, and content-keyed writes
+make the replays idempotent.  A torn final journal line (the signature of a
+crash mid-append) must be healed on resume, not corrupt later appends.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.campaign import run_campaign
+from repro.service.checkpoint import CheckpointJournal
+
+SEED = 5
+BUDGET = 6
+BATCH = 3  # two rounds of three cases
+TARGETS = ["batch_vs_loop", "facade_vs_direct", "zero_fault_vs_none"]
+
+
+def _campaign(corpus, journal):
+    return run_campaign(
+        SEED, BUDGET, corpus, journal, batch_size=BATCH, targets=TARGETS
+    )
+
+
+def _corpus_files(root):
+    return {p.name: p.read_text() for p in sorted(Path(root).glob("*.json"))}
+
+
+def _journal_records(path):
+    with CheckpointJournal(path) as journal:
+        return {key: journal.get(key) for key in journal.keys()}
+
+
+def _run_child_killed_mid_round(tmp_path, kill_after):
+    corpus = str(tmp_path / "corpus")
+    journal = str(tmp_path / "journal.jsonl")
+    child_code = textwrap.dedent(
+        f"""
+        from repro.campaign import run_campaign
+        run_campaign(
+            {SEED}, {BUDGET}, {corpus!r}, {journal!r}, batch_size={BATCH},
+            targets={TARGETS!r}, _kill_after_cases={kill_after},
+        )
+        print("DONE", flush=True)
+        """
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", child_code], env=env, capture_output=True, text=True
+    )
+    assert proc.returncode == -signal.SIGKILL, (proc.returncode, proc.stderr)
+    assert "DONE" not in proc.stdout
+    return corpus, journal
+
+
+def test_sigkill_mid_round_resumes_to_identical_state(tmp_path):
+    # Reference: the same campaign, uninterrupted, in fresh directories.
+    reference = _campaign(tmp_path / "ref-corpus", tmp_path / "ref-journal.jsonl")
+    assert reference.executed == BUDGET
+
+    # Kill the child mid-round-2: round 1 (3 cases) is journaled, the 4th
+    # case completes, then SIGKILL lands before round 2 reaches the journal.
+    corpus, journal = _run_child_killed_mid_round(tmp_path, kill_after=4)
+    interrupted = _journal_records(journal)
+    assert len(interrupted) == 1, "exactly round 1 should be journaled"
+
+    resumed = run_campaign(
+        SEED, BUDGET, corpus, journal, batch_size=BATCH, targets=TARGETS
+    )
+    assert resumed.replayed_rounds == 1  # round 1 from the journal
+    assert resumed.executed == reference.executed
+    assert resumed.corpus_size == reference.corpus_size
+
+    # Bit-for-bit: corpus files and journal records equal the uninterrupted
+    # run's (content-keyed canonical JSON on both sides).
+    assert _corpus_files(corpus) == _corpus_files(tmp_path / "ref-corpus")
+    assert _journal_records(journal) == _journal_records(
+        tmp_path / "ref-journal.jsonl"
+    )
+
+
+def test_resume_heals_torn_final_journal_line(tmp_path):
+    reference = _campaign(tmp_path / "ref-corpus", tmp_path / "ref-journal.jsonl")
+
+    corpus, journal = _run_child_killed_mid_round(tmp_path, kill_after=4)
+    # Simulate the torn write of a crash mid-append: a partial record with
+    # no trailing newline at the end of the journal.
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn-partial-rec')
+
+    resumed = run_campaign(
+        SEED, BUDGET, corpus, journal, batch_size=BATCH, targets=TARGETS
+    )
+    assert resumed.executed == reference.executed
+    assert _corpus_files(corpus) == _corpus_files(tmp_path / "ref-corpus")
+    assert _journal_records(journal) == _journal_records(
+        tmp_path / "ref-journal.jsonl"
+    )
+    # The torn line was truncated on load: every line of the healed journal
+    # is complete, parseable JSON.
+    for line in Path(journal).read_text().splitlines():
+        json.loads(line)
+
+
+def test_kill_during_first_round_restarts_from_scratch(tmp_path):
+    reference = _campaign(tmp_path / "ref-corpus", tmp_path / "ref-journal.jsonl")
+    corpus, journal = _run_child_killed_mid_round(tmp_path, kill_after=2)
+    assert len(_journal_records(journal)) == 0  # nothing durable yet
+    assert _corpus_files(corpus) == {}  # effects apply only after the journal
+
+    resumed = run_campaign(
+        SEED, BUDGET, corpus, journal, batch_size=BATCH, targets=TARGETS
+    )
+    assert resumed.replayed_rounds == 0
+    assert _corpus_files(corpus) == _corpus_files(tmp_path / "ref-corpus")
+    assert _journal_records(journal) == _journal_records(
+        tmp_path / "ref-journal.jsonl"
+    )

@@ -1,0 +1,132 @@
+"""Minimizer contract: deterministic convergence and replayable artifacts.
+
+A deliberately perturbed toggle (the :class:`PerturbedAlgorithm` wrapper on
+one side of a pair) diverges on essentially any scenario.  Minimization is a
+pure function of the input spec with a fixed reduction order, so *different*
+diverging starts of the same (target, algorithm, perturbation) must converge
+to the *same* minimal scenario — and the artifact written for it must replay
+to bit-for-bit identical payloads every time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.artifacts import (
+    load_artifact,
+    make_artifact_payload,
+    replay_artifact,
+    write_artifact,
+)
+from repro.campaign.minimize import minimize
+from repro.campaign.targets import CaseSpec, execute_case
+from repro.exceptions import CampaignError
+from repro.graphs.digraph import CommunicationGraph
+from repro.graphs.families import complete_graph
+from repro.graphs.generators import random_graph
+
+PERTURB = {"side": "left", "round": 1, "agent": 0, "epsilon": 1e-3}
+
+
+def _start(seed, n, batch, rounds, d, record_every):
+    """One diverging start: perturbed mean on batch_vs_loop, random scenario."""
+    rng = np.random.default_rng(seed)
+    graphs = tuple(
+        random_graph(n, rng, 0.6) if rng.random() < 0.5
+        else tuple(random_graph(n, rng, 0.6) for _ in range(batch))
+        for _ in range(rounds)
+    )
+    return CaseSpec(
+        target="batch_vs_loop",
+        algorithm="mean",
+        params={},
+        values=rng.uniform(-2.0, 2.0, size=(batch, n, d)),
+        graphs=graphs,
+        record_every=record_every,
+        perturb=PERTURB,
+    )
+
+
+STARTS = [
+    _start(0, n=3, batch=1, rounds=1, d=1, record_every=1),
+    _start(1, n=4, batch=2, rounds=2, d=2, record_every=2),
+    _start(2, n=5, batch=3, rounds=3, d=1, record_every=3),
+    _start(3, n=6, batch=4, rounds=2, d=2, record_every=1),
+]
+
+
+def test_starts_actually_diverge():
+    for spec in STARTS:
+        assert execute_case(spec).status == "divergence"
+
+
+def test_minimize_is_deterministic():
+    spec = STARTS[1]
+    assert minimize(spec).key() == minimize(spec).key()
+
+
+def test_multiple_starts_converge_to_one_minimal_scenario():
+    minima = [minimize(spec) for spec in STARTS]
+    keys = {m.key() for m in minima}
+    assert len(keys) == 1, f"starts minimized to {len(keys)} distinct scenarios"
+    minimal = minima[0]
+    # The canonical minimal form of an unconditional perturbation: one
+    # scenario, one agent (the perturbed one), one coordinate, one round,
+    # a self-loop-only graph, zeroed values, cadence 1, no plan.
+    assert minimal.batch == 1
+    assert minimal.n == 1
+    assert minimal.d == 1
+    assert minimal.rounds == 1
+    assert minimal.record_every == 1
+    assert minimal.plan is None
+    assert minimal.graphs == (CommunicationGraph(1),)
+    assert np.array_equal(minimal.values, np.zeros((1, 1, 1)))
+    assert minimal.perturb == PERTURB
+
+
+def test_minimal_spec_still_diverges():
+    minimal = minimize(STARTS[0])
+    assert execute_case(minimal).status == "divergence"
+
+
+def test_minimize_rejects_non_diverging_input():
+    clean = CaseSpec(
+        target="batch_vs_loop", algorithm="mean", params={},
+        values=np.zeros((1, 3, 1)), graphs=(complete_graph(3),),
+    )
+    with pytest.raises(CampaignError, match="non-diverging"):
+        minimize(clean)
+
+
+def test_artifacts_from_different_starts_replay_to_same_payloads(tmp_path):
+    paths = []
+    for index, spec in enumerate(STARTS[:2]):
+        minimal = minimize(spec)
+        result = execute_case(minimal)
+        payload = make_artifact_payload(minimal, result, minimized_from=spec.key())
+        paths.append(write_artifact(tmp_path / f"run{index}", payload))
+    first, second = (load_artifact(p) for p in paths)
+    # Same minimal spec -> same file name and identical recorded payloads.
+    assert paths[0].name == paths[1].name
+    assert first["spec"] == second["spec"]
+    assert first["divergence"]["expected"] == second["divergence"]["expected"]
+    assert first["divergence"]["actual"] == second["divergence"]["actual"]
+    for path in paths:
+        replay = replay_artifact(path)
+        assert replay.reproduced, replay
+
+
+def test_perturbed_agent_survives_agent_reduction():
+    # Perturb agent 2 of 4: the minimizer must keep that agent while
+    # removing the others, renumbering the perturbation as it goes.
+    rng = np.random.default_rng(9)
+    spec = CaseSpec(
+        target="batch_vs_loop", algorithm="mean", params={},
+        values=rng.uniform(-1.0, 1.0, size=(1, 4, 1)),
+        graphs=(complete_graph(4), complete_graph(4)),
+        perturb={"side": "left", "round": 1, "agent": 2, "epsilon": 1e-3},
+    )
+    assert execute_case(spec).status == "divergence"
+    minimal = minimize(spec)
+    assert minimal.n == 1
+    assert minimal.perturb["agent"] == 0
+    assert execute_case(minimal).status == "divergence"

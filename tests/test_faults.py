@@ -479,7 +479,7 @@ class TestMinRelaySync:
     def test_listed_in_the_fuzz_registry(self):
         from tests.test_fuzz_equivalence import ALGORITHMS
 
-        assert any(key == "min-relay-sync" for key, _, _ in ALGORITHMS)
+        assert any(entry.key == "min-relay-sync" for entry in ALGORITHMS)
 
 
 class TestSeedThreading:

@@ -36,18 +36,11 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.algorithms import (
-    AmortizedMidpointAlgorithm,
-    DecidingAlgorithm,
-    HegselmannKrauseAlgorithm,
-    MeanAlgorithm,
-    MidpointAlgorithm,
-    SelfWeightedAveraging,
-    TwoAgentThirdsAlgorithm,
-)
 from repro.algorithms.base import masked_min_max, masked_reduction_impl
 from repro.api import Study
-from repro.asynchrony import AsynchronousSimulator, MinRelaySyncAlgorithm, RoundBasedAsyncAlgorithm
+from repro.asynchrony import AsynchronousSimulator, RoundBasedAsyncAlgorithm
+from repro.campaign.registry import ORDERED_ENTRIES, random_strongly_connected_graph
+from repro.campaign.repro import repro_snippet as _repro_snippet
 from repro.core.adversary import GreedyDiameterAdversary
 from repro.exceptions import FaultModelError
 from repro.execution import (
@@ -64,38 +57,15 @@ from repro.models.patterns import PeriodicPattern, SequencePattern
 MASTER_SEED = 20260728
 CASES_PER_PAIR = 200
 
-#: Algorithm registry the generator draws from: (key, factory(rng, n),
-#: exact).  ``exact`` marks the order-independent min/max family whose two
-#: execution paths agree bit-for-bit; the averaging family sums received
-#: values in different orders on the two paths and is compared to the last
-#: ulp instead (mirroring tests/test_equivalence.py).
-ALGORITHMS = [
-    ("midpoint", lambda rng, n: MidpointAlgorithm(), True),
-    ("amortized-midpoint", lambda rng, n: AmortizedMidpointAlgorithm(), True),
-    # The Section 9 approximate-consensus wrapper: decide-and-freeze over a
-    # min/max inner algorithm, with a randomized decision round so cases hit
-    # pre-decision, mid-run and instant (round-0) freezes.
-    (
-        "deciding-midpoint",
-        lambda rng, n: DecidingAlgorithm(MidpointAlgorithm(), int(rng.integers(0, 7))),
-        True,
-    ),
-    ("two-agent", lambda rng, n: TwoAgentThirdsAlgorithm(), True),
-    ("mean", lambda rng, n: MeanAlgorithm(), False),
-    (
-        "hegselmann-krause",
-        lambda rng, n: HegselmannKrauseAlgorithm(float(rng.uniform(0.5, 2.5))),
-        False,
-    ),
-    (
-        "self-weighted",
-        lambda rng, n: SelfWeightedAveraging(float(rng.uniform(0.1, 0.9))),
-        False,
-    ),
-    # No batch hooks (set-valued messages): exercises the per-agent reference
-    # paths of every engine; pairs that force a vectorized side skip it.
-    ("min-relay-sync", lambda rng, n: MinRelaySyncAlgorithm(), True),
-]
+#: The generator draws algorithms from the shared fuzz registry
+#: (:mod:`repro.campaign.registry`), the same one the counterexample
+#: campaign and the registry audit consume: registering an algorithm there
+#: is sufficient for this suite to fuzz it.  ``entry.exact`` marks the
+#: order-independent min/max family whose two execution paths agree
+#: bit-for-bit; the averaging family sums received values in different
+#: orders on the two paths and is compared to the last ulp instead
+#: (mirroring tests/test_equivalence.py).
+ALGORITHMS = ORDERED_ENTRIES
 
 
 def _case_rng(case_seed):
@@ -105,31 +75,38 @@ def _case_rng(case_seed):
 def build_scenario(case_seed):
     """Deterministically generate one random scenario from its seed.
 
-    Returns a dict with an algorithm drawn from the registry, stacked
+    Returns a dict with an algorithm drawn from the fuzz registry, stacked
     ``(B, n, d)`` initial values, a random per-round graph schedule (mixing
-    shared and per-scenario rounds), and the raw rng for further draws.
+    shared and per-scenario rounds; one fixed strongly connected graph for
+    graph-pinned entries), and the raw rng for further draws.
     """
     rng = _case_rng(case_seed)
-    key, factory, exact = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
-    n = 2 if key == "two-agent" else int(rng.integers(3, 9))
+    entry = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
+    n = entry.fixed_n if entry.fixed_n is not None else int(rng.integers(3, 9))
     d = int(rng.integers(1, 3))
     batch_size = int(rng.integers(1, 5))
     rounds = int(rng.integers(1, 8))
-    algorithm = factory(rng, n)
-    values = rng.uniform(-2.0, 2.0, size=(batch_size, n, d))
     edge_probability = float(rng.uniform(0.15, 0.95))
     graph_rounds = []
-    for _ in range(rounds):
-        if rng.random() < 0.5:
-            graph_rounds.append(random_graph(n, rng, edge_probability))
-        else:
-            graph_rounds.append(
-                [random_graph(n, rng, edge_probability) for _ in range(batch_size)]
-            )
+    fixed_graph = None
+    if entry.needs_fixed_graph:
+        fixed_graph = random_strongly_connected_graph(n, rng, edge_probability)
+        graph_rounds = [fixed_graph] * rounds
+    algorithm = entry.build(entry.draw_params(rng), n, fixed_graph)
+    values = rng.uniform(-2.0, 2.0, size=(batch_size, n, d))
+    if not entry.needs_fixed_graph:
+        for _ in range(rounds):
+            if rng.random() < 0.5:
+                graph_rounds.append(random_graph(n, rng, edge_probability))
+            else:
+                graph_rounds.append(
+                    [random_graph(n, rng, edge_probability) for _ in range(batch_size)]
+                )
     record_every = int(rng.integers(1, 4))
     return {
-        "key": key,
-        "exact": exact,
+        "key": entry.key,
+        "exact": entry.exact,
+        "entry": entry,
         "algorithm": algorithm,
         "n": n,
         "d": d,
@@ -140,15 +117,6 @@ def build_scenario(case_seed):
         "record_every": record_every,
         "rng": rng,
     }
-
-
-def _repro_snippet(pair, case_seed):
-    return (
-        f"\nDifferential fuzz mismatch in pair {pair!r} (case_seed={case_seed}).\n"
-        "Deterministic repro:\n"
-        "    from tests.test_fuzz_equivalence import run_case\n"
-        f"    run_case({pair!r}, {case_seed})\n"
-    )
 
 
 def _assert_outputs_match(pair, case_seed, label, got, want, exact):
@@ -519,7 +487,10 @@ def _case_zero_fault_vs_none(case_seed):
         True,
     )
 
-    # Event-driven simulator route.
+    # Event-driven simulator route (skipped for entries the round-based
+    # complete-graph route cannot represent, e.g. graph-pinned algorithms).
+    if not case["entry"].supports_simulator:
+        return
     wrapped = RoundBasedAsyncAlgorithm(case["algorithm"])
     runs = []
     for fault_plan in (None, zero):

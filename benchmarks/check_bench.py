@@ -45,6 +45,17 @@ _SERVICE_PAIR = ("direct_s", "service_s")
 _SERVICE_MAX_SLOWDOWN = 4.0
 _SERVICE_FIXED_ALLOWANCE_S = 5.0
 
+#: The remote route pays HTTP round-trips, lease bookkeeping and SSE
+#: telemetry instead of pipes; its worker threads also share the GIL where
+#: the multiprocessing route gets real processes.  Same gate shape as the
+#: service pair: ``remote_s <= mp_service_s * limit + allowance``, where
+#: the allowance absorbs the constant server/poll costs that dominate a
+#: smoke workload and the relative limit catches a dispatch loop that
+#: starts stalling on its own stream or re-running cached shards.
+_REMOTE_PAIR = ("mp_service_s", "remote_s")
+_REMOTE_MAX_SLOWDOWN = 4.0
+_REMOTE_FIXED_ALLOWANCE_S = 5.0
+
 #: The campaign loop pays planning, novelty scoring, content-keyed corpus
 #: writes and one fsync-ed journal append per round on top of executing the
 #: same differential cases as a raw harness loop.  Like the service gate,
@@ -86,6 +97,7 @@ _REQUIRED_BENCHMARKS = (
     "packed_masked_reduction",
     "facade_overhead",
     "service_overhead",
+    "remote_service",
     "campaign_round",
 )
 
@@ -143,6 +155,18 @@ def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACA
                     f"+ {_SERVICE_FIXED_ALLOWANCE_S:.1f}s allowance "
                     f"(= {budget:.6f}s)"
                 )
+        mp_key, remote_key = _REMOTE_PAIR
+        if mp_key in entry and remote_key in entry:
+            mp_s, remote_s = entry[mp_key], entry[remote_key]
+            budget = mp_s * _REMOTE_MAX_SLOWDOWN + _REMOTE_FIXED_ALLOWANCE_S
+            if remote_s > budget:
+                violations.append(
+                    f"remote_service ({_entry_detail(entry)}): "
+                    f"{remote_key}={remote_s:.6f}s exceeds "
+                    f"{mp_key}={mp_s:.6f}s * {_REMOTE_MAX_SLOWDOWN:.1f} "
+                    f"+ {_REMOTE_FIXED_ALLOWANCE_S:.1f}s allowance "
+                    f"(= {budget:.6f}s)"
+                )
         harness_key, campaign_key = _CAMPAIGN_PAIR
         if harness_key in entry and campaign_key in entry:
             harness_s, campaign_s = entry[harness_key], entry[campaign_key]
@@ -194,7 +218,8 @@ def main() -> int:
         for entry in payload.get("results", [])
         if any(
             old in entry and new in entry
-            for old, new in _TIMING_PAIRS + (_FACADE_PAIR, _SERVICE_PAIR, _CAMPAIGN_PAIR)
+            for old, new in _TIMING_PAIRS
+            + (_FACADE_PAIR, _SERVICE_PAIR, _REMOTE_PAIR, _CAMPAIGN_PAIR)
         )
     )
     if violations:

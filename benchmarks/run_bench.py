@@ -881,6 +881,89 @@ def bench_service(grid, repeats: int) -> list:
     return results
 
 
+def bench_remote_service(grid, repeats: int) -> list:
+    """Remote-route dispatch cost over the local multiprocessing route.
+
+    Each workload runs the identical sharded study twice: through the
+    multiprocessing scheduler (``mp_service_s``) and through a loopback
+    :class:`~repro.service.remote.JobQueueServer` with in-process worker
+    threads (``remote_s``) — paying HTTP round-trips, lease bookkeeping,
+    SSE telemetry and the shared result cache instead of pipes and process
+    spawn.  ``check_bench.py`` gates ``remote_s`` against ``mp_service_s``
+    with a relative limit plus a fixed allowance, the same shape as the
+    ``service_overhead`` gate.
+    """
+    import threading
+
+    from repro.service import run_study_service
+    from repro.service.remote import JobQueueServer, RemoteConfig
+    from repro.service.remote.worker import run_worker
+
+    results = []
+    algorithm = MidpointAlgorithm()
+    for batch_size, n, rounds, workers, shard_size in grid:
+        values = np.stack([_initial_values(n, 1, seed=b) for b in range(batch_size)])
+        pattern = _pattern(n)
+        kwargs = dict(
+            algorithm=algorithm,
+            initial_values=values,
+            rounds=rounds,
+            pattern=pattern,
+        )
+        mp_service_s = _best_of(
+            lambda: run_study_service(**kwargs, workers=workers, shard_size=shard_size),
+            repeats,
+        )
+
+        def remote_once():
+            with JobQueueServer() as server:
+                stop = threading.Event()
+                for index in range(workers):
+                    threading.Thread(
+                        target=run_worker,
+                        args=(server.url,),
+                        kwargs=dict(
+                            worker_id=f"bench-w{index}",
+                            poll_interval=0.02,
+                            stop_event=stop,
+                        ),
+                        daemon=True,
+                    ).start()
+                try:
+                    run_study_service(
+                        **kwargs,
+                        shard_size=shard_size,
+                        remote=RemoteConfig(
+                            url=server.url, poll_interval=0.5, job_timeout=300.0
+                        ),
+                    )
+                finally:
+                    stop.set()
+
+        remote_s = _best_of(remote_once, repeats)
+        entry = {
+            "benchmark": "remote_service",
+            "route": "run_study_service[remote]",
+            "algorithm": algorithm.name,
+            "B": batch_size,
+            "n": n,
+            "rounds": rounds,
+            "d": 1,
+            "workers": workers,
+            "shard_size": shard_size,
+            "mp_service_s": mp_service_s,
+            "remote_s": remote_s,
+            "overhead": remote_s / mp_service_s if mp_service_s > 0 else float("inf"),
+        }
+        results.append(entry)
+        print(
+            f"remote        run_study_service    B={batch_size:3d} n={n:4d} rounds={rounds:4d} "
+            f"workers={workers} mp={mp_service_s * 1e3:8.2f}ms "
+            f"remote={remote_s * 1e3:8.2f}ms overhead={entry['overhead']:6.2f}x"
+        )
+    return results
+
+
 def bench_campaign(grid, repeats: int) -> list:
     """Campaign-loop overhead over a raw loop of the same differential cases.
 
@@ -1009,6 +1092,8 @@ def main() -> int:
         # One mid-size ensemble split across 2 workers: big enough that the
         # rounds dominate a shard, small enough for a CI runner.
         service_grid = [(16, 48, 60, 2, 8)]
+        # Same workload through a loopback queue server with worker threads.
+        remote_grid = [(16, 48, 60, 2, 8)]
         # One single-round campaign; the fixed allowance in check_bench.py
         # absorbs the corpus/journal fsyncs that dominate a tiny budget.
         campaign_grid = [(0, 8)]
@@ -1037,6 +1122,7 @@ def main() -> int:
         facade_ensemble_grid = [(16, 64, 100)]
         facade_repeats = 5
         service_grid = [(32, 64, 100, 4, 8), (64, 32, 100, 4, 8)]
+        remote_grid = [(32, 64, 100, 4, 8)]
         campaign_grid = [(0, 16), (1, 32)]
         repeats = 3
 
@@ -1058,6 +1144,7 @@ def main() -> int:
     results += bench_packed_reduction(*packed_reduction_case, repeats=repeats)
     results += bench_facade(facade_single_grid, facade_ensemble_grid, repeats=facade_repeats)
     results += bench_service(service_grid, repeats=repeats)
+    results += bench_remote_service(remote_grid, repeats=repeats)
     results += bench_campaign(campaign_grid, repeats=repeats)
     results += bench_async(async_grid, repeats=repeats)
 

@@ -41,7 +41,10 @@ from repro.faults import (
 )
 from repro.service import (
     CheckpointJournal,
+    JobQueueServer,
     PartialStudyResult,
+    RemoteConfig,
+    ResultCache,
     RetryPolicy,
     ShardFailure,
     ShardRecord,
@@ -60,9 +63,12 @@ __all__ = [
     "FaultModelError",
     "FaultPlan",
     "FaultSpec",
+    "JobQueueServer",
     "JoinSpec",
     "PartialStudyResult",
+    "RemoteConfig",
     "ReproError",
+    "ResultCache",
     "RetryPolicy",
     "ScenarioSpec",
     "ShardFailure",

@@ -3,7 +3,10 @@
 A campaign runs a bounded budget of differential-fuzz cases in *rounds*.
 Each round plans its cases deterministically from ``(campaign seed, round
 index, corpus state)``: roughly half are structured mutations of corpus
-parents, the rest fresh generator draws.  Every case runs through the
+parents — with parents drawn in proportion to their *recent novelty
+yield*, so a parent whose mutants keep entering the corpus is bred from
+more often while a stale one decays toward a small baseline weight — and
+the rest are fresh generator draws.  Every case runs through the
 executor (under the service :class:`~repro.service.retry.RetryPolicy`);
 divergences are minimized and persisted as replayable artifacts; cases
 exhibiting new behavior features enter the corpus.
@@ -45,6 +48,15 @@ _ROUND_TYPE = "campaign-round"
 
 #: Fraction of a round bred from corpus parents (when the corpus is non-empty).
 _MUTATION_FRACTION = 0.5
+
+#: Per-round decay of a corpus admission's contribution to its parent's
+#: selection weight: an admission from ``k`` rounds ago is worth
+#: ``_NOVELTY_DECAY ** k``.
+_NOVELTY_DECAY = 0.5
+
+#: Baseline selection weight every parent keeps, so a stale parent decays
+#: toward a small uniform chance instead of starving entirely.
+_BASE_WEIGHT = 1.0
 
 
 @dataclass(frozen=True)
@@ -90,6 +102,34 @@ def _apply_perturb(spec: CaseSpec, perturb: Optional[dict]) -> CaseSpec:
     return dc_replace(spec, perturb=dict(perturb))
 
 
+def _parent_weights(corpus: Corpus, round_index: int) -> dict:
+    """Selection weight per corpus parent, from decayed novelty yield.
+
+    Every parent keeps :data:`_BASE_WEIGHT`; each corpus admission bred
+    from it (``origin["parent"]``) adds ``_NOVELTY_DECAY ** age`` where
+    ``age`` is the number of rounds since the admission.  Pure in (corpus
+    content, round index) and ordered by ``corpus.keys()`` (sorted) — the
+    weighted draw depends on that order, and a resumed or replayed
+    campaign reconstructs identical weights from the reconstructed corpus.
+    """
+    weights = {key: _BASE_WEIGHT for key in corpus.keys()}
+    for key in corpus.keys():
+        origin = (corpus.get(key) or {}).get("origin") or {}
+        parent = origin.get("parent")
+        if parent in weights:
+            age = max(0, round_index - int(origin.get("round", round_index)))
+            weights[parent] += _NOVELTY_DECAY**age
+    return weights
+
+
+def _draw_parent(rng: np.random.Generator, weights: dict) -> str:
+    """One weighted draw over the (sorted-key-ordered) parent weights."""
+    keys = list(weights)
+    totals = np.cumsum([weights[key] for key in keys])
+    pick = rng.random() * float(totals[-1])
+    return keys[min(int(np.searchsorted(totals, pick, side="right")), len(keys) - 1)]
+
+
 def _plan_round(
     rng: np.random.Generator,
     cases: int,
@@ -98,23 +138,31 @@ def _plan_round(
     seed: int,
     round_index: int,
     perturb: Optional[dict],
-) -> List[CaseSpec]:
-    """Plan one round's case specs; pure in (rng state, corpus content)."""
-    parents = corpus.keys()
-    specs: List[CaseSpec] = []
+) -> List[Tuple[CaseSpec, Optional[str]]]:
+    """Plan one round's ``(case spec, parent key or None)`` pairs.
+
+    Pure in (rng state, corpus content): mutation slots draw parents in
+    proportion to :func:`_parent_weights`, fresh slots draw a target
+    uniformly.  The parent key rides along so corpus admissions can record
+    which parent bred them — the signal the weights are computed from.
+    """
+    weights = _parent_weights(corpus, round_index)
+    planned: List[Tuple[CaseSpec, Optional[str]]] = []
     for slot in range(cases):
-        mutate = bool(parents) and rng.random() < _MUTATION_FRACTION
+        mutate = bool(weights) and rng.random() < _MUTATION_FRACTION
         if mutate:
-            parent = corpus.spec(parents[int(rng.integers(len(parents)))])
+            parent_key = _draw_parent(rng, weights)
+            parent = corpus.spec(parent_key)
             mutation_seed = int(rng.integers(0, 2**31))
             spec = mutate_spec(parent, mutation_seed)
         else:
+            parent_key = None
             target = targets[int(rng.integers(len(targets)))]
             # A wide deterministic seed window disjoint across rounds.
             case_seed = (seed * 1_000_003 + round_index) * 10_000 + slot
             spec = build_case(target, case_seed)
-        specs.append(_apply_perturb(spec, perturb))
-    return specs
+        planned.append((_apply_perturb(spec, perturb), parent_key))
+    return planned
 
 
 def _execute_with_retry(spec: CaseSpec, retry: RetryPolicy, key: str):
@@ -222,7 +270,7 @@ def run_campaign(
                 rng = np.random.default_rng(
                     (_CAMPAIGN_NAMESPACE, int(seed), round_index)
                 )
-                specs = _plan_round(
+                planned = _plan_round(
                     rng, cases, targets, corpus, int(seed), round_index, perturb
                 )
                 tally = _RoundTally()
@@ -230,7 +278,7 @@ def run_campaign(
                 # round start plus earlier same-round admissions, all in
                 # memory: nothing touches disk until the record is durable.
                 seen = set(corpus.seen_features)
-                for spec in specs:
+                for spec, parent_key in planned:
                     spec_key = spec.key()
                     result = _execute_with_retry(spec, retry, spec_key)
                     tally.executed += 1
@@ -251,6 +299,7 @@ def run_campaign(
                                         "campaign_seed": int(seed),
                                         "round": round_index,
                                         "status": result.status,
+                                        "parent": parent_key,
                                     },
                                 )
                             )
@@ -273,6 +322,7 @@ def run_campaign(
                                     "campaign_seed": int(seed),
                                     "round": round_index,
                                     "status": "divergence",
+                                    "parent": parent_key,
                                 },
                             )
                         )

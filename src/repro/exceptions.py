@@ -203,6 +203,69 @@ class SerializationError(ServiceError):
     """
 
 
+class UnsupportedVersionError(SerializationError):
+    """Raised when a persisted record's ``version`` is newer than supported.
+
+    The format contract (ROADMAP "campaign format contracts") is to reject
+    unknown versions loudly rather than guess: a journal, cache or protocol
+    payload written by a newer library must fail with an error that names
+    the record type and both versions, never be half-decoded.
+
+    Attributes
+    ----------
+    record_type:
+        The ``__type__`` (or journal record kind) of the offending payload.
+    version / supported:
+        The version the record carries and the newest one this library reads.
+    """
+
+    def __init__(
+        self, message: str, *, record_type=None, version=None, supported=None
+    ) -> None:
+        super().__init__(message)
+        self.record_type = record_type
+        self.version = version
+        self.supported = supported
+
+    def __reduce__(self):
+        return (
+            _rebuild_unsupported_version_error,
+            (self.args[0], self.record_type, self.version, self.supported),
+        )
+
+
+def _rebuild_unsupported_version_error(message, record_type, version, supported):
+    return UnsupportedVersionError(
+        message, record_type=record_type, version=version, supported=supported
+    )
+
+
+class RemoteServiceError(ServiceError):
+    """Raised by the remote job-queue service (:mod:`repro.service.remote`).
+
+    Typical causes are an unreachable queue server, a malformed HTTP
+    payload, a lease or completion rejected by the server, or a job that
+    the server reports as terminally failed.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code of the failing request (``None`` when the
+        failure happened before a response, e.g. a connection refusal).
+    """
+
+    def __init__(self, message: str, *, status=None) -> None:
+        super().__init__(message)
+        self.status = status
+
+    def __reduce__(self):
+        return (_rebuild_remote_service_error, (self.args[0], self.status))
+
+
+def _rebuild_remote_service_error(message, status):
+    return RemoteServiceError(message, status=status)
+
+
 class WorkerCrashError(ServiceError):
     """Raised when a shard worker process dies without reporting a result.
 

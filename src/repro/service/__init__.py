@@ -19,7 +19,12 @@ The :class:`~repro.api.Study` facade is declarative — this package makes it
   scenario axis (or the sweep's grid rows) across a pool of workers and
   merge the results deterministically: the orchestrated result is
   bit-for-bit identical to the single-process run regardless of worker
-  count, completion order, or crash/resume cycles.
+  count, completion order, or crash/resume cycles;
+* :mod:`repro.service.remote` — the distributed route: an HTTP job-queue
+  server with leases and streamed telemetry, the remote worker agent
+  (``python -m repro.service.worker --url ...``), a shared content-keyed
+  result cache, and the ``remote=RemoteConfig(...)`` coordinator side of
+  :func:`run_study_service`.
 """
 
 from repro.service.checkpoint import CheckpointJournal, content_key
@@ -30,11 +35,15 @@ from repro.service.orchestrator import (
     run_certification_sweep_service,
     run_study_service,
 )
+from repro.service.remote import JobQueueServer, RemoteConfig, ResultCache, run_worker
 from repro.service.retry import RetryPolicy, is_transient_failure
 
 __all__ = [
     "CheckpointJournal",
+    "JobQueueServer",
     "PartialStudyResult",
+    "RemoteConfig",
+    "ResultCache",
     "RetryPolicy",
     "ShardFailure",
     "ShardRecord",
@@ -42,4 +51,5 @@ __all__ = [
     "is_transient_failure",
     "run_certification_sweep_service",
     "run_study_service",
+    "run_worker",
 ]

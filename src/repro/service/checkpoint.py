@@ -28,11 +28,12 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceError, UnsupportedVersionError
 from repro.service.serialization import canonical_json
 
 _MAGIC = "repro-service-journal"
 _VERSION = 1
+_RECORD_VERSION = 1
 
 
 def content_key(payload: object) -> str:
@@ -88,9 +89,18 @@ class CheckpointJournal:
         if not isinstance(header, dict) or header.get("journal") != _MAGIC:
             raise ServiceError(f"{self.path} is not a repro service journal")
         if header.get("version") != _VERSION:
+            version = header.get("version")
+            if isinstance(version, int) and version > _VERSION:
+                raise UnsupportedVersionError(
+                    f"{self.path} was written by journal version {version}, "
+                    f"newer than supported; this library reads version {_VERSION}",
+                    record_type=_MAGIC,
+                    version=version,
+                    supported=_VERSION,
+                )
             raise ServiceError(
                 f"{self.path} was written by journal version "
-                f"{header.get('version')!r}; this library reads version {_VERSION}"
+                f"{version!r}; this library reads version {_VERSION}"
             )
         for index, line in enumerate(lines[1:], start=2):
             if not line.strip():
@@ -113,6 +123,19 @@ class CheckpointJournal:
                 ) from exc
             if not isinstance(record, dict) or "key" not in record:
                 raise ServiceError(f"{self.path} line {index} is not a shard record")
+            version = record.get("version", 1)
+            if isinstance(version, int) and version > _RECORD_VERSION:
+                # Reject loudly instead of decoding half of a newer schema:
+                # the record was journaled by a newer library.
+                kind = record.get("kind", "shard")
+                raise UnsupportedVersionError(
+                    f"{self.path} line {index}: {kind!r} record version "
+                    f"{version} is newer than supported (this library reads "
+                    f"record versions 1..{_RECORD_VERSION}); refusing to decode",
+                    record_type=kind,
+                    version=version,
+                    supported=_RECORD_VERSION,
+                )
             self._records[record["key"]] = record
 
     # ------------------------------------------------------------------ #
@@ -139,7 +162,7 @@ class CheckpointJournal:
         Flushes and ``fsync``-s before returning: once ``put`` returns, the
         record survives a SIGKILL of the whole process tree.
         """
-        record = {"key": key, "kind": kind, "result": result}
+        record = {"key": key, "kind": kind, "version": _RECORD_VERSION, "result": result}
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())

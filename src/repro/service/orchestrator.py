@@ -421,6 +421,51 @@ def _run_scheduler(
     return scheduler
 
 
+def _dispatch(
+    jobs: List[_Job],
+    *,
+    remote,
+    workers: int,
+    journal: Optional[CheckpointJournal],
+    retry: Optional[RetryPolicy],
+    shard_timeout: Optional[float],
+    heartbeat_interval: float,
+    heartbeat_timeout: Optional[float],
+    start_method: Optional[str],
+    fault_markers: Optional[Dict[int, Dict[str, str]]],
+    on_shard: Optional[Callable[[ShardRecord], None]],
+):
+    """Route jobs to the local pool or, with ``remote=``, the queue server."""
+    if remote is not None:
+        from repro.service.remote.client import run_remote
+        from repro.service.remote.protocol import as_remote_config
+
+        if fault_markers:
+            raise ConfigError(
+                "_fault_markers drive the local worker pool and cannot be "
+                "combined with remote=; arm the remote worker's --kill-marker "
+                "/ --hang-marker flags instead"
+            )
+        return run_remote(
+            jobs,
+            remote=as_remote_config(remote),
+            journal=journal,
+            on_shard=on_shard,
+        )
+    return _run_scheduler(
+        jobs,
+        workers=workers,
+        journal=journal,
+        retry=retry if retry is not None else RetryPolicy(),
+        shard_timeout=shard_timeout,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        start_method=start_method,
+        fault_markers=fault_markers,
+        on_shard=on_shard,
+    )
+
+
 def run_study_service(
     algorithm,
     *,
@@ -445,6 +490,7 @@ def run_study_service(
     heartbeat_timeout: Optional[float] = None,
     start_method: Optional[str] = None,
     on_shard: Optional[Callable[[ShardRecord], None]] = None,
+    remote=None,
     _fault_markers: Optional[Dict[int, Dict[str, str]]] = None,
 ):
     """Run a :class:`~repro.api.Study` as crash-safe shard jobs.
@@ -477,6 +523,14 @@ def run_study_service(
     ``on_shard``
         Streaming callback, invoked with each completed
         :class:`ShardRecord` as soon as the shard's result is journaled.
+    ``remote``
+        A :class:`~repro.service.remote.RemoteConfig` (or a queue server
+        URL).  When set, jobs are dispatched to the remote job-queue
+        server instead of the local multiprocessing pool; the worker-pool
+        knobs (``workers``, timeouts, ``start_method``) are ignored —
+        lease and retry policy live on the server — while ``journal``,
+        ``retry``-independent resume, ``strict`` and ``on_shard`` behave
+        identically.
 
     The merged result is **bit-for-bit identical** to the single-process
     ``Study(...).run()`` — outputs, diameters, certificates and provenance
@@ -568,11 +622,12 @@ def run_study_service(
 
     opened_journal, owns_journal = _open_journal(journal)
     try:
-        scheduler = _run_scheduler(
+        scheduler = _dispatch(
             jobs,
+            remote=remote,
             workers=workers,
             journal=opened_journal,
-            retry=retry if retry is not None else RetryPolicy(),
+            retry=retry,
             shard_timeout=shard_timeout,
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
@@ -714,6 +769,7 @@ def run_certification_sweep_service(
     heartbeat_timeout: Optional[float] = None,
     start_method: Optional[str] = None,
     on_shard: Optional[Callable[[ShardRecord], None]] = None,
+    remote=None,
     _fault_markers: Optional[Dict[int, Dict[str, str]]] = None,
 ):
     """Run the certification sweep with each grid row as one shard job.
@@ -765,11 +821,12 @@ def run_certification_sweep_service(
 
     opened_journal, owns_journal = _open_journal(journal)
     try:
-        scheduler = _run_scheduler(
+        scheduler = _dispatch(
             jobs,
+            remote=remote,
             workers=workers,
             journal=opened_journal,
-            retry=retry if retry is not None else RetryPolicy(),
+            retry=retry,
             shard_timeout=shard_timeout,
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,

@@ -1,0 +1,314 @@
+"""Coordinator-side dispatch of shard jobs to a remote queue server.
+
+:class:`RemoteDispatch` is the drop-in counterpart of the orchestrator's
+in-process ``_Scheduler``: it takes the same content-keyed job list, fills
+the same ``results`` / ``records`` / ``failures`` maps, and streams the
+same :class:`~repro.service.orchestrator.ShardRecord` objects through
+``on_shard`` — so ``run_study_service(remote=...)`` reuses journal replay,
+``_collect`` and ``merge_ensemble_executions`` unchanged, and the merged
+result stays bit-for-bit identical to the single-process run.
+
+The dispatch is event-driven with a polling safety net: a daemon thread
+subscribes to the server's SSE telemetry stream (``/events?after=seq``,
+where ``seq`` is sampled *before* the jobs are enqueued so no lifecycle
+event can be missed), and the main loop additionally polls ``GET /job``
+for still-pending keys every ``poll_interval`` seconds in case the stream
+drops.  Results are journaled locally as they arrive, so a coordinator
+SIGKILLed mid-dispatch resumes from its own journal exactly like the
+multiprocessing route — and jobs completed while it was dead are served
+from the server's shared cache on re-enqueue.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import time
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import RemoteServiceError
+from repro.service.checkpoint import CheckpointJournal
+from repro.service.remote.protocol import (
+    JobRecord,
+    RemoteConfig,
+    TelemetryRecord,
+    http_json,
+)
+from repro.service.remote.telemetry import iter_sse_events
+from repro.service.worker import error_from_descriptor
+
+_SSE_CLOSED = object()
+
+
+class RemoteDispatch:
+    """Run a job list against a remote queue server; mirror ``_Scheduler``."""
+
+    def __init__(
+        self,
+        jobs: List[Any],
+        *,
+        remote: RemoteConfig,
+        journal: Optional[CheckpointJournal],
+    ) -> None:
+        self._jobs = list(jobs)
+        self._remote = remote
+        self._journal = journal
+        self.results: Dict[str, Any] = {}
+        self.failures: Dict[str, Any] = {}
+        self.records: Dict[str, Any] = {}
+        self._events: "queue_module.Queue" = queue_module.Queue()
+        self._sse_response = None
+        self._on_shard: Optional[Callable[[Any], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # Book-keeping shared with the local scheduler
+    # ------------------------------------------------------------------ #
+
+    def _record(self, job, *, source: str, attempts: int, elapsed: float):
+        from repro.service.orchestrator import ShardRecord
+
+        record = ShardRecord(
+            shard=job.shards[0],
+            key=job.key,
+            start=job.payload["service"]["start"],
+            stop=job.payload["service"]["stop"],
+            attempts=attempts,
+            source=source,
+            elapsed=elapsed,
+        )
+        self.records[job.key] = record
+        return record
+
+    def _replay_journal(self) -> None:
+        if self._journal is None:
+            return
+        for job in self._jobs:
+            cached = self._journal.get(job.key)
+            if cached is None:
+                continue
+            self.results[job.key] = cached
+            record = self._record(job, source="journal", attempts=0, elapsed=0.0)
+            if self._on_shard is not None:
+                self._on_shard(record)
+
+    def _finish(
+        self, job, payload: dict, *, source: str, attempts: int, elapsed: float
+    ) -> None:
+        self.results[job.key] = payload
+        if self._journal is not None:
+            self._journal.put(job.key, payload, kind=job.payload["kind"])
+        record = self._record(job, source=source, attempts=attempts, elapsed=elapsed)
+        if self._on_shard is not None:
+            self._on_shard(record)
+
+    def _fail(self, job, descriptor: Optional[dict], attempts: int) -> None:
+        from repro.service.orchestrator import ShardFailure
+
+        descriptor = descriptor or {}
+        error = error_from_descriptor(descriptor)
+        self.failures[job.key] = ShardFailure(
+            shard=job.shards[0],
+            key=job.key,
+            attempts=attempts,
+            error=error,
+            error_type=descriptor.get("type", type(error).__name__),
+            message=descriptor.get("message", str(error)),
+            traceback=descriptor.get("traceback"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Server round-trips
+    # ------------------------------------------------------------------ #
+
+    def _call(self, endpoint: str, payload: Optional[dict] = None) -> dict:
+        return http_json(
+            f"{self._remote.url}{endpoint}",
+            payload,
+            timeout=self._remote.request_timeout,
+        )
+
+    def _fetch_result(self, job, *, source: str, attempts: int, elapsed: float) -> None:
+        answer = self._call(f"/result?key={job.key}")
+        payload = answer.get("result")
+        if payload is None:
+            raise RemoteServiceError(
+                f"server reported job {job.key[:12]} completed but has no result"
+            )
+        self._finish(job, payload, source=source, attempts=attempts, elapsed=elapsed)
+
+    def _fetch_error(self, job, attempts: int) -> None:
+        answer = self._call(f"/error?key={job.key}")
+        self._fail(job, answer.get("error"), attempts)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry subscription
+    # ------------------------------------------------------------------ #
+
+    def _subscribe(self, after: int) -> None:
+        url = f"{self._remote.url}/events?after={after}"
+
+        def _reader() -> None:
+            try:
+                response = urllib.request.urlopen(url, timeout=None)
+            except OSError:
+                self._events.put(_SSE_CLOSED)
+                return
+            self._sse_response = response
+            try:
+                for payload in iter_sse_events(response):
+                    self._events.put(payload)
+            except Exception:
+                pass  # stream torn down; the polling net takes over
+            finally:
+                self._events.put(_SSE_CLOSED)
+                try:
+                    # The reader owns close(): HTTPResponse.close() taken from
+                    # another thread would block on the read lock readline()
+                    # holds until the server's next keep-alive frame.
+                    response.close()
+                except Exception:
+                    pass
+
+        threading.Thread(target=_reader, daemon=True).start()
+
+    def _close_stream(self) -> None:
+        """Unblock the reader thread's pending readline() immediately.
+
+        Shutting the socket down makes the blocked read return EOF at once;
+        the reader thread then closes the response itself and exits.
+        """
+        response = self._sse_response
+        if response is None:
+            return
+        try:
+            response.fp.raw._sock.shutdown(socket.SHUT_RDWR)  # CPython layout
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, on_shard: Optional[Callable[[Any], None]] = None) -> None:
+        self._on_shard = on_shard
+        self._replay_journal()
+        pending: Dict[str, Any] = {
+            job.key: job
+            for job in self._jobs
+            if job.key not in self.results and job.key not in self.failures
+        }
+        if not pending:
+            return
+        # Sample the telemetry cursor BEFORE enqueueing: every event about
+        # our jobs lands strictly after it, so the stream cannot miss one.
+        seq0 = int(self._call("/status").get("telemetry_seq", 0))
+        self._subscribe(seq0)
+        try:
+            for job in list(pending.values()):
+                record = JobRecord(
+                    key=job.key, kind=job.payload["kind"], body=job.payload["body"]
+                )
+                answer = self._call("/enqueue", record.to_dict())
+                status = answer.get("status")
+                if status == "cached":
+                    self._fetch_result(job, source="cache", attempts=0, elapsed=0.0)
+                    del pending[job.key]
+                elif status == "completed":
+                    # Enqueued by an earlier run (or another study) and done.
+                    self._fetch_result(job, source="cache", attempts=0, elapsed=0.0)
+                    del pending[job.key]
+                elif status == "failed":
+                    self._fetch_error(job, attempts=0)
+                    del pending[job.key]
+            deadline = (
+                None
+                if self._remote.job_timeout is None
+                else time.monotonic() + self._remote.job_timeout
+            )
+            last_poll = time.monotonic()
+            while pending:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise RemoteServiceError(
+                        f"remote dispatch exceeded job_timeout="
+                        f"{self._remote.job_timeout}s with {len(pending)} "
+                        f"job(s) still pending (are any workers running?)"
+                    )
+                try:
+                    event = self._events.get(timeout=self._remote.poll_interval)
+                except queue_module.Empty:
+                    event = None
+                if event is not None and event is not _SSE_CLOSED:
+                    self._handle_event(event, pending)
+                    continue
+                # Stream quiet (or gone): poll the pending keys directly.
+                now = time.monotonic()
+                if event is _SSE_CLOSED or now - last_poll >= self._remote.poll_interval:
+                    last_poll = now
+                    self._poll_pending(pending)
+                    if event is _SSE_CLOSED:
+                        time.sleep(self._remote.poll_interval)
+        finally:
+            self._close_stream()
+
+    def _handle_event(self, payload: dict, pending: Dict[str, Any]) -> None:
+        try:
+            event = TelemetryRecord.from_dict(payload)
+        except Exception:
+            return  # not a telemetry record; ignore
+        job = pending.get(event.key)
+        if job is None:
+            return
+        if event.event == "completed":
+            self._fetch_result(
+                job,
+                source="worker",
+                attempts=event.attempt if event.attempt is not None else 1,
+                elapsed=event.elapsed if event.elapsed is not None else 0.0,
+            )
+            del pending[event.key]
+        elif event.event == "failed":
+            self._fetch_error(
+                job, attempts=event.attempt if event.attempt is not None else 1
+            )
+            del pending[event.key]
+        elif event.event == "cache-hit":
+            self._fetch_result(job, source="cache", attempts=0, elapsed=0.0)
+            del pending[event.key]
+
+    def _poll_pending(self, pending: Dict[str, Any]) -> None:
+        for key, job in list(pending.items()):
+            answer = self._call(f"/job?key={key}")
+            status = answer.get("status")
+            attempts = int(answer.get("attempts") or 0)
+            if status == "completed":
+                self._fetch_result(
+                    job, source="worker", attempts=max(attempts, 1), elapsed=0.0
+                )
+                del pending[key]
+            elif status == "failed":
+                self._fetch_error(job, attempts=max(attempts, 1))
+                del pending[key]
+            elif status is None:
+                # The server forgot the job (restarted queue): re-enqueue.
+                record = JobRecord(
+                    key=job.key, kind=job.payload["kind"], body=job.payload["body"]
+                )
+                self._call("/enqueue", record.to_dict())
+
+
+def run_remote(
+    jobs: List[Any],
+    *,
+    remote: RemoteConfig,
+    journal: Optional[CheckpointJournal],
+    on_shard: Optional[Callable[[Any], None]],
+) -> RemoteDispatch:
+    """Dispatch ``jobs`` remotely and return the filled scheduler-alike."""
+    dispatch = RemoteDispatch(jobs, remote=remote, journal=journal)
+    dispatch.run(on_shard)
+    return dispatch
+
+
+__all__ = ["RemoteDispatch", "run_remote"]

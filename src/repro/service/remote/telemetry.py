@@ -1,0 +1,115 @@
+"""Server-side telemetry log and the server-sent-events wire format.
+
+The queue server appends one :class:`~repro.service.remote.protocol.TelemetryRecord`
+per shard lifecycle transition to a :class:`TelemetryLog` — an in-memory,
+monotonically sequenced, thread-safe buffer guarded by a condition
+variable.  The ``GET /events`` endpoint streams the log as standard
+server-sent events (``id:``/``data:`` frames, one JSON record per frame):
+a subscriber passes ``?after=<seq>`` (or the SSE ``Last-Event-ID`` header)
+to replay everything it missed before going live, so a coordinator that
+reconnects mid-study loses nothing.
+
+The client half (:func:`iter_sse_events`) parses an SSE byte stream back
+into record dicts; it is what the coordinator's telemetry thread and the
+``python -m repro.service.status`` tail command both run on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Iterator, List, Optional
+
+from repro.service.remote.protocol import TELEMETRY_EVENTS, TelemetryRecord
+
+
+class TelemetryLog:
+    """Thread-safe, sequence-numbered buffer of telemetry records."""
+
+    def __init__(self) -> None:
+        self._records: List[TelemetryRecord] = []
+        self._condition = threading.Condition()
+
+    @property
+    def last_seq(self) -> int:
+        with self._condition:
+            return len(self._records)
+
+    def append(self, event: str, key: str, **fields) -> TelemetryRecord:
+        """Record one lifecycle event; sequence numbers start at 1."""
+        if event not in TELEMETRY_EVENTS:
+            raise ValueError(f"unknown telemetry event {event!r}")
+        with self._condition:
+            record = TelemetryRecord(
+                seq=len(self._records) + 1,
+                event=event,
+                key=key,
+                timestamp=time.time(),
+                **fields,
+            )
+            self._records.append(record)
+            self._condition.notify_all()
+            return record
+
+    def since(self, after: int) -> List[TelemetryRecord]:
+        """Every record with ``seq > after``, in order."""
+        with self._condition:
+            return list(self._records[after:]) if after < len(self._records) else []
+
+    def wait(self, after: int, timeout: float) -> List[TelemetryRecord]:
+        """Block up to ``timeout`` seconds for records past ``after``."""
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while len(self._records) <= after:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._condition.wait(remaining):
+                    return []
+            return list(self._records[after:])
+
+
+def sse_encode(record: TelemetryRecord) -> bytes:
+    """One SSE frame: ``id:`` carries the sequence, ``data:`` the JSON record."""
+    payload = json.dumps(record.to_dict(), separators=(",", ":"))
+    return f"id: {record.seq}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def iter_sse_events(stream) -> Iterator[dict]:
+    """Parse an SSE byte stream into record payload dicts.
+
+    Accepts any iterable of ``bytes`` lines (an ``http.client`` response
+    works directly).  Yields each frame's decoded ``data:`` JSON; comment
+    frames (``:`` keep-alives) and bare ``id:`` lines are skipped.
+    """
+    data_lines: List[str] = []
+    for raw in stream:
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if line == "":
+            if data_lines:
+                yield json.loads("\n".join(data_lines))
+                data_lines = []
+            continue
+        if line.startswith(":"):
+            continue
+        if line.startswith("data:"):
+            data_lines.append(line[5:].lstrip())
+    if data_lines:
+        yield json.loads("\n".join(data_lines))
+
+
+def format_event(payload: dict) -> str:
+    """One human-readable line for the ``status`` tail command."""
+    record = TelemetryRecord.from_dict(payload)
+    parts = [f"[{record.seq:>5}]", f"{record.event:<9}", f"job={record.key[:12]}"]
+    if record.worker is not None:
+        parts.append(f"worker={record.worker}")
+    if record.attempt is not None:
+        parts.append(f"attempt={record.attempt}")
+    if record.elapsed is not None:
+        parts.append(f"elapsed={record.elapsed:.3f}s")
+    if record.error_type is not None:
+        parts.append(f"error={record.error_type}: {record.message}")
+    return " ".join(parts)
+
+
+__all__ = ["TelemetryLog", "format_event", "iter_sse_events", "sse_encode"]

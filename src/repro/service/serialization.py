@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 import numpy as np
 
-from repro.exceptions import SerializationError
+from repro.exceptions import SerializationError, UnsupportedVersionError
 
 _ARRAY = "ndarray"
 
@@ -51,10 +51,18 @@ def _check_header(payload: Any, expected: str, max_version: int = 1) -> None:
     if found != expected:
         raise SerializationError(f"expected a {expected} payload, got __type__={found!r}")
     version = payload.get("version")
-    if not isinstance(version, int) or not 1 <= version <= max_version:
+    if not isinstance(version, int) or version < 1:
         raise SerializationError(
             f"{expected} payload version {version!r} is not supported "
             f"(this library reads versions 1..{max_version})"
+        )
+    if version > max_version:
+        raise UnsupportedVersionError(
+            f"{expected} record version {version} is newer than supported "
+            f"(this library reads versions 1..{max_version}); refusing to decode",
+            record_type=expected,
+            version=version,
+            supported=max_version,
         )
 
 

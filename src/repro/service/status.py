@@ -1,0 +1,77 @@
+"""``python -m repro.service.status`` — tail a queue server's telemetry.
+
+Connects to the server's SSE ``/events`` endpoint and prints one line per
+shard lifecycle record (enqueued / leased / completed / failed / retried /
+cache-hit, with worker ids, attempts and timings).  ``--after`` replays
+history from a sequence number before going live; ``--limit`` exits after
+that many records (useful in scripts and CI); ``--raw`` prints the JSON
+records instead of formatted lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import urllib.error
+import urllib.request
+
+from repro.exceptions import RemoteServiceError
+from repro.service.remote.telemetry import format_event, iter_sse_events
+
+
+def tail(
+    url: str,
+    *,
+    after: int = 0,
+    limit: int | None = None,
+    raw: bool = False,
+    write=print,
+) -> int:
+    """Stream telemetry from ``url`` and write one line per record.
+
+    Returns the number of records written.  Blocks until ``limit`` records
+    arrive (forever when ``limit`` is ``None``) or the stream closes.
+    """
+    endpoint = f"{url.rstrip('/')}/events?after={after}"
+    try:
+        response = urllib.request.urlopen(endpoint, timeout=None)
+    except (urllib.error.URLError, OSError) as exc:
+        raise RemoteServiceError(f"cannot reach {endpoint}: {exc}") from exc
+    written = 0
+    with response:
+        for payload in iter_sse_events(response):
+            write(json.dumps(payload) if raw else format_event(payload))
+            written += 1
+            if limit is not None and written >= limit:
+                break
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.status",
+        description="Tail the shard lifecycle telemetry of a job-queue server.",
+    )
+    parser.add_argument("--url", required=True, help="queue server base URL")
+    parser.add_argument(
+        "--after", type=int, default=0, help="replay records after this sequence"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="exit after this many records"
+    )
+    parser.add_argument(
+        "--raw", action="store_true", help="print JSON records, not formatted lines"
+    )
+    args = parser.parse_args(argv)
+    try:
+        tail(args.url, after=args.after, limit=args.limit, raw=args.raw)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = ["main", "tail"]

@@ -160,8 +160,25 @@ def shard_worker_main(payload: Dict[str, Any], queue) -> None:
         queue.join_thread()
 
 
+def main(argv=None) -> int:
+    """``python -m repro.service.worker --url ...`` runs a *remote* worker.
+
+    The multiprocessing route spawns workers itself (:func:`shard_worker_main`
+    as the process target); this entry point is how a worker joins a
+    :class:`~repro.service.remote.server.JobQueueServer` from any machine.
+    """
+    from repro.service.remote.worker import main as remote_main
+
+    return remote_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
 __all__ = [
     "describe_error",
     "error_from_descriptor",
+    "main",
     "shard_worker_main",
 ]

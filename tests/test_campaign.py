@@ -316,3 +316,97 @@ def test_cli_run_and_replay(tmp_path, capsys):
     artifact = report["artifacts"][0]
     assert campaign_main(["replay", artifact]) == 0
     assert "reproduced" in capsys.readouterr().out
+
+
+def test_parent_weights_favor_recent_novelty_and_decay(tmp_path):
+    from repro.campaign.campaign import (
+        _BASE_WEIGHT,
+        _NOVELTY_DECAY,
+        _draw_parent,
+        _parent_weights,
+    )
+
+    corpus = Corpus(tmp_path / "corpus")
+    specs = {}
+    for seed in (1, 2, 3, 4):
+        spec = build_case("batch_vs_loop", seed)
+        result = execute_case(spec)
+        specs[seed] = spec
+        corpus.add(
+            spec,
+            case_features(spec, result) + (f"synthetic:{seed}",),
+            origin={"campaign_seed": 0, "round": 0, "status": "agree", "parent": None},
+        )
+    hot, stale = specs[1].key(), specs[2].key()
+    # Two admissions bred from `hot` at round 5, one from `stale` at round 1.
+    for seed, (parent, admitted_round) in {3: (hot, 5), 4: (hot, 5)}.items():
+        child = mutate_spec(specs[seed], seed)
+        child_result = execute_case(child)
+        corpus.add(
+            child,
+            case_features(child, child_result) + (f"synthetic:child:{seed}",),
+            origin={
+                "campaign_seed": 0,
+                "round": admitted_round,
+                "status": "agree",
+                "parent": parent,
+            },
+        )
+    stale_child = mutate_spec(specs[2], 99)
+    corpus.add(
+        stale_child,
+        case_features(stale_child, execute_case(stale_child)) + ("synthetic:stale",),
+        origin={"campaign_seed": 0, "round": 1, "status": "agree", "parent": stale},
+    )
+
+    at_round_6 = _parent_weights(corpus, 6)
+    # The hot parent (2 admissions, age 1) outweighs the stale one (1
+    # admission, age 5).
+    assert at_round_6[hot] == pytest.approx(_BASE_WEIGHT + 2 * _NOVELTY_DECAY**1)
+    assert at_round_6[stale] == pytest.approx(_BASE_WEIGHT + _NOVELTY_DECAY**5)
+    assert at_round_6[hot] > at_round_6[stale]
+    # A parent that bred nothing sits at the baseline.
+    never_bred = specs[3].key()
+    assert at_round_6[never_bred] == pytest.approx(_BASE_WEIGHT)
+
+    # The stale parent's weight decays monotonically toward the baseline as
+    # rounds pass without it breeding anything new.
+    stale_trajectory = [
+        _parent_weights(corpus, round_index)[stale] for round_index in (2, 4, 8, 16)
+    ]
+    assert all(a > b for a, b in zip(stale_trajectory, stale_trajectory[1:]))
+    assert stale_trajectory[-1] == pytest.approx(_BASE_WEIGHT, abs=1e-3)
+
+    # Weights are pure in (corpus content, round): a reload reconstructs
+    # them exactly, and the weighted draw is rng-deterministic.
+    reloaded = _parent_weights(Corpus(tmp_path / "corpus"), 6)
+    assert reloaded == at_round_6
+    draws = [
+        _draw_parent(np.random.default_rng(7), at_round_6) for _ in range(3)
+    ]
+    assert len(set(draws)) == 1
+    counts = {}
+    rng = np.random.default_rng(11)
+    for _ in range(500):
+        key = _draw_parent(rng, at_round_6)
+        counts[key] = counts.get(key, 0) + 1
+    assert counts[hot] > counts[stale]
+
+
+def test_campaign_admissions_record_their_parent(tmp_path):
+    report = run_campaign(
+        seed=5,
+        budget=24,
+        corpus_dir=tmp_path / "corpus",
+        journal_path=tmp_path / "journal.jsonl",
+        batch_size=8,
+        targets=("batch_vs_loop",),
+    )
+    assert report.executed == 24
+    corpus = Corpus(tmp_path / "corpus")
+    origins = [corpus.get(key)["origin"] for key in corpus.keys()]
+    assert all("parent" in origin for origin in origins)
+    # Later rounds breed from the corpus, so at least one admission should
+    # name a parent that is itself a corpus key (when any mutant admitted).
+    parents = [origin["parent"] for origin in origins if origin["parent"]]
+    assert all(parent in corpus for parent in parents)

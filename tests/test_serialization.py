@@ -471,3 +471,109 @@ def test_raised_exceptions_pickle_from_real_raise_sites():
     assert back.scenario is not None
     assert back.round_number is not None
     assert back.required is not None
+
+
+# --------------------------------------------------------------------- #
+# Remote service wire records
+# --------------------------------------------------------------------- #
+
+
+def remote_record_grid():
+    from repro.service.remote.protocol import (
+        CacheHitRecord,
+        JobRecord,
+        LeaseRecord,
+        TelemetryRecord,
+    )
+
+    return [
+        JobRecord(key="a" * 64, kind="study_shard", body={"kind": "study_shard"}),
+        JobRecord(key="b" * 64, kind="sweep_row", body={"row": {"n": 4}}),
+        LeaseRecord(
+            key="a" * 64,
+            lease_id="deadbeef",
+            worker="w0",
+            attempt=2,
+            heartbeat_interval=0.2,
+            expires_in=30.0,
+        ),
+        TelemetryRecord(seq=1, event="enqueued", key="a" * 64),
+        TelemetryRecord(
+            seq=7,
+            event="retried",
+            key="b" * 64,
+            kind="study_shard",
+            worker="w1",
+            attempt=1,
+            elapsed=1.25,
+            error_type="ShardTimeoutError",
+            message="lease expired",
+            timestamp=123.5,
+        ),
+        CacheHitRecord(key="c" * 64, kind="study_shard", source="journal"),
+    ]
+
+
+def test_remote_records_roundtrip():
+    for record in remote_record_grid():
+        assert type(record).from_dict(roundtrip(record.to_dict())) == record
+
+
+def test_remote_records_reject_unknown_type():
+    for record in remote_record_grid():
+        payload = record.to_dict()
+        payload["__type__"] = "Nope"
+        with pytest.raises(SerializationError):
+            type(record).from_dict(payload)
+
+
+def test_remote_records_reject_newer_version():
+    from repro.exceptions import UnsupportedVersionError
+
+    for record in remote_record_grid():
+        payload = record.to_dict()
+        payload["version"] = 99
+        with pytest.raises(UnsupportedVersionError) as info:
+            type(record).from_dict(payload)
+        # The structured error names the record type and both versions.
+        assert info.value.record_type == record.to_dict()["__type__"]
+        assert info.value.version == 99
+        assert info.value.supported == 1
+        assert isinstance(info.value, SerializationError)
+        back = pickle.loads(pickle.dumps(info.value))
+        assert back.record_type == info.value.record_type
+        assert back.version == 99
+        assert back.supported == 1
+
+
+def test_checkpoint_journal_rejects_newer_record_version(tmp_path):
+    from repro.exceptions import UnsupportedVersionError
+    from repro.service.checkpoint import CheckpointJournal
+
+    path = tmp_path / "journal.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.put("k1", {"x": 1})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"key": "k2", "kind": "shard", "version": 2, "result": {"x": 2}}
+            )
+            + "\n"
+        )
+    with pytest.raises(UnsupportedVersionError) as info:
+        CheckpointJournal(path)
+    assert info.value.record_type == "shard"
+    assert info.value.version == 2
+    assert info.value.supported == 1
+
+
+def test_checkpoint_journal_rejects_newer_header_version(tmp_path):
+    from repro.exceptions import UnsupportedVersionError
+    from repro.service.checkpoint import CheckpointJournal
+
+    path = tmp_path / "journal.jsonl"
+    path.write_text(json.dumps({"journal": "repro-service-journal", "version": 9}) + "\n")
+    with pytest.raises(UnsupportedVersionError) as info:
+        CheckpointJournal(path)
+    assert info.value.record_type == "repro-service-journal"
+    assert info.value.version == 9

@@ -77,6 +77,21 @@ _CAMPAIGN_FIXED_ALLOWANCE_S = 1.0
 #: time would likewise survive the slack check.
 _MIN_SPEEDUPS = {"certify_ensemble": 5.0, "faulted_ensemble": 3.0}
 
+#: The parallel backend must scale: at 4 workers on a B=256 workload the
+#: sharded run must beat the serial run by at least this factor.  The gate
+#: applies only where the entry's recorded ``cpu_count`` >= this many cores —
+#: a 1-core container physically cannot parallelize, and fabricating its
+#: numbers would be worse than skipping the gate — so dev boxes record honest
+#: ~1x entries while CI's multi-core runners enforce the bound.
+_PARALLEL_PAIR = ("serial_s", "parallel_s")
+_PARALLEL_MIN_SPEEDUP = 2.0
+_PARALLEL_MIN_CPUS = 4
+
+#: The fused masked-extreme kernel saves a mask resolution; at minimum it
+#: must never lose to two separate reductions by more than the slack
+#: fast-path factor (the ``--max-slowdown`` bound applied to this pair).
+_FUSED_PAIR = ("separate_s", "fused_s")
+
 #: Benchmarks every payload must contain: the fast-path gate is meaningless
 #: if a regression silently removes an entry, so missing families fail too.
 #: The valency/contraction/alpha entries carry old_s/new_s and are therefore
@@ -99,13 +114,18 @@ _REQUIRED_BENCHMARKS = (
     "service_overhead",
     "remote_service",
     "campaign_round",
+    "parallel_ensemble",
+    "fused_reduction",
 )
 
 
 def _entry_detail(entry: dict) -> str:
     return ", ".join(
         f"{key}={entry[key]}"
-        for key in ("route", "algorithm", "n", "B", "rounds", "model_size", "d", "seed", "budget")
+        for key in (
+            "route", "algorithm", "impl", "n", "B", "rounds", "model_size",
+            "d", "seed", "budget", "threads", "cpu_count",
+        )
         if key in entry
     )
 
@@ -142,6 +162,39 @@ def check(payload: dict, max_slowdown: float, facade_max_slowdown: float = _FACA
                     f"{family} ({_entry_detail(entry)}): batched_s={batched_s:.6f}s is "
                     f"only {speedup:.2f}x faster than loop_s={loop_s:.6f}s "
                     f"(required >= {min_speedup:.1f}x)"
+                )
+        serial_key, parallel_key = _PARALLEL_PAIR
+        if serial_key in entry and parallel_key in entry:
+            serial_s, parallel_s = entry[serial_key], entry[parallel_key]
+            cpu_count = entry.get("cpu_count", 0)
+            threads = entry.get("threads", 1)
+            speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+            if (
+                cpu_count >= _PARALLEL_MIN_CPUS
+                and threads >= _PARALLEL_MIN_CPUS
+                and speedup < _PARALLEL_MIN_SPEEDUP
+            ):
+                violations.append(
+                    f"parallel_ensemble ({_entry_detail(entry)}): "
+                    f"{parallel_key}={parallel_s:.6f}s is only {speedup:.2f}x faster "
+                    f"than {serial_key}={serial_s:.6f}s at threads={threads} on a "
+                    f"{cpu_count}-core machine (required >= {_PARALLEL_MIN_SPEEDUP:.1f}x)"
+                )
+            elif cpu_count < _PARALLEL_MIN_CPUS and speedup > max_slowdown:
+                # A 1-core box cannot legitimately report parallel scaling;
+                # a large "speedup" there means the serial side mismeasured.
+                violations.append(
+                    f"parallel_ensemble ({_entry_detail(entry)}): implausible "
+                    f"{speedup:.2f}x speedup recorded on a {cpu_count}-core machine"
+                )
+        separate_key, fused_key = _FUSED_PAIR
+        if separate_key in entry and fused_key in entry:
+            separate_s, fused_s = entry[separate_key], entry[fused_key]
+            if separate_s > 0 and fused_s / separate_s > max_slowdown:
+                violations.append(
+                    f"fused_reduction ({_entry_detail(entry)}): "
+                    f"{fused_key}={fused_s:.6f}s is {fused_s / separate_s:.2f}x slower "
+                    f"than {separate_key}={separate_s:.6f}s (limit {max_slowdown:.2f}x)"
                 )
         direct_key, service_key = _SERVICE_PAIR
         if direct_key in entry and service_key in entry:
@@ -220,6 +273,7 @@ def main() -> int:
             old in entry and new in entry
             for old, new in _TIMING_PAIRS
             + (_FACADE_PAIR, _SERVICE_PAIR, _REMOTE_PAIR, _CAMPAIGN_PAIR)
+            + (_PARALLEL_PAIR, _FUSED_PAIR)
         )
     )
     if violations:

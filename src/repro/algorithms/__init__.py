@@ -34,6 +34,7 @@ from repro.algorithms.base import (
     ConvexCombinationAlgorithm,
     get_masked_reduction_chunks,
     get_masked_reduction_impl,
+    masked_extreme_pair,
     masked_max,
     masked_min,
     masked_min_max,
@@ -56,6 +57,7 @@ __all__ = [
     "masked_min",
     "masked_max",
     "masked_min_max",
+    "masked_extreme_pair",
     "set_masked_reduction_chunks",
     "get_masked_reduction_chunks",
     "masked_reduction_chunks",

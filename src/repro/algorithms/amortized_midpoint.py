@@ -19,7 +19,7 @@ from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm, masked_max, masked_min
+from repro.algorithms.base import Algorithm, masked_extreme_pair, masked_min
 from repro.exceptions import AlgorithmError
 from repro.types import as_value
 
@@ -152,8 +152,13 @@ class AmortizedMidpointAlgorithm(Algorithm):
     def batch_transition(
         self, batch_state: AmortizedMidpointBatchState, adjacency: np.ndarray, round_number: int
     ) -> AmortizedMidpointBatchState:
-        new_min = np.minimum(batch_state.phase_min, masked_min(adjacency, batch_state.phase_min))
-        new_max = np.maximum(batch_state.phase_max, masked_max(adjacency, batch_state.phase_max))
+        # One fused reduction: the min runs over the phase-min tensor and the
+        # max over the phase-max tensor, sharing a single mask resolution.
+        received_min, received_max = masked_extreme_pair(
+            adjacency, batch_state.phase_min, batch_state.phase_max
+        )
+        new_min = np.minimum(batch_state.phase_min, received_min)
+        new_max = np.maximum(batch_state.phase_max, received_max)
         rounds_into_phase = batch_state.rounds_into_phase + 1
 
         if rounds_into_phase >= batch_state.phase_length:

@@ -30,7 +30,13 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Unio
 import numpy as np
 
 from repro.exceptions import AlgorithmError, EnsembleShapeError
-from repro.types import as_value, pack_bool_rows, packed_first_true, packed_last_true
+from repro.types import (
+    as_value,
+    pack_bool_rows,
+    packed_first_last_true,
+    packed_first_true,
+    packed_last_true,
+)
 
 #: A chunk setting: "auto" (heuristic), "dense" (never chunk this axis), or a
 #: positive block size.
@@ -225,13 +231,13 @@ def masked_min(adjacency: np.ndarray, values: np.ndarray) -> np.ndarray:
     :func:`set_masked_reduction_chunks`) so peak memory stays bounded by the
     chunk size instead of the full ``(B, n, n, d)`` dense intermediate.
     """
-    lo, _hi = _masked_extremes(adjacency, values, want_min=True, want_max=False)
+    lo, _hi = _masked_extremes_pair(adjacency, values, None)
     return lo
 
 
 def masked_max(adjacency: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Per-receiver coordinate-wise maximum over received values (see :func:`masked_min`)."""
-    _lo, hi = _masked_extremes(adjacency, values, want_min=False, want_max=True)
+    _lo, hi = _masked_extremes_pair(adjacency, None, values)
     return hi
 
 
@@ -243,7 +249,31 @@ def masked_min_max(adjacency: np.ndarray, values: np.ndarray) -> Tuple[np.ndarra
     per-coordinate gather between the two reductions — use it whenever an
     update needs both bounds (midpoint-style rules, convexity checks).
     """
-    return _masked_extremes(adjacency, values, want_min=True, want_max=True)
+    return _masked_extremes_pair(adjacency, values, values)
+
+
+def masked_extreme_pair(
+    adjacency: np.ndarray,
+    min_values: Optional[np.ndarray],
+    max_values: Optional[np.ndarray],
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Fused masked extremes over *two* value tensors with one mask resolution.
+
+    Returns ``(masked_min(adjacency, min_values), masked_max(adjacency,
+    max_values))`` bit-for-bit, but resolves the receive mask once and shares
+    it — along with the broadcasting work and, on the chunked dense path,
+    each expanded mask block — between the two reductions.  This is the
+    amortized midpoint's per-round pattern: the minimum runs over the
+    phase-min tensor while the maximum runs over the phase-max tensor of the
+    same adjacency.  Either side may be ``None`` to skip that extreme;
+    passing the same object for both degenerates to :func:`masked_min_max`
+    (one shared sort instead of two).
+    """
+    if min_values is None and max_values is None:
+        raise AlgorithmError(
+            "masked_extreme_pair needs at least one of min_values/max_values"
+        )
+    return _masked_extremes_pair(adjacency, min_values, max_values)
 
 
 def _resolve_chunks(lead_count: int, lead0: int, n_receivers: int, n: int, d: int):
@@ -304,7 +334,9 @@ def _resolve_chunks(lead_count: int, lead0: int, n_receivers: int, n: int, d: in
 
 
 def _masked_extremes_scan(
-    mask: np.ndarray, values: np.ndarray, want_min: bool, want_max: bool
+    mask: np.ndarray,
+    min_values: Optional[np.ndarray],
+    max_values: Optional[np.ndarray],
 ):
     """Sort-and-scan masked extremes for values shared across the mask's batch.
 
@@ -315,30 +347,43 @@ def _masked_extremes_scan(
     intermediate with a byte-sized one — both faster and leaner when many
     candidate masks share one value matrix (the adversaries' stacked
     candidate evaluation).  Exact: a set extreme does not depend on the
-    evaluation order.
+    evaluation order.  When the two sides are the same object the sort and
+    the boolean gather are shared; distinct tensors still share the
+    has-neighbor vector (and the caller's single mask resolution).
     """
-    n, d = values.shape
     last_axis = mask.shape[-1]
     has_neighbor = mask.any(axis=-1)  # (..., n_receivers)
-    lo_columns, hi_columns = [], []
-    for coord in range(d):
-        column = values[:, coord]
-        order = np.argsort(column, kind="stable")
-        sorted_column = column[order]
-        sorted_mask = mask[..., order]
-        if want_min:
-            first_hit = sorted_mask.argmax(axis=-1)
-            lo_columns.append(np.where(has_neighbor, sorted_column[first_hit], np.inf))
-        if want_max:
-            last_hit = last_axis - 1 - sorted_mask[..., ::-1].argmax(axis=-1)
-            hi_columns.append(np.where(has_neighbor, sorted_column[last_hit], -np.inf))
-    lo = np.stack(lo_columns, axis=-1) if want_min else None
-    hi = np.stack(hi_columns, axis=-1) if want_max else None
+
+    def _one_side(values: np.ndarray, want_min: bool, want_max: bool):
+        _n, d = values.shape
+        lo_columns, hi_columns = [], []
+        for coord in range(d):
+            column = values[:, coord]
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            sorted_mask = mask[..., order]
+            if want_min:
+                first_hit = sorted_mask.argmax(axis=-1)
+                lo_columns.append(np.where(has_neighbor, sorted_column[first_hit], np.inf))
+            if want_max:
+                last_hit = last_axis - 1 - sorted_mask[..., ::-1].argmax(axis=-1)
+                hi_columns.append(np.where(has_neighbor, sorted_column[last_hit], -np.inf))
+        lo = np.stack(lo_columns, axis=-1) if want_min else None
+        hi = np.stack(hi_columns, axis=-1) if want_max else None
+        return lo, hi
+
+    if min_values is not None and min_values is max_values:
+        return _one_side(min_values, True, True)
+    lo = _one_side(min_values, True, False)[0] if min_values is not None else None
+    hi = _one_side(max_values, False, True)[1] if max_values is not None else None
     return lo, hi
 
 
 def _masked_extremes_packed(
-    mask: np.ndarray, values: np.ndarray, lead: tuple, want_min: bool, want_max: bool
+    mask: np.ndarray,
+    min_values: Optional[np.ndarray],
+    max_values: Optional[np.ndarray],
+    lead: tuple,
 ):
     """Packed-bit masked extremes for the general (per-lead values) case.
 
@@ -360,82 +405,120 @@ def _masked_extremes_packed(
     single contiguous fancy-index while the bit-level variant needs three
     full passes over the mask bytes.  The graph bitset cache therefore
     serves the *unpermuted* consumers (the α-relation kernels) instead.
+
+    The fused two-tensor case shares the flattened mask and the permuted-mask
+    scratch buffer between the sides; with identical value objects the sort,
+    the permuted pack and the first/last-bit queries (one fused
+    :func:`repro.types.packed_first_last_true` sweep) are shared too.
     """
     n_receivers, n = mask.shape[-2], mask.shape[-1]
-    d = values.shape[-1]
     lead_count = math.prod(lead) if lead else 1
     mask_flat = np.broadcast_to(mask, lead + (n_receivers, n)).reshape(
         lead_count, n_receivers, n
     )
-    values_flat = np.broadcast_to(values, lead + (n, d)).reshape(lead_count, n, d)
-    out_dtype = (
-        values.dtype
-        if np.issubdtype(values.dtype, np.floating)
-        else np.result_type(values.dtype, float)
-    )
-    lo = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_min else None
-    hi = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_max else None
-    order = np.argsort(values_flat, axis=-2, kind="stable")  # (L, n, d)
     permuted = np.empty((lead_count, n_receivers, n), dtype=bool)
-    for coord in range(d):
-        column_order = order[..., coord]  # (L, n)
-        sorted_column = np.take_along_axis(values_flat[..., coord], column_order, axis=-1)
-        sorted_column = sorted_column.astype(out_dtype, copy=False)
-        for scenario in range(lead_count):
-            permuted[scenario] = mask_flat[scenario][:, column_order[scenario]]
-        packed = pack_bool_rows(permuted)  # (L, R, ceil(n/8))
-        if want_min:
-            first = packed_first_true(packed, n)  # (L, R); n = no neighbor
-            gathered = np.take_along_axis(sorted_column, np.minimum(first, n - 1), axis=-1)
-            lo[..., coord] = np.where(first < n, gathered, np.inf)
-        if want_max:
-            last = packed_last_true(packed, n)  # (L, R); -1 = no neighbor
-            gathered = np.take_along_axis(sorted_column, np.maximum(last, 0), axis=-1)
-            hi[..., coord] = np.where(last >= 0, gathered, -np.inf)
-    out_shape = lead + (n_receivers, d)
-    return (
-        lo.reshape(out_shape) if lo is not None else None,
-        hi.reshape(out_shape) if hi is not None else None,
-    )
+    out_shape_of = lambda d: lead + (n_receivers, d)  # noqa: E731
+
+    def _one_side(values: np.ndarray, want_min: bool, want_max: bool):
+        d = values.shape[-1]
+        values_flat = np.broadcast_to(values, lead + (n, d)).reshape(lead_count, n, d)
+        out_dtype = (
+            values.dtype
+            if np.issubdtype(values.dtype, np.floating)
+            else np.result_type(values.dtype, float)
+        )
+        lo = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_min else None
+        hi = np.empty((lead_count, n_receivers, d), dtype=out_dtype) if want_max else None
+        order = np.argsort(values_flat, axis=-2, kind="stable")  # (L, n, d)
+        for coord in range(d):
+            column_order = order[..., coord]  # (L, n)
+            sorted_column = np.take_along_axis(values_flat[..., coord], column_order, axis=-1)
+            sorted_column = sorted_column.astype(out_dtype, copy=False)
+            for scenario in range(lead_count):
+                permuted[scenario] = mask_flat[scenario][:, column_order[scenario]]
+            packed = pack_bool_rows(permuted)  # (L, R, ceil(n/8))
+            if want_min and want_max:
+                first, last = packed_first_last_true(packed, n)
+            elif want_min:
+                first = packed_first_true(packed, n)  # (L, R); n = no neighbor
+            else:
+                last = packed_last_true(packed, n)  # (L, R); -1 = no neighbor
+            if want_min:
+                gathered = np.take_along_axis(sorted_column, np.minimum(first, n - 1), axis=-1)
+                lo[..., coord] = np.where(first < n, gathered, np.inf)
+            if want_max:
+                gathered = np.take_along_axis(sorted_column, np.maximum(last, 0), axis=-1)
+                hi[..., coord] = np.where(last >= 0, gathered, -np.inf)
+        return (
+            lo.reshape(out_shape_of(d)) if lo is not None else None,
+            hi.reshape(out_shape_of(d)) if hi is not None else None,
+        )
+
+    if min_values is not None and min_values is max_values:
+        return _one_side(min_values, True, True)
+    lo = _one_side(min_values, True, False)[0] if min_values is not None else None
+    hi = _one_side(max_values, False, True)[1] if max_values is not None else None
+    return lo, hi
 
 
-def _masked_extremes(
-    adjacency: np.ndarray, values: np.ndarray, want_min: bool, want_max: bool
+def _masked_extremes_pair(
+    adjacency: np.ndarray,
+    min_values: Optional[np.ndarray],
+    max_values: Optional[np.ndarray],
 ):
+    """Dispatch core of all masked extremes: one mask resolution per call.
+
+    ``min_values`` feeds the minimum and ``max_values`` the maximum; either
+    may be ``None`` (that side is skipped) and passing the same object for
+    both recovers the shared-sort single-tensor behaviour of
+    :func:`masked_min_max`.  Every implementation path — sort-and-scan,
+    packed-bit, chunked/dense — receives the one mask produced here, so a
+    caller needing both extremes pays for exactly one
+    :func:`receive_mask` resolution regardless of path.
+    """
     adjacency_arr = np.asarray(adjacency)
-    values = np.asarray(values)
     if adjacency_arr.ndim < 2 or adjacency_arr.shape[-1] != adjacency_arr.shape[-2]:
         raise EnsembleShapeError(
             f"adjacency must be a square (..., n, n) tensor, got shape {adjacency_arr.shape}",
             expected="(..., n, n)",
             actual=tuple(adjacency_arr.shape),
         )
-    if values.ndim < 2:
+    shared = min_values is not None and min_values is max_values
+    min_arr = np.asarray(min_values) if min_values is not None else None
+    if shared:
+        max_arr = min_arr
+    else:
+        max_arr = np.asarray(max_values) if max_values is not None else None
+    # The distinct sides of a fused pair (one asarray each when shared).
+    sides = [min_arr] if shared else [arr for arr in (min_arr, max_arr) if arr is not None]
+    for values in sides:
+        if values.ndim < 2:
+            raise EnsembleShapeError(
+                f"values must be a (..., n, d) tensor, got shape {values.shape}"
+            )
+        if values.shape[-2] != adjacency_arr.shape[-1]:
+            raise EnsembleShapeError(
+                f"adjacency tensor {adjacency_arr.shape} and value tensor {values.shape} "
+                f"disagree on the number of agents: {adjacency_arr.shape[-1]} vs {values.shape[-2]}"
+            )
+    if len(sides) == 2 and sides[0].shape[-1] != sides[1].shape[-1]:
         raise EnsembleShapeError(
-            f"values must be a (..., n, d) tensor, got shape {values.shape}"
-        )
-    if values.shape[-2] != adjacency_arr.shape[-1]:
-        raise EnsembleShapeError(
-            f"adjacency tensor {adjacency_arr.shape} and value tensor {values.shape} "
-            f"disagree on the number of agents: {adjacency_arr.shape[-1]} vs {values.shape[-2]}"
+            f"min value tensor {sides[0].shape} and max value tensor {sides[1].shape} "
+            f"disagree on the coordinate dimension: {sides[0].shape[-1]} vs {sides[1].shape[-1]}"
         )
     mask = receive_mask(adjacency_arr)
     mask_lead = mask.shape[:-2]
-    values_lead = values.shape[:-2]
-    if not mask_lead:
-        lead = values_lead
-    elif not values_lead or mask_lead == values_lead:
-        lead = mask_lead
-    else:
-        try:
-            lead = np.broadcast_shapes(mask_lead, values_lead)
-        except ValueError as exc:
-            raise EnsembleShapeError(
-                f"adjacency tensor {adjacency_arr.shape} and value tensor {values.shape} "
-                "have incompatible leading (scenario/candidate) axes"
-            ) from exc
+    value_leads = [values.shape[:-2] for values in sides]
+    try:
+        lead = np.broadcast_shapes(mask_lead, *value_leads)
+    except ValueError as exc:
+        raise EnsembleShapeError(
+            f"adjacency tensor {adjacency_arr.shape} and value tensor(s) "
+            f"{[tuple(v.shape) for v in sides]} have incompatible leading "
+            "(scenario/candidate) axes"
+        ) from exc
     n_receivers, n = mask.shape[-2], mask.shape[-1]
-    d = values.shape[-1]
+    d = sides[0].shape[-1]
     lead_count = math.prod(lead) if lead else 1
     lead0 = lead[0] if lead else 1
 
@@ -445,10 +528,15 @@ def _masked_extremes(
     if (
         lead_count > 1
         and d <= 8
-        and all(size == 1 for size in values_lead)
-        and not np.isnan(values).any()
+        and all(size == 1 for values_lead in value_leads for size in values_lead)
+        and not any(np.isnan(values).any() for values in sides)
     ):
-        lo, hi = _masked_extremes_scan(mask, values.reshape(n, d), want_min, want_max)
+        min_flat = min_arr.reshape(n, d) if min_arr is not None else None
+        if shared:
+            max_flat = min_flat
+        else:
+            max_flat = max_arr.reshape(n, d) if max_arr is not None else None
+        lo, hi = _masked_extremes_scan(mask, min_flat, max_flat)
         out_shape = lead + (n_receivers, d)
         return (
             lo.reshape(out_shape) if lo is not None else None,
@@ -460,7 +548,7 @@ def _masked_extremes(
     # anyway and the coordinate count is small; "packed" forces it whenever
     # the values are NaN-free (NaNs need the dense propagation semantics).
     impl = _REDUCTION_SETTINGS.impl
-    if impl != "dense" and (want_min or want_max):
+    if impl != "dense":
         auto_fire = (
             impl == "packed"
             or (
@@ -470,40 +558,54 @@ def _masked_extremes(
                 and lead_count * n_receivers * n * d > _AUTO_DENSE_ELEMENT_LIMIT
             )
         )
-        if auto_fire and (
+        if auto_fire and all(
             not np.issubdtype(values.dtype, np.floating) or not np.isnan(values).any()
+            for values in sides
         ):
-            return _masked_extremes_packed(mask, values, lead, want_min, want_max)
+            return _masked_extremes_packed(mask, min_arr, max_arr, lead)
 
     chunks = _resolve_chunks(lead_count, lead0, n_receivers, n, d)
 
     if chunks is None:
         expanded_mask = mask[..., None]
-        expanded_values = values[..., None, :, :]
         lo = (
-            np.where(expanded_mask, expanded_values, np.inf).min(axis=-2)
-            if want_min
+            np.where(expanded_mask, min_arr[..., None, :, :], np.inf).min(axis=-2)
+            if min_arr is not None
             else None
         )
         hi = (
-            np.where(expanded_mask, expanded_values, -np.inf).max(axis=-2)
-            if want_max
+            np.where(expanded_mask, max_arr[..., None, :, :], -np.inf).max(axis=-2)
+            if max_arr is not None
             else None
         )
         return lo, hi
 
     batch_chunk, receiver_chunk = chunks
     mask_full = np.broadcast_to(mask, lead + mask.shape[-2:])
-    values_full = np.broadcast_to(values, lead + values.shape[-2:])
+
     # Match the dense path's promotion: np.where(mask, values, inf) keeps a
     # floating values dtype and promotes anything else to float64.
-    out_dtype = (
-        values.dtype
-        if np.issubdtype(values.dtype, np.floating)
-        else np.result_type(values.dtype, float)
+    def _output_for(values: np.ndarray) -> np.ndarray:
+        out_dtype = (
+            values.dtype
+            if np.issubdtype(values.dtype, np.floating)
+            else np.result_type(values.dtype, float)
+        )
+        return np.empty(lead + (n_receivers, d), dtype=out_dtype)
+
+    min_full = (
+        np.broadcast_to(min_arr, lead + min_arr.shape[-2:]) if min_arr is not None else None
     )
-    lo = np.empty(lead + (n_receivers, d), dtype=out_dtype) if want_min else None
-    hi = np.empty(lead + (n_receivers, d), dtype=out_dtype) if want_max else None
+    if shared:
+        max_full = min_full
+    else:
+        max_full = (
+            np.broadcast_to(max_arr, lead + max_arr.shape[-2:])
+            if max_arr is not None
+            else None
+        )
+    lo = _output_for(min_arr) if min_arr is not None else None
+    hi = _output_for(max_arr) if max_arr is not None else None
     if lead:
         batch_slices = [
             slice(start, start + batch_chunk) for start in range(0, lead0, batch_chunk)
@@ -512,18 +614,18 @@ def _masked_extremes(
         batch_slices = [slice(None)]
     for batch_slice in batch_slices:
         mask_block = mask_full[batch_slice]
-        values_block = values_full[batch_slice]
+        min_block = min_full[batch_slice] if min_full is not None else None
+        max_block = max_full[batch_slice] if max_full is not None else None
         for start in range(0, n_receivers, receiver_chunk):
             stop = start + receiver_chunk
             sub = mask_block[..., start:stop, :, None]
-            expanded = values_block[..., None, :, :]
-            if want_min:
+            if lo is not None:
                 lo[batch_slice][..., start:stop, :] = np.where(
-                    sub, expanded, np.inf
+                    sub, min_block[..., None, :, :], np.inf
                 ).min(axis=-2)
-            if want_max:
+            if hi is not None:
                 hi[batch_slice][..., start:stop, :] = np.where(
-                    sub, expanded, -np.inf
+                    sub, max_block[..., None, :, :], -np.inf
                 ).max(axis=-2)
     return lo, hi
 

@@ -28,7 +28,9 @@ thread-local too (see :mod:`repro.algorithms.base`).
 
 from __future__ import annotations
 
+import os
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -49,6 +51,25 @@ _DEFAULT_USE_PACKED = True
 _DEFAULT_SCENARIO_CHUNK = 4096
 _DEFAULT_SEED = 0
 
+
+def _default_threads() -> int:
+    """Library-default worker count: the ``REPRO_THREADS`` env var, else 1.
+
+    Read per call (not cached at import) so test harnesses and CI matrix jobs
+    can flip the default without re-importing the library.
+    """
+    raw = os.environ.get("REPRO_THREADS")
+    if raw is None:
+        return 1
+    try:
+        threads = int(raw)
+    except ValueError as exc:
+        raise ConfigError(f"REPRO_THREADS must be a positive int, got {raw!r}") from exc
+    if threads < 1:
+        raise ConfigError(f"REPRO_THREADS must be a positive int, got {raw!r}")
+    return threads
+
+
 #: Fields that participate in the innermost-wins merge.
 _CONFIG_FIELDS = (
     "use_fast_path",
@@ -59,6 +80,7 @@ _CONFIG_FIELDS = (
     "reduction_receiver_chunk",
     "scenario_chunk",
     "seed",
+    "threads",
 )
 
 
@@ -97,6 +119,14 @@ class EngineConfig:
         streams from this single seed (via disjoint per-purpose seed tuples),
         so a faulted run is reproduced exactly by re-entering the same
         config, across threads included (the stack is thread-local).
+    threads:
+        Worker count of the parallel ensemble backend (default 1 = the serial
+        path; the ``REPRO_THREADS`` env var overrides the library default).
+        Values > 1 shard the scenario (B) axis of the ensemble runners and
+        the valency certifier across a :class:`ThreadPoolExecutor` owned by
+        the config block; results are bit-for-bit identical to the serial
+        path (see :mod:`repro.execution.parallel`).  The pool is created
+        lazily on first use and torn down when the block exits.
     """
 
     use_fast_path: Optional[bool] = None
@@ -107,6 +137,7 @@ class EngineConfig:
     reduction_receiver_chunk: Optional[ChunkSetting] = None
     scenario_chunk: Optional[int] = None
     seed: Optional[int] = None
+    threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("use_fast_path", "use_batch", "use_packed"):
@@ -144,6 +175,14 @@ class EngineConfig:
         ):
             raise ConfigError(
                 f"seed must be a non-negative int or None, got {self.seed!r}"
+            )
+        if self.threads is not None and (
+            isinstance(self.threads, bool)
+            or not isinstance(self.threads, int)
+            or self.threads < 1
+        ):
+            raise ConfigError(
+                f"threads must be a positive int or None, got {self.threads!r}"
             )
 
     def to_dict(self) -> dict:
@@ -185,7 +224,7 @@ class EngineConfig:
         # object entered concurrently from several threads must not pop
         # another thread's snapshot.
         saved = (get_masked_reduction_chunks(), get_masked_reduction_impl())
-        _ACTIVE_CONFIGS.stack.append((self, saved))
+        _ACTIVE_CONFIGS.stack.append(_StackEntry(self, saved))
         try:
             if (
                 self.reduction_batch_chunk is not None
@@ -214,17 +253,35 @@ class EngineConfig:
     def __exit__(self, exc_type, exc, tb) -> bool:
         entry = _pop_entry_for(self)
         if entry is not None:
-            chunks, impl = entry[1]
+            chunks, impl = entry.saved
             _apply_masked_reduction_chunks(
                 batch=chunks["batch"], receivers=chunks["receivers"]
             )
             _apply_masked_reduction_impl(impl)
+            if entry.pool is not None:
+                entry.pool.shutdown(wait=True)
+                entry.pool = None
         return False
 
 
-#: A stack entry: (the entered config, the thread's reduction snapshot to
-#: restore on exit).
-_StackEntry = Tuple[EngineConfig, Tuple[dict, str]]
+class _StackEntry:
+    """One thread-local activation of a config block.
+
+    Carries the entered config, the thread's reduction snapshot to restore on
+    exit, and — when the parallel backend runs inside the block — the block's
+    lazily-created worker pool.  The pool lives on the stack entry rather
+    than on the (possibly shared) :class:`EngineConfig` instance so that one
+    config object entered concurrently from several threads gets one pool
+    per activation, each torn down by its own ``__exit__``.
+    """
+
+    __slots__ = ("config", "saved", "pool", "pool_size")
+
+    def __init__(self, config: EngineConfig, saved: Tuple[dict, str]) -> None:
+        self.config = config
+        self.saved = saved
+        self.pool: Optional[ThreadPoolExecutor] = None
+        self.pool_size = 0
 
 
 class _ConfigStack(threading.local):
@@ -239,10 +296,34 @@ def _pop_entry_for(config: EngineConfig) -> Optional[_StackEntry]:
     """Remove and return this thread's innermost stack entry for ``config``."""
     stack = _ACTIVE_CONFIGS.stack
     for index in range(len(stack) - 1, -1, -1):
-        if stack[index][0] is config:
+        if stack[index].config is config:
             entry = stack[index]
             del stack[index]
             return entry
+    return None
+
+
+def _acquire_worker_pool(threads: int) -> Optional[ThreadPoolExecutor]:
+    """The active block's lazily-created worker pool for ``threads`` workers.
+
+    Walks this thread's config stack for the innermost entry that sets
+    ``threads`` (the entry whose value :func:`resolve_threads` returns) and
+    creates its pool on first use; the pool is then reused by every parallel
+    run inside the block and shut down by the block's ``__exit__``.  Returns
+    ``None`` when no active block owns a matching pool — e.g. the count came
+    from an explicit keyword or the ``REPRO_THREADS`` default — in which case
+    the caller runs a transient pool for the duration of the call.
+    """
+    for entry in reversed(_ACTIVE_CONFIGS.stack):
+        if entry.config.threads is not None:
+            if entry.pool is None:
+                entry.pool = ThreadPoolExecutor(
+                    max_workers=threads, thread_name_prefix="repro-shard"
+                )
+                entry.pool_size = threads
+            elif entry.pool_size != threads:
+                return None
+            return entry.pool
     return None
 
 
@@ -253,8 +334,8 @@ def _lookup(field_name: str):
     per ``apply_graph`` on the reference loops), so no merged dataclass is
     built here.
     """
-    for config, _saved in reversed(_ACTIVE_CONFIGS.stack):
-        value = getattr(config, field_name)
+    for entry in reversed(_ACTIVE_CONFIGS.stack):
+        value = getattr(entry.config, field_name)
         if value is not None:
             return value
     return None
@@ -267,9 +348,9 @@ def current_engine_config() -> EngineConfig:
     those to the library defaults.
     """
     merged = {}
-    for config, _saved in _ACTIVE_CONFIGS.stack:
+    for entry in _ACTIVE_CONFIGS.stack:
         for name in _CONFIG_FIELDS:
-            value = getattr(config, name)
+            value = getattr(entry.config, name)
             if value is not None:
                 merged[name] = value
     return EngineConfig(**merged)
@@ -314,11 +395,26 @@ def resolve_seed(explicit: Optional[int] = None) -> int:
     return _DEFAULT_SEED if configured is None else configured
 
 
+def resolve_threads(explicit: Optional[int] = None) -> int:
+    """Parallel worker count: explicit argument, else config, else REPRO_THREADS, else 1."""
+    if explicit is not None:
+        if (
+            isinstance(explicit, bool)
+            or not isinstance(explicit, int)
+            or explicit < 1
+        ):
+            raise ConfigError(f"threads must be a positive int or None, got {explicit!r}")
+        return explicit
+    configured = _lookup("threads")
+    return _default_threads() if configured is None else configured
+
+
 __all__ = [
     "EngineConfig",
     "current_engine_config",
     "resolve_scenario_chunk",
     "resolve_seed",
+    "resolve_threads",
     "resolve_use_batch",
     "resolve_use_fast_path",
     "resolve_use_packed",

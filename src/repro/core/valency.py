@@ -54,7 +54,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.base import Algorithm, ConvexCombinationAlgorithm
-from repro.config import resolve_scenario_chunk, resolve_use_batch
+from repro.config import resolve_scenario_chunk, resolve_threads, resolve_use_batch
 from repro.exceptions import EnsembleShapeError, ExecutionError
 from repro.execution.batch import EnsembleExecution
 from repro.execution.engine import run_from_configuration
@@ -120,6 +120,13 @@ class ValencyEstimator:
         Exhaustive prefixes are streamed in chunks respecting this bound, so
         peak memory stays ``O(scenario_chunk · n²)`` regardless of
         ``|N|^depth``.
+    threads:
+        Parallel worker count for :meth:`certify_ensemble` (``None``
+        resolves through the active config, then ``REPRO_THREADS``, default
+        1).  Scenarios certify independently — their futures never interact
+        — so the ensemble's scenario axis shards across worker threads with
+        bit-for-bit identical estimates (enforced by
+        ``tests/test_parallel_backend.py``).
     """
 
     def __init__(
@@ -130,9 +137,11 @@ class ValencyEstimator:
         exploration_depth: int = 0,
         use_batch: Optional[bool] = None,
         scenario_chunk: Optional[int] = None,
+        threads: Optional[int] = None,
     ) -> None:
         use_batch = resolve_use_batch(use_batch)
         scenario_chunk = resolve_scenario_chunk(scenario_chunk)
+        threads = resolve_threads(threads)
         if suffix_rounds < 1:
             raise ValueError(f"suffix_rounds must be >= 1, got {suffix_rounds}")
         if exploration_depth < 0:
@@ -145,6 +154,7 @@ class ValencyEstimator:
         self._exploration_depth = exploration_depth
         self._use_batch = use_batch
         self._scenario_chunk = scenario_chunk
+        self._threads = threads
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -286,6 +296,27 @@ class ValencyEstimator:
                     f"(recorded outputs shape {ensemble.recorded_outputs.shape})"
                 )
         batch_size = ensemble.batch_size
+        if self._threads > 1 and batch_size > 1:
+            # Scenario-axis sharding: per-scenario estimates are arithmetically
+            # independent (the config_group stacking never mixes results across
+            # configurations), so certifying contiguous scenario slices on
+            # worker threads and concatenating is bit-for-bit identical to the
+            # serial pass.  Imported lazily to keep the module import-light.
+            from repro.execution.parallel import parallel_map, shard_bounds
+
+            tasks = []
+            for start, stop in shard_bounds(batch_size, self._threads):
+                shard_rows = [row[start:stop] for row in recorded]
+                tasks.append(lambda rows=shard_rows: self._certify_recorded(rows))
+            shard_results = parallel_map(tasks, self._threads)
+            return [rows for result in shard_results for rows in result]
+        return self._certify_recorded(recorded)
+
+    def _certify_recorded(
+        self, recorded: Sequence[Sequence[Configuration]]
+    ) -> List[List[ValencyEstimate]]:
+        """Serial certification core over recorded ``[round][scenario]`` rows."""
+        batch_size = len(recorded[0])
         record_count = len(recorded)
         flat_configs = [recorded[r][b] for r in range(record_count) for b in range(batch_size)]
         # The batch estimators only stream the *prefix* axis, so the number of

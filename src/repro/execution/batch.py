@@ -28,15 +28,17 @@ through :func:`repro.execution.engine.apply_graph`, so the API is total.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.algorithms.base import Algorithm
-from repro.config import resolve_use_batch
+from repro.config import resolve_threads, resolve_use_batch
 from repro.exceptions import ConfigError, EnsembleShapeError, ExecutionError
 from repro.execution.engine import _AdjacencyCache, apply_graph, initial_configuration
+from repro.execution.parallel import parallel_map, shard_bounds
 from repro.faults import FaultPlan, FaultSpec, as_fault_plan
 from repro.execution.state import Configuration
 from repro.graphs.digraph import CommunicationGraph
@@ -257,19 +259,23 @@ def _validate_ensemble_values(values: np.ndarray) -> None:
         )
 
 
-def _round_adjacency(
-    round_graphs: RoundGraphs,
-    batch_size: int,
-    n: int,
-    cache: Optional[_AdjacencyCache] = None,
-) -> np.ndarray:
-    """The adjacency tensor of one ensemble round: ``(n, n)`` shared or ``(B, n, n)``."""
+def _validate_round_graphs(
+    round_graphs: RoundGraphs, batch_size: int, n: int
+) -> Optional[List[CommunicationGraph]]:
+    """Validate one round entry against the *full* ensemble shape.
+
+    Returns the per-scenario graph list, or ``None`` for a shared
+    :class:`CommunicationGraph`.  Shared between the serial adjacency builder
+    and the parallel backend's pre-shard validation, so a malformed schedule
+    raises the identical :class:`EnsembleShapeError` — naming full-ensemble
+    counts — no matter how many workers run the ensemble.
+    """
     if isinstance(round_graphs, CommunicationGraph):
         if round_graphs.n != n:
             raise EnsembleShapeError(
                 f"graph has {round_graphs.n} agents, scenarios have {n}"
             )
-        return round_graphs.adjacency
+        return None
     try:
         graphs = list(round_graphs)
     except TypeError as exc:
@@ -291,6 +297,19 @@ def _round_adjacency(
             )
         if graph.n != n:
             raise EnsembleShapeError(f"graph has {graph.n} agents, scenarios have {n}")
+    return graphs
+
+
+def _round_adjacency(
+    round_graphs: RoundGraphs,
+    batch_size: int,
+    n: int,
+    cache: Optional[_AdjacencyCache] = None,
+) -> np.ndarray:
+    """The adjacency tensor of one ensemble round: ``(n, n)`` shared or ``(B, n, n)``."""
+    graphs = _validate_round_graphs(round_graphs, batch_size, n)
+    if graphs is None:
+        return round_graphs.adjacency
     first = graphs[0]
     if all(graph is first for graph in graphs):
         # A uniform per-scenario list broadcasts like a shared graph; skip the
@@ -351,6 +370,7 @@ def run_ensemble(
     use_batch: Optional[bool] = None,
     record_states: bool = False,
     fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
+    threads: Optional[int] = None,
 ) -> EnsembleExecution:
     """Execute ``B`` independent scenarios through the vectorized fast path.
 
@@ -397,6 +417,14 @@ def run_ensemble(
         :class:`~repro.exceptions.FaultModelError` naming the scenario,
         round and agent.  A zero plan is normalized to ``None``: the run
         is bit-for-bit identical to a fault-free one.
+    threads:
+        Parallel worker count: ``None`` (default) consults the active
+        :class:`~repro.config.EngineConfig` (then the ``REPRO_THREADS`` env
+        var, then 1).  With more than one worker the scenario axis is split
+        into contiguous shards executed on a thread pool and merged through
+        :func:`merge_ensemble_executions`; fault draws are sliced via
+        ``scenario_base`` offsets, so the result is bit-for-bit identical
+        to the serial run (see :mod:`repro.execution.parallel`).
     """
     if record_every < 1:
         raise ExecutionError(f"record_every must be >= 1, got {record_every}")
@@ -414,6 +442,19 @@ def run_ensemble(
     if use_batch and not algorithm.supports_batch():
         raise ExecutionError(
             f"use_batch=True but {algorithm.name} does not implement the batch hooks"
+        )
+    worker_count = resolve_threads(threads)
+    if worker_count > 1 and batch_size > 1:
+        return _run_ensemble_sharded(
+            algorithm,
+            values,
+            graph_rounds,
+            record_every,
+            labels,
+            use_batch,
+            record_states,
+            plan,
+            worker_count,
         )
     if not algorithm.supports_batch() or not resolve_use_batch(use_batch):
         return _run_ensemble_slow(
@@ -459,6 +500,78 @@ def run_ensemble(
         recorded_configurations=recorded_configurations,
         fault_plan=plan,
     )
+
+
+def _slice_round_graphs(
+    graph_rounds: Sequence[RoundGraphs], start: int, stop: int, n: int, batch_size: int
+) -> List[RoundGraphs]:
+    """Per-round graph slices for scenarios ``[start, stop)``.
+
+    A round entry shared by every scenario is passed through unchanged (the
+    shard broadcasts it exactly as the full run would); per-scenario lists
+    are sliced.  Every entry is validated against the *full* ensemble shape
+    first, so a malformed schedule raises the same error — with the same
+    full-ensemble counts — the serial run would raise.
+    """
+    sliced: List[RoundGraphs] = []
+    for round_graphs in graph_rounds:
+        graphs = _validate_round_graphs(round_graphs, batch_size, n)
+        sliced.append(round_graphs if graphs is None else graphs[start:stop])
+    return sliced
+
+
+def _run_ensemble_sharded(
+    algorithm: Algorithm,
+    values: np.ndarray,
+    graph_rounds: Sequence[RoundGraphs],
+    record_every: int,
+    labels: Optional[List[object]],
+    use_batch: Optional[bool],
+    record_states: bool,
+    plan: Optional[FaultPlan],
+    worker_count: int,
+) -> EnsembleExecution:
+    """Parallel backend of :func:`run_ensemble`: contiguous B-axis shards.
+
+    Each shard re-runs :func:`run_ensemble` with ``threads=1`` on a worker
+    thread under the caller's merged config (see
+    :func:`repro.execution.parallel.parallel_map`); a shard covering global
+    scenarios ``[start, stop)`` draws its faults from a ``scenario_base``
+    ``+ start`` copy of the plan, which samples the exact slice of the
+    unsharded plan's draws.  Merging through
+    :func:`merge_ensemble_executions` rebuilds the record the serial run
+    would have produced, bit-for-bit.
+    """
+    graph_rounds = list(graph_rounds)
+
+    def _shard_task(start: int, stop: int):
+        shard_plan = (
+            replace(plan, scenario_base=plan.scenario_base + start)
+            if plan is not None
+            else None
+        )
+        shard_labels = labels[start:stop] if labels is not None else None
+        shard_rounds = _slice_round_graphs(
+            graph_rounds, start, stop, n=values.shape[-2], batch_size=values.shape[0]
+        )
+        shard_values = values[start:stop]
+        return lambda: run_ensemble(
+            algorithm,
+            shard_values,
+            shard_rounds,
+            record_every=record_every,
+            scenario_labels=shard_labels,
+            use_batch=use_batch,
+            record_states=record_states,
+            fault_plan=shard_plan,
+            threads=1,
+        )
+
+    bounds = shard_bounds(values.shape[0], worker_count)
+    shards = parallel_map(
+        [_shard_task(start, stop) for start, stop in bounds], worker_count
+    )
+    return merge_ensemble_executions(shards, fault_plan=plan)
 
 
 def _run_ensemble_slow(
@@ -597,6 +710,7 @@ def run_adversarial_ensemble(
     use_batch: Optional[bool] = None,
     record_states: bool = False,
     fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
+    threads: Optional[int] = None,
 ) -> AdversarialEnsembleExecution:
     """Drive ``B`` scenarios under an adaptive adversary in one batched loop.
 
@@ -629,6 +743,14 @@ def run_adversarial_ensemble(
     committed per-scenario graph schedules as a faulted ``graphs``-route
     ensemble (what :func:`repro.analysis.experiments.run_certification_sweep`
     does for its faulted certification rows).
+
+    ``threads`` (resolved through the active config like
+    :func:`run_ensemble`) shards the scenario axis across worker threads;
+    every decision the batched runner makes is a *per-scenario* argmax over
+    per-scenario histories, so each shard — driving its own deep copy of the
+    adversary — commits exactly the choices the full run commits for its
+    scenarios, and the merged record is bit-for-bit identical to the serial
+    run.
     """
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
@@ -650,6 +772,19 @@ def run_adversarial_ensemble(
     if not isinstance(adversary, AdversarialPattern):
         raise ExecutionError(
             f"run_adversarial_ensemble needs an AdversarialPattern, got {type(adversary).__name__}"
+        )
+    worker_count = resolve_threads(threads)
+    if worker_count > 1 and batch_size > 1:
+        return _run_adversarial_ensemble_sharded(
+            algorithm,
+            values,
+            adversary,
+            rounds,
+            record_every,
+            labels,
+            use_batch,
+            record_states,
+            worker_count,
         )
     batchable = algorithm.supports_batch() and resolve_use_batch(use_batch)
     # One-time probe: adversaries that keep the base-class ensemble_plans
@@ -797,6 +932,54 @@ def run_adversarial_ensemble(
     )
 
 
+def _run_adversarial_ensemble_sharded(
+    algorithm: Algorithm,
+    values: np.ndarray,
+    adversary: AdversarialPattern,
+    rounds: int,
+    record_every: int,
+    labels: Optional[List[object]],
+    use_batch: Optional[bool],
+    record_states: bool,
+    worker_count: int,
+) -> AdversarialEnsembleExecution:
+    """Parallel backend of :func:`run_adversarial_ensemble`.
+
+    Safe to shard because every commit of the (batched or per-scenario)
+    adversarial runner is a per-scenario argmax over that scenario's own
+    committed history; each shard drives an independent ``copy.deepcopy`` of
+    the adversary, so stateful adversaries neither race nor observe other
+    shards' scenarios.  The shipped adversaries' plans depend only on
+    ``(round, n, per-scenario history)`` — the differential matrix in
+    ``tests/test_parallel_backend.py`` enforces choice-for-choice equality
+    with the serial run.
+    """
+
+    def _shard_task(start: int, stop: int):
+        shard_adversary = copy.deepcopy(adversary)
+        shard_labels = labels[start:stop] if labels is not None else None
+        shard_values = values[start:stop]
+        return lambda: run_adversarial_ensemble(
+            algorithm,
+            shard_values,
+            shard_adversary,
+            rounds,
+            record_every=record_every,
+            scenario_labels=shard_labels,
+            use_batch=use_batch,
+            record_states=record_states,
+            threads=1,
+        )
+
+    bounds = shard_bounds(values.shape[0], worker_count)
+    shards = parallel_map(
+        [_shard_task(start, stop) for start, stop in bounds], worker_count
+    )
+    merged = merge_ensemble_executions(shards)
+    assert isinstance(merged, AdversarialEnsembleExecution)
+    return merged
+
+
 def _run_adversarial_ensemble_slow(
     algorithm: Algorithm,
     values: np.ndarray,
@@ -870,12 +1053,16 @@ def run_pattern_ensemble(
     use_batch: Optional[bool] = None,
     record_states: bool = False,
     fault_plan: Optional[Union[FaultPlan, FaultSpec]] = None,
+    threads: Optional[int] = None,
 ) -> EnsembleExecution:
     """Run an ensemble against oblivious communication patterns.
 
     ``patterns`` is a single pattern shared by every scenario or one pattern
     per scenario.  ``fault_plan`` masks the materialized graphs exactly as
-    on the ``graphs`` route (see :func:`run_ensemble`).
+    on the ``graphs`` route (see :func:`run_ensemble`).  ``threads`` shards
+    the scenario axis exactly as on the ``graphs`` route; the patterns are
+    materialized *before* sharding (on the caller thread), so stateful
+    pattern objects never race.
     """
     if rounds < 0:
         raise ExecutionError(f"rounds must be non-negative, got {rounds}")
@@ -903,6 +1090,7 @@ def run_pattern_ensemble(
         use_batch=use_batch,
         record_states=record_states,
         fault_plan=fault_plan,
+        threads=threads,
     )
 
 
@@ -970,17 +1158,29 @@ def merge_ensemble_executions(
     the caller passes the study-level plan the full run would have carried.
     Without the override the shards must all carry the same plan (the
     fault-free ``None`` included).
+
+    Adversarial shards merge too — including their per-round committed graph
+    choices — but only when *every* shard is an
+    :class:`AdversarialEnsembleExecution` (mixing provenances is an error).
+    By handing adversarial shards to this function the caller asserts the
+    slicing did not change the adversary's choices; the parallel backend
+    guarantees that by driving a per-shard adversary copy whose commits are
+    per-scenario argmaxes (see
+    :func:`repro.execution.batch.run_adversarial_ensemble`).
     """
     shard_list = list(shards)
     if not shard_list:
         raise ExecutionError("merging needs at least one shard ensemble")
+    adversarial_flags = [
+        isinstance(shard, AdversarialEnsembleExecution) for shard in shard_list
+    ]
+    if any(adversarial_flags) and not all(adversarial_flags):
+        raise ExecutionError(
+            "adversarial and non-adversarial ensembles cannot be merged into "
+            "one record: the shards ran different routes"
+        )
+    all_adversarial = all(adversarial_flags)
     for shard in shard_list:
-        if isinstance(shard, AdversarialEnsembleExecution):
-            raise ExecutionError(
-                "adversarial ensembles cannot be merged from shards: the "
-                "adversary adapts to the whole ensemble, so slicing changes "
-                "its choices"
-            )
         if not isinstance(shard, EnsembleExecution):
             raise ExecutionError(
                 f"merging needs EnsembleExecution shards, got {type(shard).__name__}"
@@ -1042,12 +1242,34 @@ def merge_ensemble_executions(
             ]
             for r in range(len(first.recorded_rounds))
         ]
+    merged_outputs = np.concatenate(
+        [shard.recorded_outputs for shard in shard_list], axis=1
+    )
+    if all_adversarial:
+        choice_counts = {len(shard.round_choices) for shard in shard_list}
+        if len(choice_counts) != 1:
+            raise ExecutionError(
+                f"adversarial shards committed differing round counts "
+                f"{sorted(choice_counts)}; shards must cover the same horizon"
+            )
+        merged_choices = [
+            [choice for shard in shard_list for choice in shard.round_choices[t]]
+            for t in range(choice_counts.pop())
+        ]
+        return AdversarialEnsembleExecution(
+            algorithm_name=first.algorithm_name,
+            recorded_rounds=list(first.recorded_rounds),
+            recorded_outputs=merged_outputs,
+            scenario_labels=merged_labels,
+            batched=first.batched,
+            recorded_configurations=merged_configurations,
+            fault_plan=fault_plan,
+            round_choices=merged_choices,
+        )
     return EnsembleExecution(
         algorithm_name=first.algorithm_name,
         recorded_rounds=list(first.recorded_rounds),
-        recorded_outputs=np.concatenate(
-            [shard.recorded_outputs for shard in shard_list], axis=1
-        ),
+        recorded_outputs=merged_outputs,
         scenario_labels=merged_labels,
         batched=first.batched,
         recorded_configurations=merged_configurations,

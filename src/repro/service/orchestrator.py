@@ -535,6 +535,14 @@ def run_study_service(
     The merged result is **bit-for-bit identical** to the single-process
     ``Study(...).run()`` — outputs, diameters, certificates and provenance
     (modulo nothing: the merged config travels explicitly with every shard).
+
+    Because the shipped config includes ``threads``, process-level sharding
+    composes with the thread-level parallel backend: each worker re-enters
+    the merged :class:`~repro.config.EngineConfig` and — when it carries
+    ``threads > 1`` — shards its own B-slice across a thread pool (see
+    :mod:`repro.execution.parallel`), without changing a byte of the merged
+    result.  Size ``workers * threads`` to the machine's core count to avoid
+    oversubscription.
     """
     from repro.api import Study
     from repro.config import EngineConfig, current_engine_config

@@ -182,6 +182,28 @@ def packed_last_true(packed: np.ndarray, length: int) -> np.ndarray:
     return np.where(has_bit, index, -1)
 
 
+def packed_first_last_true(packed: np.ndarray, length: int):
+    """Both set-bit extremes in one sweep over the packed bytes.
+
+    Returns ``(packed_first_true(packed, length), packed_last_true(packed,
+    length))`` bit-for-bit, but computes the byte-nonzero map and the
+    has-any-bit reduction — the only full passes over the packed tensor —
+    once and shares them between the two queries.  Used by the fused masked
+    extreme pair, whose packed path needs the first *and* last in-neighbor
+    of every receiver per coordinate.
+    """
+    nonzero = packed != 0
+    has_bit = nonzero.any(axis=-1)
+    nb = packed.shape[-1]
+    first_byte = nonzero.argmax(axis=-1)
+    byte_value = np.take_along_axis(packed, first_byte[..., None], axis=-1)[..., 0]
+    first = np.where(has_bit, first_byte * 8 + _FIRST_BIT_IN_BYTE[byte_value], length)
+    last_byte = nb - 1 - nonzero[..., ::-1].argmax(axis=-1)
+    byte_value = np.take_along_axis(packed, last_byte[..., None], axis=-1)[..., 0]
+    last = np.where(has_bit, last_byte * 8 + _LAST_BIT_IN_BYTE[byte_value], -1)
+    return first, last
+
+
 def packed_row_ids(packed: np.ndarray) -> np.ndarray:
     """Map packed rows to small integer ids (equal rows get equal ids).
 

@@ -347,8 +347,13 @@ class TestHistoryDependentAdversary:
                     EnsemblePlan(candidates=((graphs[0],),), commit_rounds=1),
                 )
 
+        # threads=1 pins the serial route: the parallel backend validates the
+        # plan count per shard, where a constant-count adversary may happen
+        # to match a shard's size.
         with pytest.raises(EnsembleShapeError):
-            run_adversarial_ensemble(MidpointAlgorithm(), _values(3, 4), _WrongCount(), 2)
+            run_adversarial_ensemble(
+                MidpointAlgorithm(), _values(3, 4), _WrongCount(), 2, threads=1
+            )
 
 
 # --------------------------------------------------------------------------- #

@@ -20,6 +20,11 @@ from a registry — and differentially checks
   and
 * **zero-fault vs none** (``FaultPlan()`` / ``FaultSpec()`` must be
   bit-for-bit invisible on the batch, facade and event-simulator routes),
+* **parallel vs serial** (``threads`` — keyword or ``EngineConfig`` scope —
+  shards the B axis without changing a single byte, faulted runs included),
+* **fused vs separate reductions** (``masked_extreme_pair`` /
+  ``masked_min_max`` against independent ``masked_min`` + ``masked_max``
+  calls under every reduction implementation),
 
 each over ``CASES_PER_PAIR`` (200+) generated cases under one fixed master
 seed.  Everything is deterministic — cases derive from
@@ -36,10 +41,17 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.algorithms.base import masked_min_max, masked_reduction_impl
+from repro.algorithms.base import (
+    masked_extreme_pair,
+    masked_max,
+    masked_min,
+    masked_min_max,
+    masked_reduction_impl,
+)
 from repro.api import Study
 from repro.asynchrony import AsynchronousSimulator, RoundBasedAsyncAlgorithm
 from repro.campaign.registry import ORDERED_ENTRIES, random_strongly_connected_graph
+from repro.config import EngineConfig
 from repro.campaign.repro import repro_snippet as _repro_snippet
 from repro.core.adversary import GreedyDiameterAdversary
 from repro.exceptions import FaultModelError
@@ -518,6 +530,103 @@ def _case_zero_fault_vs_none(case_seed):
     )
 
 
+def _case_parallel_vs_serial(case_seed):
+    """B-axis sharding must be bit-for-bit invisible on every ensemble route."""
+    case = build_scenario(case_seed)
+    rng = case["rng"]
+    threads = int(rng.integers(2, 8))
+    use_batch = None if rng.random() < 0.7 else False
+    plan = None
+    draw_plan = rng.random() < 0.4  # consumed unconditionally: keeps draws aligned
+    if draw_plan and case["rounds"] and not case["entry"].needs_fixed_graph:
+        # Graph-pinned algorithms reject dropped edges by design; everything
+        # else must shard identically under randomized fault plans too.
+        plan = _random_fault_plan(rng, case["n"], case["rounds"])
+    via_config = bool(rng.random() < 0.5)
+
+    def run(thread_count, via):
+        kwargs = dict(
+            record_every=case["record_every"], use_batch=use_batch,
+            record_states=True, fault_plan=plan,
+        )
+        if via:
+            with EngineConfig(threads=thread_count):
+                return run_ensemble(
+                    case["algorithm"], case["values"], case["graph_rounds"], **kwargs
+                )
+        return run_ensemble(
+            case["algorithm"], case["values"], case["graph_rounds"],
+            threads=thread_count, **kwargs,
+        )
+
+    serial = run(1, False)
+    sharded = run(threads, via_config)
+    assert sharded.recorded_rounds == serial.recorded_rounds, (
+        "recorded rounds differ" + _repro_snippet("parallel_vs_serial", case_seed)
+    )
+    # Sharding + merging must commute with every round update bit-for-bit —
+    # exact for the averaging family too, since both runs use the same
+    # per-scenario summation order.
+    _assert_outputs_match(
+        "parallel_vs_serial", case_seed,
+        f"{case['key']} threads={threads} recorded outputs",
+        sharded.recorded_outputs, serial.recorded_outputs, True,
+    )
+    _assert_outputs_match(
+        "parallel_vs_serial", case_seed, f"{case['key']} diameters",
+        sharded.diameters(), serial.diameters(), True,
+    )
+    if case["batch_size"] > 1:
+        scenario = int(rng.integers(case["batch_size"]))
+        for config_sharded, config_serial in zip(
+            sharded.scenario_configurations(scenario),
+            serial.scenario_configurations(scenario),
+        ):
+            _assert_outputs_match(
+                "parallel_vs_serial", case_seed,
+                f"{case['key']} scenario {scenario} snapshot round "
+                f"{config_sharded.round_number}",
+                config_sharded.outputs, config_serial.outputs, True,
+            )
+
+
+def _case_fused_vs_separate_reduction(case_seed):
+    """One fused mask resolution must equal two independent reductions."""
+    rng = _case_rng(case_seed)
+    n = int(rng.integers(2, 48))
+    d = int(rng.integers(1, 4))
+    lead = int(rng.integers(1, 7))
+    min_values = rng.uniform(-3.0, 3.0, size=(lead, n, d))
+    shared = bool(rng.random() < 0.4)
+    max_values = min_values if shared else rng.uniform(-3.0, 3.0, size=(lead, n, d))
+    if rng.random() < 0.3:
+        adjacency = random_graph(n, rng, float(rng.uniform(0.1, 0.9))).adjacency
+    else:
+        adjacency = (rng.random((lead, n, n)) < rng.uniform(0.1, 0.9)).copy()
+        for i in range(n):
+            adjacency[..., i, i] = bool(rng.random() < 0.9)
+    impl = ("auto", "dense", "packed")[int(rng.integers(3))]
+    with masked_reduction_impl(impl):
+        fused_min, fused_max = masked_extreme_pair(adjacency, min_values, max_values)
+        separate_min = masked_min(adjacency, min_values)
+        separate_max = masked_max(adjacency, max_values)
+        if shared:
+            pair_min, pair_max = masked_min_max(adjacency, min_values)
+        else:
+            pair_min, pair_max = fused_min, fused_max
+    for label, got, want in (
+        ("fused min", fused_min, separate_min),
+        ("fused max", fused_max, separate_max),
+        ("min_max min", pair_min, separate_min),
+        ("min_max max", pair_max, separate_max),
+    ):
+        assert np.array_equal(got, want), (
+            f"{label} differs between the fused and separate reductions "
+            f"(impl={impl}, shared={shared}, n={n}, d={d}, lead={lead})"
+            + _repro_snippet("fused_vs_separate_reduction", case_seed)
+        )
+
+
 _PAIRS = {
     "fast_vs_reference": _case_fast_vs_reference,
     "batch_vs_loop": _case_batch_vs_loop,
@@ -526,6 +635,8 @@ _PAIRS = {
     "facade_vs_direct": _case_facade_vs_direct,
     "faulted_batch_vs_loop": _case_faulted_batch_vs_loop,
     "zero_fault_vs_none": _case_zero_fault_vs_none,
+    "parallel_vs_serial": _case_parallel_vs_serial,
+    "fused_vs_separate_reduction": _case_fused_vs_separate_reduction,
 }
 
 

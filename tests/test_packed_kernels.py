@@ -405,3 +405,70 @@ def test_packed_gather_handles_isolated_receivers():
     assert np.array_equal(lo_dense, lo_packed)
     assert np.array_equal(hi_dense, hi_packed)
     assert lo_packed[0, 0, 0] == np.inf and hi_packed[0, 0, 0] == -np.inf
+
+
+class TestFusedMaskResolutionCount:
+    """Callers wanting both extremes must pay for one mask resolution, not two.
+
+    ``masked_min_max`` / ``masked_extreme_pair`` fuse the min and max
+    reductions over a single :func:`receive_mask` call on every
+    implementation (dense, chunked, sort-and-scan, packed); the amortized
+    midpoint's vectorized transition rides that kernel, so each round
+    resolves its adjacency exactly once.
+    """
+
+    @pytest.fixture()
+    def count_mask_resolutions(self, monkeypatch):
+        import repro.algorithms.base as base_module
+
+        counter = {"calls": 0}
+        original = base_module.receive_mask
+
+        def counting(adjacency):
+            counter["calls"] += 1
+            return original(adjacency)
+
+        monkeypatch.setattr(base_module, "receive_mask", counting)
+        return counter
+
+    @pytest.mark.parametrize("impl", ["auto", "dense", "packed"])
+    def test_masked_min_max_resolves_once(self, count_mask_resolutions, impl):
+        rng = np.random.default_rng(40)
+        values = rng.uniform(-1.0, 1.0, size=(3, 8, 2))
+        adjacency = rng.random((3, 8, 8)) < 0.5
+        with masked_reduction_impl(impl):
+            lo, hi = masked_min_max(adjacency, values)
+        assert count_mask_resolutions["calls"] == 1
+        # Sanity: still equal to two separate (twice-resolving) reductions.
+        assert np.array_equal(lo, masked_min(adjacency, values))
+        from repro.algorithms.base import masked_max
+
+        assert np.array_equal(hi, masked_max(adjacency, values))
+        assert count_mask_resolutions["calls"] == 3
+
+    @pytest.mark.parametrize("impl", ["auto", "dense", "packed"])
+    def test_extreme_pair_on_distinct_tensors_resolves_once(
+        self, count_mask_resolutions, impl
+    ):
+        from repro.algorithms.base import masked_extreme_pair
+
+        rng = np.random.default_rng(41)
+        mins = rng.uniform(-1.0, 1.0, size=(2, 10, 1))
+        maxs = rng.uniform(-1.0, 1.0, size=(2, 10, 1))
+        adjacency = rng.random((2, 10, 10)) < 0.4
+        with masked_reduction_impl(impl):
+            masked_extreme_pair(adjacency, mins, maxs)
+        assert count_mask_resolutions["calls"] == 1
+
+    def test_amortized_midpoint_round_resolves_once(self, count_mask_resolutions):
+        from repro.algorithms import AmortizedMidpointAlgorithm
+
+        rng = np.random.default_rng(42)
+        algorithm = AmortizedMidpointAlgorithm()
+        state = algorithm.batch_initial(rng.uniform(0.0, 1.0, size=(4, 6, 1)))
+        adjacency = np.broadcast_to(
+            complete_graph(6).adjacency, (4, 6, 6)
+        ).copy()
+        for round_number in range(1, 4):
+            algorithm.batch_transition(state, adjacency, round_number)
+            assert count_mask_resolutions["calls"] == round_number

@@ -97,16 +97,23 @@ class _WrongCountPlanAdversary(_RaggedPlanAdversary):
 
 
 class TestAdversarialRunnerShapeErrors:
+    # threads=1 pins the serial route: the parallel backend validates plan
+    # counts per shard (each shard's adversary copy only ever sees its own
+    # slice of histories), so the full-ensemble counts in these messages are
+    # a serial-engine guarantee.
+
     def test_ragged_per_scenario_plans_name_the_counts(self):
         with pytest.raises(EnsembleShapeError, match=r"counts \[1, 2\]"):
             run_adversarial_ensemble(
-                MidpointAlgorithm(), _values(3, 4), _RaggedPlanAdversary(4), rounds=2
+                MidpointAlgorithm(), _values(3, 4), _RaggedPlanAdversary(4),
+                rounds=2, threads=1,
             )
 
     def test_wrong_plan_count_names_expected_and_got(self):
         with pytest.raises(EnsembleShapeError, match=r"\(3\), got 1"):
             run_adversarial_ensemble(
-                MidpointAlgorithm(), _values(3, 4), _WrongCountPlanAdversary(4), rounds=2
+                MidpointAlgorithm(), _values(3, 4), _WrongCountPlanAdversary(4),
+                rounds=2, threads=1,
             )
 
     def test_candidate_graph_size_mismatch_names_both(self):
